@@ -1,0 +1,36 @@
+// Ablation: request batching on/off (paper §5.1 — "Tell aggressively
+// batches operations"). Without batching every logical operation pays a
+// full sequential round trip.
+#include "bench/bench_util.h"
+
+using namespace tell;
+using namespace tell::bench;
+
+int main() {
+  PrintHeader("Ablation", "Request batching (write-intensive, RF1, 8 PN)",
+              "§5.1: batching several operations into one request (and "
+              "issuing requests to distinct SNs in parallel) is a key "
+              "technique for minimizing network requests");
+
+  std::printf("%-10s %12s %16s %14s\n", "batching", "TpmC", "requests/txn",
+              "resp(ms)");
+  double with = 0, without = 0;
+  for (bool batching : {true, false}) {
+    db::TellDbOptions options;
+    options.num_processing_nodes = 1;
+    options.num_storage_nodes = 7;
+    options.batching = batching;
+    TellFixture fixture(options, BenchScale());
+    auto result = fixture.Run(8, tpcc::Mix::kWriteIntensive);
+    if (!result.ok()) continue;
+    double requests_per_txn =
+        static_cast<double>(result->merged.storage_requests) /
+        static_cast<double>(result->committed + result->aborted);
+    std::printf("%-10s %12.0f %16.1f %14.3f\n", batching ? "on" : "off",
+                result->tpmc, requests_per_txn, result->mean_response_ms);
+    (batching ? with : without) = result->tpmc;
+  }
+  std::printf("\nshape checks: batching on / off = %.2fx\n", with / without);
+  PrintFooter();
+  return 0;
+}

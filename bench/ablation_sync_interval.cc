@@ -1,0 +1,37 @@
+// Ablation: commit manager synchronization interval (paper §4.2/§6.3.3).
+// Stale snapshots are legitimate — they only raise the conflict
+// probability. The paper found 1 ms harmless.
+#include "bench/bench_util.h"
+
+using namespace tell;
+using namespace tell::bench;
+
+int main() {
+  PrintHeader("Ablation",
+              "Commit manager sync interval (write-intensive, 8 PN, 2 CMs)",
+              "§6.3.3: a 1 ms synchronization delay causes no significant "
+              "impact on throughput or abort rate; only much longer delays "
+              "should hurt");
+
+  std::printf("%-14s %12s %10s\n", "interval(ms)", "TpmC", "abort%");
+  for (double interval : {0.1, 1.0, 10.0, 50.0}) {
+    db::TellDbOptions options;
+    options.num_processing_nodes = 1;
+    options.num_storage_nodes = 7;
+    options.num_commit_managers = 2;
+    options.commit_manager_sync_ms = interval;
+    TellFixture fixture(options, BenchScale());
+    auto result = fixture.Run(8, tpcc::Mix::kWriteIntensive);
+    if (!result.ok()) {
+      std::printf("%-14.1f failed: %s\n", interval,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-14.1f %12.0f %9.2f%%\n", interval, result->tpmc,
+                result->abort_rate * 100);
+  }
+  std::printf("\nshape checks: throughput and abort rate flat at ~1 ms, "
+              "degradation only at much longer intervals.\n");
+  PrintFooter();
+  return 0;
+}

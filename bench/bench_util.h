@@ -1,0 +1,92 @@
+#ifndef TELL_BENCH_BENCH_UTIL_H_
+#define TELL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "workload/tpcc/tpcc_driver.h"
+#include "workload/tpcc/tpcc_loader.h"
+
+namespace tell::bench {
+
+/// The benchmark TPC-C population. The paper loads 200 warehouses on a
+/// 12-server cluster; this reproduction runs the whole cluster inside one
+/// process, so the population is scaled down (and with it the absolute
+/// numbers) while keeping the per-warehouse shape — 10 districts, the
+/// standard transaction mixes, NURand skew — that drives every effect the
+/// figures show. EXPERIMENTS.md records paper-vs-measured per figure.
+inline tpcc::TpccScale BenchScale() {
+  tpcc::TpccScale scale;
+  scale.warehouses = 16;
+  scale.districts_per_warehouse = 10;
+  scale.customers_per_district = 32;
+  scale.items = 400;
+  scale.initial_orders_per_district = 16;
+  return scale;
+}
+
+/// Worker threads per processing node (the paper runs ~64 synchronous
+/// threads per PN on 8 cores; this host has far fewer cores, so 4 per PN
+/// keeps real-time scheduling artifacts small).
+inline constexpr uint32_t kWorkersPerPn = 4;
+
+/// Virtual measurement interval per worker (the paper measures 12 minutes;
+/// throughput is a rate, so a shorter window only widens confidence bands).
+inline constexpr uint64_t kVirtualMs = 150;
+
+/// A loaded Tell cluster ready to run TPC-C sweeps. Processing nodes can be
+/// added between runs (that is the architecture's elasticity story — no
+/// reload needed when the PN count grows).
+class TellFixture {
+ public:
+  TellFixture(db::TellDbOptions options, const tpcc::TpccScale& scale)
+      : scale_(scale) {
+    db_ = std::make_unique<db::TellDb>(options);
+    Status st = tpcc::CreateTpccTables(db_.get());
+    if (st.ok()) st = tpcc::LoadTpcc(db_.get(), scale_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fixture setup failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  db::TellDb* db() { return db_.get(); }
+  const tpcc::TpccScale& scale() const { return scale_; }
+
+  void EnsureProcessingNodes(uint32_t n) {
+    while (db_->num_processing_nodes() < n) db_->AddProcessingNode();
+  }
+
+  Result<tpcc::DriverResult> Run(uint32_t num_pns, tpcc::Mix mix,
+                                 uint32_t workers_per_pn = kWorkersPerPn,
+                                 uint64_t virtual_ms = kVirtualMs) {
+    EnsureProcessingNodes(num_pns);
+    tpcc::TellBackend backend(db_.get());
+    tpcc::DriverOptions options;
+    options.scale = scale_;
+    options.mix = mix;
+    options.num_workers = num_pns * workers_per_pn;
+    options.duration_virtual_ms = virtual_ms;
+    return tpcc::RunTpcc(&backend, options);
+  }
+
+ private:
+  tpcc::TpccScale scale_;
+  std::unique_ptr<db::TellDb> db_;
+};
+
+inline void PrintHeader(const char* id, const char* title,
+                        const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintFooter() { std::printf("\n"); }
+
+}  // namespace tell::bench
+
+#endif  // TELL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,41 @@
+// Table 5: latency detail for the fastest configuration (8 PNs) on both
+// networks: mean ± σ, 99th and 99.9th percentile response times.
+#include "bench/bench_util.h"
+
+using namespace tell;
+using namespace tell::bench;
+
+int main() {
+  PrintHeader("Table 5", "Network latency (write-intensive, 8 PN, RF1)",
+              "InfiniBand: 958,187 TpmC, 14.4±2.2 ms, TP99 22 / TP999 23; "
+              "Ethernet: 151,079 TpmC, 91.1±9.4 ms, TP99 102 / TP999 103 — "
+              "few outliers on either network (not congested)");
+
+  std::printf("%-12s %12s %16s %10s %10s\n", "network", "TpmC",
+              "resp ms (±σ)", "TP99", "TP999");
+  for (bool infiniband : {true, false}) {
+    db::TellDbOptions options;
+    options.num_processing_nodes = 8;
+    options.num_storage_nodes = 7;
+    options.replication_factor = 1;
+    options.network = infiniband ? sim::NetworkModel::InfiniBand()
+                                 : sim::NetworkModel::TenGbEthernet();
+    TellFixture fixture(options, BenchScale());
+    auto result = fixture.Run(8, tpcc::Mix::kWriteIntensive, kWorkersPerPn,
+                              /*virtual_ms=*/300);
+    if (!result.ok()) {
+      std::printf("%-12s run failed: %s\n", options.network.name.c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-12s %12.0f %8.2f ± %-5.2f %10.2f %10.2f\n",
+                options.network.name.c_str(), result->tpmc,
+                result->mean_response_ms, result->std_response_ms,
+                result->p99_response_ms, result->p999_response_ms);
+  }
+  std::printf("\nshape checks: Ethernet mean ~6-10x InfiniBand; tail "
+              "percentiles close to the mean on both networks (low outlier "
+              "count = no congestion).\n");
+  PrintFooter();
+  return 0;
+}

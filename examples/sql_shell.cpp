@@ -1,0 +1,40 @@
+// Interactive SQL shell over a Tell cluster. Each line is one statement,
+// run in its own transaction; `\q` quits.
+//
+//   $ ./sql_shell
+//   tell> CREATE TABLE t (id INT, v DOUBLE, PRIMARY KEY (id))
+//   tell> INSERT INTO t VALUES (1, 3.5)
+//   tell> SELECT * FROM t
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "db/tell_db.h"
+
+using namespace tell;
+
+int main() {
+  db::TellDbOptions options;
+  options.num_processing_nodes = 1;
+  options.num_storage_nodes = 3;
+  db::TellDb db(options);
+  auto session = db.OpenSession(0, 0);
+
+  std::printf("Tell SQL shell — one statement per line, \\q to quit.\n");
+  std::string line;
+  while (true) {
+    std::printf("tell> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\q" || line == "quit" || line == "exit") break;
+    auto result = db.AutoCommitSql(session.get(), line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString().c_str());
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

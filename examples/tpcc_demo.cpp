@@ -1,0 +1,61 @@
+// TPC-C demo: load a small TPC-C population and run the standard mix for a
+// few virtual seconds, printing the metrics the paper's evaluation reports.
+//
+//   $ ./tpcc_demo [warehouses] [processing_nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/tpcc/tpcc_driver.h"
+#include "workload/tpcc/tpcc_loader.h"
+
+using namespace tell;
+using namespace tell::tpcc;
+
+int main(int argc, char** argv) {
+  uint32_t warehouses = argc > 1 ? static_cast<uint32_t>(atoi(argv[1])) : 4;
+  uint32_t pns = argc > 2 ? static_cast<uint32_t>(atoi(argv[2])) : 2;
+
+  TpccScale scale;
+  scale.warehouses = warehouses;
+  scale.customers_per_district = 30;
+  scale.items = 200;
+  scale.initial_orders_per_district = 15;
+
+  db::TellDbOptions options;
+  options.num_processing_nodes = pns;
+  options.num_storage_nodes = 3;
+  options.replication_factor = 1;
+  db::TellDb db(options);
+
+  std::printf("creating TPC-C tables and loading %u warehouses...\n",
+              warehouses);
+  if (!CreateTpccTables(&db).ok()) return 1;
+  if (!LoadTpcc(&db, scale).ok()) return 1;
+
+  TellBackend backend(&db);
+  DriverOptions driver;
+  driver.scale = scale;
+  driver.mix = Mix::kWriteIntensive;
+  driver.num_workers = pns * 4;
+  driver.duration_virtual_ms = 300;
+  std::printf("running the standard mix on %u PNs (%u terminals)...\n", pns,
+              driver.num_workers);
+  auto result = RunTpcc(&backend, driver);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n  TpmC (new-orders/min):  %.0f\n", result->tpmc);
+  std::printf("  committed txns:         %llu\n",
+              static_cast<unsigned long long>(result->committed));
+  std::printf("  abort rate:             %.2f%%\n",
+              result->abort_rate * 100);
+  std::printf("  response time:          %.3f ms ± %.3f (p99 %.3f)\n",
+              result->mean_response_ms, result->std_response_ms,
+              result->p99_response_ms);
+  std::printf("  storage requests/txn:   %.1f\n",
+              static_cast<double>(result->merged.storage_requests) /
+                  static_cast<double>(result->committed + result->aborted));
+  return 0;
+}

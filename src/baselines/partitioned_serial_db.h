@@ -1,0 +1,109 @@
+#ifndef TELL_BASELINES_PARTITIONED_SERIAL_DB_H_
+#define TELL_BASELINES_PARTITIONED_SERIAL_DB_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/tpcc_data.h"
+#include "baselines/virtual_queue.h"
+#include "sim/metrics.h"
+#include "sim/virtual_clock.h"
+#include "workload/tpcc/tpcc_driver.h"
+
+namespace tell::baselines {
+
+/// VoltDB-style engine model (paper §6.4): data is partitioned by warehouse,
+/// every partition is a single-threaded execution engine that runs
+/// transactions serially as pre-compiled stored procedures — blazingly fast
+/// for single-partition work because there is no concurrency control at all.
+/// Multi-partition transactions, however, are coordinated by a single
+/// multi-partition initiator and block EVERY partition for the duration of
+/// the coordination. With TPC-C's ~11% cross-warehouse transactions this is
+/// what collapses VoltDB's throughput in Figure 8 (and blows its latency up
+/// to hundreds of ms in Table 4), while the shardable variant (Figure 9)
+/// lets it win.
+struct PartitionedSerialOptions {
+  /// Single-partition stored procedure service time on its engine.
+  uint64_t sp_service_ns = 100'000;
+  /// Multi-partition coordination: all partitions blocked this long.
+  /// Grows with cluster size (more initiators to coordinate); benches set
+  /// this per configuration.
+  uint64_t mp_service_ns = 6'000'000;
+  /// Client round trip (TCP stack + VoltDB wire protocol + planner fast
+  /// path).
+  uint64_t client_rtt_ns = 340'000;
+  /// K-factor + 1 (copies of each partition); synchronous replication
+  /// multiplies the partition service time.
+  uint32_t replication_factor = 1;
+};
+
+class PartitionedSerialDb final : public tpcc::TpccBackend {
+ public:
+  PartitionedSerialDb(const tpcc::TpccScale& scale,
+                      const PartitionedSerialOptions& options,
+                      uint64_t seed = 42)
+      : options_(options), data_(scale, seed) {
+    queues_.reserve(scale.warehouses);
+    for (uint32_t i = 0; i < scale.warehouses; ++i) {
+      queues_.push_back(std::make_unique<VirtualQueue>());
+    }
+  }
+
+  Status Prepare(uint32_t num_workers) override {
+    workers_.clear();
+    workers_.resize(num_workers);
+    return Status::OK();
+  }
+
+  Result<tpcc::TxnOutcome> Execute(uint32_t worker_id,
+                                   const tpcc::TxnInput& input) override {
+    Worker& worker = workers_[worker_id];
+    TELL_ASSIGN_OR_RETURN(ExecStats stats, data_.Apply(input));
+    uint64_t now = worker.clock.now_ns();
+    uint64_t service =
+        options_.sp_service_ns * options_.replication_factor;
+    uint64_t finish;
+    if (stats.warehouses.size() <= 1) {
+      int64_t w = stats.warehouses.empty() ? 1 : stats.warehouses[0];
+      finish = queues_[static_cast<size_t>(w - 1)]->Enqueue(now, service);
+    } else {
+      // Multi-partition: the MP initiator stalls every partition.
+      std::vector<VirtualQueue*> all;
+      all.reserve(queues_.size());
+      for (auto& queue : queues_) all.push_back(queue.get());
+      finish = EnqueueAll(all, now, options_.mp_service_ns);
+    }
+    worker.clock.AdvanceTo(finish + options_.client_rtt_ns);
+    tpcc::TxnOutcome outcome;
+    if (stats.user_abort) {
+      outcome.user_abort = true;
+      worker.metrics.aborted += 1;
+    } else {
+      outcome.committed = true;
+      worker.metrics.committed += 1;
+    }
+    worker.metrics.storage_ops += stats.read_ops + stats.write_ops;
+    return outcome;
+  }
+
+  sim::VirtualClock* clock(uint32_t worker_id) override {
+    return &workers_[worker_id].clock;
+  }
+  sim::WorkerMetrics* metrics(uint32_t worker_id) override {
+    return &workers_[worker_id].metrics;
+  }
+
+ private:
+  struct Worker {
+    sim::VirtualClock clock;
+    sim::WorkerMetrics metrics;
+  };
+  const PartitionedSerialOptions options_;
+  TpccData data_;
+  std::vector<std::unique_ptr<VirtualQueue>> queues_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace tell::baselines
+
+#endif  // TELL_BASELINES_PARTITIONED_SERIAL_DB_H_

@@ -1,0 +1,294 @@
+#include "baselines/tpcc_data.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workload/tpcc/tpcc_loader.h"
+
+namespace tell::baselines {
+
+using tpcc::TxnInput;
+using tpcc::TxnType;
+
+TpccData::TpccData(const tpcc::TpccScale& scale, uint64_t seed)
+    : scale_(scale) {
+  Random rng(seed);
+  items_.resize(scale_.items);
+  for (ItemRow& item : items_) {
+    item.price = static_cast<double>(rng.UniformInt(100, 10000)) / 100.0;
+  }
+  partitions_.reserve(scale_.warehouses);
+  for (uint32_t w = 1; w <= scale_.warehouses; ++w) {
+    auto part = std::make_unique<WarehousePartition>();
+    part->tax = static_cast<double>(rng.UniformInt(0, 2000)) / 10000.0;
+    part->districts.resize(scale_.districts_per_warehouse);
+    part->customers.resize(scale_.districts_per_warehouse);
+    part->customers_by_name.resize(scale_.districts_per_warehouse);
+    part->orders.resize(scale_.districts_per_warehouse);
+    part->order_lines.resize(scale_.districts_per_warehouse);
+    part->new_orders.resize(scale_.districts_per_warehouse);
+    part->stock.resize(scale_.items);
+    for (StockRow& stock : part->stock) {
+      stock.quantity = rng.UniformInt(10, 100);
+    }
+    for (uint32_t d = 0; d < scale_.districts_per_warehouse; ++d) {
+      DistrictRow& district = part->districts[d];
+      district.tax = static_cast<double>(rng.UniformInt(0, 2000)) / 10000.0;
+      district.next_o_id =
+          static_cast<int64_t>(scale_.initial_orders_per_district) + 1;
+      part->customers[d].resize(scale_.customers_per_district);
+      for (uint32_t c = 0; c < scale_.customers_per_district; ++c) {
+        CustomerRow& customer = part->customers[d][c];
+        int64_t name_number =
+            c < 1000 ? static_cast<int64_t>(c)
+                     : rng.NonUniform(255, tpcc::kCLast, 0, 999);
+        customer.last = tpcc::LastName(name_number);
+        customer.first = rng.AlphaString(8, 16);
+        customer.credit = rng.Bernoulli(0.1) ? "BC" : "GC";
+        customer.discount =
+            static_cast<double>(rng.UniformInt(0, 5000)) / 10000.0;
+        part->customers_by_name[d].emplace(customer.last,
+                                           static_cast<int64_t>(c + 1));
+      }
+      uint32_t num_orders = std::min(scale_.initial_orders_per_district,
+                                     scale_.customers_per_district);
+      uint32_t first_undelivered = num_orders - num_orders / 3 + 1;
+      for (uint32_t o = 1; o <= num_orders; ++o) {
+        OrderRow order;
+        order.c_id = rng.UniformInt(1, scale_.customers_per_district);
+        order.ol_cnt = rng.UniformInt(5, 15);
+        order.delivered = o < first_undelivered;
+        for (int64_t ol = 1; ol <= order.ol_cnt; ++ol) {
+          OrderLineRow line;
+          line.i_id = rng.UniformInt(1, static_cast<int64_t>(scale_.items));
+          line.supply_w = static_cast<int64_t>(w);
+          line.quantity = 5;
+          line.amount =
+              order.delivered
+                  ? 0.0
+                  : static_cast<double>(rng.UniformInt(1, 999999)) / 100.0;
+          part->order_lines[d].emplace(std::make_pair(int64_t{o}, ol), line);
+        }
+        if (!order.delivered) part->new_orders[d].insert(o);
+        part->orders[d].emplace(o, order);
+      }
+    }
+    partitions_.push_back(std::move(part));
+  }
+}
+
+Result<ExecStats> TpccData::Apply(const TxnInput& input) {
+  switch (input.type) {
+    case TxnType::kNewOrder:
+      return NewOrder(input.new_order);
+    case TxnType::kPayment:
+      return Payment(input.payment);
+    case TxnType::kDelivery:
+      return Delivery(input.delivery);
+    case TxnType::kOrderStatus:
+      return OrderStatus(input.order_status);
+    case TxnType::kStockLevel:
+      return StockLevel(input.stock_level);
+  }
+  return Status::InvalidArgument("unknown transaction type");
+}
+
+namespace {
+
+/// Locks a set of warehouse partitions in ascending id order (no deadlock).
+class MultiLock {
+ public:
+  MultiLock(TpccData* data, std::vector<int64_t> warehouses)
+      : data_(data), warehouses_(std::move(warehouses)) {
+    std::sort(warehouses_.begin(), warehouses_.end());
+    warehouses_.erase(std::unique(warehouses_.begin(), warehouses_.end()),
+                      warehouses_.end());
+    for (int64_t w : warehouses_) data_->warehouse(w)->mutex.lock();
+  }
+  ~MultiLock() {
+    for (auto it = warehouses_.rbegin(); it != warehouses_.rend(); ++it) {
+      data_->warehouse(*it)->mutex.unlock();
+    }
+  }
+  const std::vector<int64_t>& warehouses() const { return warehouses_; }
+
+ private:
+  TpccData* data_;
+  std::vector<int64_t> warehouses_;
+};
+
+}  // namespace
+
+ExecStats TpccData::NewOrder(const tpcc::NewOrderInput& input) {
+  ExecStats stats;
+  std::vector<int64_t> involved{input.warehouse};
+  for (const tpcc::NewOrderLine& line : input.lines) {
+    involved.push_back(line.supply_warehouse);
+  }
+  MultiLock lock(this, involved);
+  stats.warehouses = lock.warehouses();
+
+  WarehousePartition* home = warehouse(input.warehouse);
+  size_t d = static_cast<size_t>(input.district - 1);
+  stats.read_ops += 3;  // warehouse, district, customer
+  if (input.rollback) {
+    // The unused item is discovered after the reads; nothing was changed.
+    stats.user_abort = true;
+    stats.read_ops += static_cast<uint32_t>(input.lines.size());
+    return stats;
+  }
+  int64_t o_id = home->districts[d].next_o_id++;
+  stats.write_ops += 1;  // district
+  OrderRow order;
+  order.c_id = input.customer;
+  order.ol_cnt = static_cast<int64_t>(input.lines.size());
+  home->orders[d].emplace(o_id, order);
+  home->new_orders[d].insert(o_id);
+  stats.write_ops += 2;
+  int64_t ol = 1;
+  for (const tpcc::NewOrderLine& line : input.lines) {
+    const ItemRow& item = items_[static_cast<size_t>(line.item_id - 1)];
+    WarehousePartition* supply = warehouse(line.supply_warehouse);
+    StockRow& stock = supply->stock[static_cast<size_t>(line.item_id - 1)];
+    if (stock.quantity >= line.quantity + 10) {
+      stock.quantity -= line.quantity;
+    } else {
+      stock.quantity = stock.quantity - line.quantity + 91;
+    }
+    stock.ytd += static_cast<double>(line.quantity);
+    stock.order_cnt += 1;
+    if (line.supply_warehouse != input.warehouse) stock.remote_cnt += 1;
+    OrderLineRow row;
+    row.i_id = line.item_id;
+    row.supply_w = line.supply_warehouse;
+    row.quantity = line.quantity;
+    row.amount = static_cast<double>(line.quantity) * item.price;
+    home->order_lines[d].emplace(std::make_pair(o_id, ol++), row);
+    stats.read_ops += 2;   // item + stock read
+    stats.write_ops += 2;  // stock update + order line insert
+  }
+  return stats;
+}
+
+ExecStats TpccData::Payment(const tpcc::PaymentInput& input) {
+  ExecStats stats;
+  MultiLock lock(this, {input.warehouse, input.customer_warehouse});
+  stats.warehouses = lock.warehouses();
+
+  WarehousePartition* home = warehouse(input.warehouse);
+  home->ytd += input.amount;
+  size_t d = static_cast<size_t>(input.district - 1);
+  home->districts[d].ytd += input.amount;
+  stats.read_ops += 2;
+  stats.write_ops += 2;
+
+  WarehousePartition* cw = warehouse(input.customer_warehouse);
+  size_t cd = static_cast<size_t>(input.customer_district - 1);
+  int64_t c_id = input.customer_id;
+  if (input.by_last_name) {
+    auto [lo, hi] = cw->customers_by_name[cd].equal_range(input.customer_last);
+    std::vector<int64_t> matches;
+    for (auto it = lo; it != hi; ++it) matches.push_back(it->second);
+    stats.read_ops += static_cast<uint32_t>(matches.size());
+    if (matches.empty()) return stats;  // rare under scaled population
+    c_id = matches[(matches.size() - 1) / 2];
+  }
+  CustomerRow& customer = cw->customers[cd][static_cast<size_t>(c_id - 1)];
+  customer.balance -= input.amount;
+  customer.ytd_payment += input.amount;
+  customer.payment_cnt += 1;
+  stats.read_ops += 1;
+  stats.write_ops += 2;  // customer + history insert
+  return stats;
+}
+
+ExecStats TpccData::Delivery(const tpcc::DeliveryInput& input) {
+  ExecStats stats;
+  MultiLock lock(this, {input.warehouse});
+  stats.warehouses = lock.warehouses();
+  WarehousePartition* home = warehouse(input.warehouse);
+  for (size_t d = 0; d < home->districts.size(); ++d) {
+    if (home->new_orders[d].empty()) {
+      stats.read_ops += 1;
+      continue;
+    }
+    int64_t o_id = *home->new_orders[d].begin();
+    home->new_orders[d].erase(home->new_orders[d].begin());
+    OrderRow& order = home->orders[d][o_id];
+    order.carrier = input.carrier;
+    order.delivered = true;
+    double total = 0;
+    for (int64_t ol = 1; ol <= order.ol_cnt; ++ol) {
+      auto it = home->order_lines[d].find({o_id, ol});
+      if (it == home->order_lines[d].end()) continue;
+      total += it->second.amount;
+      it->second.delivery_d = 1;
+      stats.read_ops += 1;
+      stats.write_ops += 1;
+    }
+    CustomerRow& customer =
+        home->customers[d][static_cast<size_t>(order.c_id - 1)];
+    customer.balance += total;
+    customer.delivery_cnt += 1;
+    stats.read_ops += 2;
+    stats.write_ops += 3;  // new_order delete, order update, customer
+  }
+  return stats;
+}
+
+ExecStats TpccData::OrderStatus(const tpcc::OrderStatusInput& input) {
+  ExecStats stats;
+  MultiLock lock(this, {input.warehouse});
+  stats.warehouses = lock.warehouses();
+  WarehousePartition* home = warehouse(input.warehouse);
+  size_t d = static_cast<size_t>(input.district - 1);
+  int64_t c_id = input.customer_id;
+  if (input.by_last_name) {
+    auto [lo, hi] = home->customers_by_name[d].equal_range(input.customer_last);
+    std::vector<int64_t> matches;
+    for (auto it = lo; it != hi; ++it) matches.push_back(it->second);
+    stats.read_ops += static_cast<uint32_t>(matches.size());
+    if (matches.empty()) return stats;
+    c_id = matches[(matches.size() - 1) / 2];
+  }
+  stats.read_ops += 1;  // customer
+  // Most recent order of the customer.
+  const auto& orders = home->orders[d];
+  for (auto it = orders.rbegin(); it != orders.rend(); ++it) {
+    if (it->second.c_id == c_id) {
+      stats.read_ops += 1 + static_cast<uint32_t>(it->second.ol_cnt);
+      break;
+    }
+  }
+  return stats;
+}
+
+ExecStats TpccData::StockLevel(const tpcc::StockLevelInput& input) {
+  ExecStats stats;
+  MultiLock lock(this, {input.warehouse});
+  stats.warehouses = lock.warehouses();
+  WarehousePartition* home = warehouse(input.warehouse);
+  size_t d = static_cast<size_t>(input.district - 1);
+  int64_t next_o_id = home->districts[d].next_o_id;
+  std::set<int64_t> item_ids;
+  for (int64_t o = std::max<int64_t>(1, next_o_id - 20); o < next_o_id; ++o) {
+    auto lo = home->order_lines[d].lower_bound({o, 0});
+    auto hi = home->order_lines[d].lower_bound({o + 1, 0});
+    for (auto it = lo; it != hi; ++it) {
+      item_ids.insert(it->second.i_id);
+      stats.read_ops += 1;
+    }
+  }
+  int64_t low = 0;
+  for (int64_t item : item_ids) {
+    if (home->stock[static_cast<size_t>(item - 1)].quantity <
+        input.threshold) {
+      ++low;
+    }
+    stats.read_ops += 1;
+  }
+  (void)low;
+  return stats;
+}
+
+}  // namespace tell::baselines

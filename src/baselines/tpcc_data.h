@@ -1,0 +1,127 @@
+#ifndef TELL_BASELINES_TPCC_DATA_H_
+#define TELL_BASELINES_TPCC_DATA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "workload/tpcc/tpcc_transactions.h"
+
+namespace tell::baselines {
+
+/// Plain in-memory TPC-C rows for the baseline engines. The comparator
+/// systems are modelled at the level that drives the paper's Figures 8/9 —
+/// their *execution architecture* (serial partitions, 2PC, central
+/// validation) — so their data layer is a straightforward mutable store,
+/// while the costs of that architecture are charged through virtual queues.
+struct DistrictRow {
+  double ytd = 0;
+  double tax = 0;
+  int64_t next_o_id = 1;
+};
+
+struct CustomerRow {
+  std::string last;
+  std::string first;
+  std::string credit;
+  double discount = 0;
+  double balance = -10.0;
+  double ytd_payment = 10.0;
+  int64_t payment_cnt = 1;
+  int64_t delivery_cnt = 0;
+};
+
+struct OrderRow {
+  int64_t c_id = 0;
+  int64_t entry_d = 0;
+  int64_t carrier = 0;
+  int64_t ol_cnt = 0;
+  bool delivered = false;
+};
+
+struct OrderLineRow {
+  int64_t i_id = 0;
+  int64_t supply_w = 0;
+  int64_t quantity = 0;
+  double amount = 0;
+  int64_t delivery_d = 0;
+};
+
+struct StockRow {
+  int64_t quantity = 0;
+  double ytd = 0;
+  int64_t order_cnt = 0;
+  int64_t remote_cnt = 0;
+};
+
+struct ItemRow {
+  double price = 0;
+};
+
+/// All data of one warehouse (the natural TPC-C partition).
+struct WarehousePartition {
+  std::mutex mutex;  // data-integrity latch; modelled CC cost is separate
+  double ytd = 300000.0;
+  double tax = 0;
+  std::vector<DistrictRow> districts;
+  // customers[d-1][c-1]
+  std::vector<std::vector<CustomerRow>> customers;
+  // per district: last name -> c_id (sorted by (last, first) via value sort)
+  std::vector<std::multimap<std::string, int64_t>> customers_by_name;
+  // per district: o_id -> order
+  std::vector<std::map<int64_t, OrderRow>> orders;
+  // per district: (o_id, ol_number) -> line
+  std::vector<std::map<std::pair<int64_t, int64_t>, OrderLineRow>> order_lines;
+  // per district: undelivered order ids
+  std::vector<std::set<int64_t>> new_orders;
+  std::vector<StockRow> stock;  // [item-1]
+};
+
+/// Per-transaction execution statistics the engines turn into costs.
+struct ExecStats {
+  uint32_t read_ops = 0;
+  uint32_t write_ops = 0;
+  bool user_abort = false;
+  /// Distinct warehouses touched, ascending (determines single- vs
+  /// multi-partition execution).
+  std::vector<int64_t> warehouses;
+};
+
+/// The shared TPC-C dataset + transaction logic for the baselines.
+/// Thread safe: Apply locks the involved warehouse partitions in ascending
+/// order.
+class TpccData {
+ public:
+  explicit TpccData(const tpcc::TpccScale& scale, uint64_t seed = 42);
+
+  const tpcc::TpccScale& scale() const { return scale_; }
+
+  /// Executes the transaction logic against the data and reports its
+  /// footprint. Never fails on conflicts (the engines' concurrency models
+  /// are charged separately); user_abort marks the 1%-rollback new-orders.
+  Result<ExecStats> Apply(const tpcc::TxnInput& input);
+
+  WarehousePartition* warehouse(int64_t w) { return partitions_[w - 1].get(); }
+  size_t num_warehouses() const { return partitions_.size(); }
+
+ private:
+  ExecStats NewOrder(const tpcc::NewOrderInput& input);
+  ExecStats Payment(const tpcc::PaymentInput& input);
+  ExecStats Delivery(const tpcc::DeliveryInput& input);
+  ExecStats OrderStatus(const tpcc::OrderStatusInput& input);
+  ExecStats StockLevel(const tpcc::StockLevelInput& input);
+
+  tpcc::TpccScale scale_;
+  std::vector<std::unique_ptr<WarehousePartition>> partitions_;
+  std::vector<ItemRow> items_;
+};
+
+}  // namespace tell::baselines
+
+#endif  // TELL_BASELINES_TPCC_DATA_H_

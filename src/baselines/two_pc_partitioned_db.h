@@ -1,0 +1,132 @@
+#ifndef TELL_BASELINES_TWO_PC_PARTITIONED_DB_H_
+#define TELL_BASELINES_TWO_PC_PARTITIONED_DB_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/tpcc_data.h"
+#include "baselines/virtual_queue.h"
+#include "sim/metrics.h"
+#include "sim/virtual_clock.h"
+#include "workload/tpcc/tpcc_driver.h"
+
+namespace tell::baselines {
+
+/// MySQL-Cluster-style engine model (paper §6.4): data nodes (NDB) hold the
+/// warehouse partitions in memory; SQL nodes federate queries, so every
+/// operation of a prepared statement is a client -> SQL node -> data node
+/// round trip. Row-level locking lets single-partition transactions proceed
+/// while distributed transactions run two-phase commit across their
+/// participant data nodes (so, unlike VoltDB, cross-partition work does not
+/// stall unrelated partitions — which is why MySQL Cluster degrades more
+/// gracefully in Figure 8, yet never reaches Tell's throughput because of
+/// its per-operation overhead).
+struct TwoPcOptions {
+  uint32_t num_data_nodes = 3;
+  /// SQL nodes federating between clients and data nodes; a shared serial
+  /// resource that caps cluster throughput (why MySQL Cluster flattens out
+  /// in Figure 8 even as data nodes are added).
+  uint32_t num_sql_nodes = 2;
+  uint64_t sql_op_service_ns = 9'000;
+  /// Per-operation cost seen by the client (TCP + SQL node federation).
+  uint64_t per_op_client_ns = 55'000;
+  /// Data node execution time per operation (reserved on the DN's queue).
+  uint64_t dn_op_service_ns = 5'000;
+  /// Two-phase commit: prepare+commit service per participant data node.
+  uint64_t two_pc_service_ns = 400'000;
+  /// NDB synchronous replication multiplies write service on the DNs.
+  uint32_t replication_factor = 1;
+};
+
+class TwoPcPartitionedDb final : public tpcc::TpccBackend {
+ public:
+  TwoPcPartitionedDb(const tpcc::TpccScale& scale, const TwoPcOptions& options,
+                     uint64_t seed = 42)
+      : options_(options), data_(scale, seed) {
+    queues_.reserve(options_.num_data_nodes);
+    for (uint32_t i = 0; i < options_.num_data_nodes; ++i) {
+      queues_.push_back(std::make_unique<VirtualQueue>());
+    }
+    sql_queues_.reserve(options_.num_sql_nodes);
+    for (uint32_t i = 0; i < options_.num_sql_nodes; ++i) {
+      sql_queues_.push_back(std::make_unique<VirtualQueue>());
+    }
+  }
+
+  Status Prepare(uint32_t num_workers) override {
+    workers_.clear();
+    workers_.resize(num_workers);
+    return Status::OK();
+  }
+
+  Result<tpcc::TxnOutcome> Execute(uint32_t worker_id,
+                                   const tpcc::TxnInput& input) override {
+    Worker& worker = workers_[worker_id];
+    TELL_ASSIGN_OR_RETURN(ExecStats stats, data_.Apply(input));
+    uint64_t now = worker.clock.now_ns();
+    uint64_t ops = stats.read_ops + stats.write_ops;
+    // Sequential prepared-statement round trips through the SQL node.
+    uint64_t client_done = now + ops * options_.per_op_client_ns;
+    // The assigned SQL node federates every operation (serial resource).
+    VirtualQueue* sql =
+        sql_queues_[worker_id % sql_queues_.size()].get();
+    uint64_t sql_done =
+        sql->Enqueue(now, ops * options_.sql_op_service_ns);
+    client_done = std::max(client_done, sql_done);
+
+    // Reserve execution time on the participant data nodes; writes run
+    // replication_factor times (synchronous replicas).
+    std::vector<VirtualQueue*> participants;
+    for (int64_t w : stats.warehouses) {
+      participants.push_back(
+          queues_[static_cast<size_t>(w - 1) % queues_.size()].get());
+    }
+    if (participants.empty()) participants.push_back(queues_[0].get());
+    uint64_t weighted_ops =
+        stats.read_ops + stats.write_ops * options_.replication_factor;
+    uint64_t per_dn_service = weighted_ops * options_.dn_op_service_ns /
+                              static_cast<uint64_t>(participants.size());
+    uint64_t dn_done = now;
+    for (VirtualQueue* queue : participants) {
+      dn_done = std::max(dn_done, queue->Enqueue(now, per_dn_service));
+    }
+    uint64_t finish = std::max(client_done, dn_done);
+    if (participants.size() > 1) {
+      // Distributed transaction: 2PC across the participants.
+      finish = EnqueueAll(participants, finish, options_.two_pc_service_ns);
+    }
+    worker.clock.AdvanceTo(finish);
+    tpcc::TxnOutcome outcome;
+    if (stats.user_abort) {
+      outcome.user_abort = true;
+      worker.metrics.aborted += 1;
+    } else {
+      outcome.committed = true;
+      worker.metrics.committed += 1;
+    }
+    worker.metrics.storage_ops += ops;
+    return outcome;
+  }
+
+  sim::VirtualClock* clock(uint32_t worker_id) override {
+    return &workers_[worker_id].clock;
+  }
+  sim::WorkerMetrics* metrics(uint32_t worker_id) override {
+    return &workers_[worker_id].metrics;
+  }
+
+ private:
+  struct Worker {
+    sim::VirtualClock clock;
+    sim::WorkerMetrics metrics;
+  };
+  const TwoPcOptions options_;
+  TpccData data_;
+  std::vector<std::unique_ptr<VirtualQueue>> queues_;
+  std::vector<std::unique_ptr<VirtualQueue>> sql_queues_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace tell::baselines
+
+#endif  // TELL_BASELINES_TWO_PC_PARTITIONED_DB_H_

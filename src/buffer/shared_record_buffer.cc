@@ -1,0 +1,107 @@
+#include "buffer/shared_record_buffer.h"
+
+#include "common/serde.h"
+
+namespace tell::buffer {
+
+namespace {
+// Modelled CPU cost of one shared-buffer interaction (latch + hash probe +
+// snapshot subset test + LRU maintenance).
+constexpr uint64_t kManagementOverheadNs = 1'000;
+}  // namespace
+
+void SharedRecordBuffer::OnTransactionStart(
+    const tx::SnapshotDescriptor& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Snapshots grow monotonically; merging keeps V_max the largest set seen.
+  v_max_.MergeFrom(snapshot);
+}
+
+void SharedRecordBuffer::TouchLocked(const Key& key, Entry& entry) {
+  lru_.erase(entry.lru_position);
+  lru_.push_front(key);
+  entry.lru_position = lru_.begin();
+}
+
+void SharedRecordBuffer::InsertLocked(const Key& key, std::string bytes,
+                                      uint64_t stamp,
+                                      tx::SnapshotDescriptor valid_for) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.record_bytes = std::move(bytes);
+    it->second.stamp = stamp;
+    it->second.valid_for = std::move(valid_for);
+    TouchLocked(key, it->second);
+    return;
+  }
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.record_bytes = std::move(bytes);
+  entry.stamp = stamp;
+  entry.valid_for = std::move(valid_for);
+  entry.lru_position = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+}
+
+Result<tx::FetchedRecord> SharedRecordBuffer::Read(
+    store::StorageClient* client, store::TableId table, uint64_t rid,
+    const tx::SnapshotDescriptor& snapshot) {
+  // Buffer management is not free (paper §5.5.2 / Fig. 11: "the overhead of
+  // buffer management outweighs the caching benefits"): every probe pays
+  // the lock + map lookup + version-set comparison.
+  client->ChargeCpu(kManagementOverheadNs);
+  Key key{table, rid};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && snapshot.IsSubsetOf(it->second.valid_for)) {
+      // Condition 1: V_tx ⊆ B — serve from the buffer, no storage trip.
+      client->metrics()->buffer_hits += 1;
+      TELL_ASSIGN_OR_RETURN(
+          schema::VersionedRecord record,
+          schema::VersionedRecord::Deserialize(it->second.record_bytes));
+      uint64_t stamp = it->second.stamp;
+      TouchLocked(key, it->second);
+      return tx::FetchedRecord{std::move(record), stamp};
+    }
+  }
+  // Condition 2: the cache might be outdated — fetch from the storage
+  // system and replace the entry with B = V_max.
+  client->metrics()->buffer_misses += 1;
+  auto cell = client->Get(table, EncodeOrderedU64(rid));
+  if (!cell.ok()) return cell.status();
+  TELL_ASSIGN_OR_RETURN(schema::VersionedRecord record,
+                        schema::VersionedRecord::Deserialize(cell->value));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    InsertLocked(key, cell->value, cell->stamp, v_max_);
+  }
+  return tx::FetchedRecord{std::move(record), cell->stamp};
+}
+
+void SharedRecordBuffer::OnApply(store::StorageClient* client,
+                                 store::TableId table, uint64_t rid,
+                                 const schema::VersionedRecord& record,
+                                 uint64_t stamp, tx::Tid tid,
+                                 const tx::SnapshotDescriptor& snapshot) {
+  (void)snapshot;
+  client->ChargeCpu(2 * kManagementOverheadNs);  // write-through + B update
+  // Write-through: B = V_max ∪ {tid}. V_max is valid for the new copy
+  // because any V_max transaction that had changed this record would have
+  // made our LL/SC apply fail.
+  std::lock_guard<std::mutex> lock(mutex_);
+  tx::SnapshotDescriptor valid_for = v_max_;
+  valid_for.MarkCompleted(tid);
+  InsertLocked({table, rid}, record.Serialize(), stamp, std::move(valid_for));
+}
+
+size_t SharedRecordBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace tell::buffer

@@ -1,0 +1,116 @@
+#include "buffer/version_sync_buffer.h"
+
+#include "common/serde.h"
+
+namespace tell::buffer {
+
+void VersionSyncBuffer::OnTransactionStart(
+    const tx::SnapshotDescriptor& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  v_max_.MergeFrom(snapshot);
+}
+
+std::string VersionSyncBuffer::UnitCellKey(const UnitKey& unit) const {
+  BufferWriter writer;
+  writer.PutU32(unit.first);
+  writer.PutU64(unit.second);
+  return writer.Release();
+}
+
+Result<tx::FetchedRecord> VersionSyncBuffer::FetchAndCache(
+    store::StorageClient* client, store::TableId table, uint64_t rid,
+    Unit* unit) {
+  client->metrics()->buffer_misses += 1;
+  auto cell = client->Get(table, EncodeOrderedU64(rid));
+  if (!cell.ok()) return cell.status();
+  TELL_ASSIGN_OR_RETURN(schema::VersionedRecord record,
+                        schema::VersionedRecord::Deserialize(cell->value));
+  if (cached_records_ < capacity_) {
+    auto [it, inserted] =
+        unit->records.insert_or_assign(rid, CachedRecord{cell->value,
+                                                         cell->stamp});
+    if (inserted) ++cached_records_;
+  }
+  return tx::FetchedRecord{std::move(record), cell->stamp};
+}
+
+Result<tx::FetchedRecord> VersionSyncBuffer::Read(
+    store::StorageClient* client, store::TableId table, uint64_t rid,
+    const tx::SnapshotDescriptor& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  UnitKey unit_key = UnitFor(table, rid);
+  Unit& unit = units_[unit_key];
+
+  auto serve_cached = [&](const CachedRecord& cached)
+      -> Result<tx::FetchedRecord> {
+    client->metrics()->buffer_hits += 1;
+    TELL_ASSIGN_OR_RETURN(
+        schema::VersionedRecord record,
+        schema::VersionedRecord::Deserialize(cached.record_bytes));
+    return tx::FetchedRecord{std::move(record), cached.stamp};
+  };
+
+  auto cached_it = unit.records.find(rid);
+  if (cached_it != unit.records.end() && unit.has_version_set &&
+      snapshot.IsSubsetOf(unit.valid_for)) {
+    // Condition 1: the local B already covers V_tx.
+    return serve_cached(cached_it->second);
+  }
+
+  // Condition 2: validate via the unit's version set in the store — one
+  // small request instead of re-fetching whole records.
+  auto vs_cell = client->Get(version_set_table_, UnitCellKey(unit_key));
+  if (vs_cell.ok()) {
+    auto remote = tx::SnapshotDescriptor::Deserialize(vs_cell->value);
+    if (remote.ok()) {
+      if (unit.has_version_set && *remote == unit.valid_for &&
+          cached_it != unit.records.end()) {
+        // 2(a): nothing changed since we cached the unit.
+        return serve_cached(cached_it->second);
+      }
+      // 2(b): the unit changed (or we never had its version set):
+      // invalidate every buffered record of the unit and adopt B'.
+      cached_records_ -= unit.records.size();
+      unit.records.clear();
+      unit.valid_for = std::move(*remote);
+      unit.has_version_set = true;
+      return FetchAndCache(client, table, rid, &unit);
+    }
+  }
+  // No version set cell yet (unit never written through SBVS): fall back to
+  // labelling with V_max, like the plain shared buffer.
+  cached_records_ -= unit.records.size();
+  unit.records.clear();
+  unit.valid_for = v_max_;
+  unit.has_version_set = true;
+  return FetchAndCache(client, table, rid, &unit);
+}
+
+void VersionSyncBuffer::OnApply(store::StorageClient* client,
+                                store::TableId table, uint64_t rid,
+                                const schema::VersionedRecord& record,
+                                uint64_t stamp, tx::Tid tid,
+                                const tx::SnapshotDescriptor& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  UnitKey unit_key = UnitFor(table, rid);
+  Unit& unit = units_[unit_key];
+  // B = V_max ∪ {tid}; written to the store so other PNs see the change
+  // (this is the extra update request SBVS pays per record update).
+  tx::SnapshotDescriptor updated = v_max_;
+  updated.MergeFrom(snapshot);
+  updated.MarkCompleted(tid);
+  (void)client->Put(version_set_table_, UnitCellKey(unit_key),
+                    updated.Serialize());
+  // Updating the version set invalidates every buffered record of the unit;
+  // the freshly written record is re-inserted with the new B.
+  cached_records_ -= unit.records.size();
+  unit.records.clear();
+  unit.valid_for = std::move(updated);
+  unit.has_version_set = true;
+  if (cached_records_ < capacity_) {
+    unit.records.emplace(rid, CachedRecord{record.Serialize(), stamp});
+    ++cached_records_;
+  }
+}
+
+}  // namespace tell::buffer

@@ -1,0 +1,265 @@
+#include "commitmgr/commit_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace tell::commitmgr {
+
+namespace {
+constexpr std::string_view kTidCounterKey = "tid_counter";
+
+std::string StateKey(uint32_t manager_id) {
+  return "state/" + std::to_string(manager_id);
+}
+}  // namespace
+
+CommitManager::CommitManager(uint32_t manager_id, store::Cluster* cluster,
+                             store::TableId state_table,
+                             const CommitManagerOptions& options,
+                             uint32_t num_managers)
+    : manager_id_(manager_id),
+      cluster_(cluster),
+      state_table_(state_table),
+      options_(options),
+      num_managers_(num_managers) {
+  TELL_CHECK(options_.tid_range_size >= 1);
+  TELL_CHECK(manager_id_ < num_managers_);
+  if (options_.interleaved_tids) {
+    range_next_ = manager_id_ + 1;  // i+1, i+1+n, i+1+2n, ...
+  }
+}
+
+Status CommitManager::RefillTidRangeLocked() {
+  // Acquire a continuous range of tids by bumping the shared counter in the
+  // storage system. The store's AtomicIncrement is the LL/SC-protected
+  // counter of paper §4.2 ("PNs update the counter using LL/SC operations to
+  // ensure that tids are never assigned twice").
+  TELL_ASSIGN_OR_RETURN(
+      int64_t end, cluster_->AtomicIncrement(state_table_, kTidCounterKey,
+                                             options_.tid_range_size));
+  range_end_ = static_cast<Tid>(end);
+  range_next_ = range_end_ - options_.tid_range_size + 1;
+  return Status::OK();
+}
+
+Result<TxnBegin> CommitManager::Start(uint32_t pn_id) {
+  if (!alive()) return Status::Unavailable("commit manager is down");
+  std::lock_guard<std::mutex> lock(mutex_);
+  TxnBegin begin;
+  if (options_.interleaved_tids) {
+    begin.tid = range_next_;
+    range_next_ += num_managers_;
+  } else {
+    if (range_next_ > range_end_) {
+      TELL_RETURN_NOT_OK(RefillTidRangeLocked());
+    }
+    begin.tid = range_next_++;
+  }
+  highest_assigned_ = std::max(highest_assigned_, begin.tid);
+  begin.snapshot = snapshot_;
+  active_.emplace(begin.tid, ActiveTxn{snapshot_.base(), pn_id});
+  // Lav: lowest snapshot base among transactions active here, bounded by
+  // what the peers have published.
+  Tid lav = snapshot_.base();
+  for (const auto& [tid, txn] : active_) lav = std::min(lav, txn.snapshot_base);
+  if (has_peer_lav_) lav = std::min(lav, peers_lav_);
+  begin.lav = lav;
+  return begin;
+}
+
+std::vector<Tid> CommitManager::AbortActiveOf(uint32_t pn_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Tid> aborted;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.pn_id == pn_id) {
+      aborted.push_back(it->first);
+      snapshot_.MarkCompleted(it->first);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return aborted;
+}
+
+Status CommitManager::SetCommitted(Tid tid) {
+  if (!alive()) return Status::Unavailable("commit manager is down");
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_.MarkCompleted(tid);
+  active_.erase(tid);
+  return Status::OK();
+}
+
+Status CommitManager::SetAborted(Tid tid) {
+  // Aborted transactions also count as completed for snapshot purposes:
+  // their updates were reverted, so their version number can never be
+  // observed, and the base must be able to advance over them.
+  return SetCommitted(tid);
+}
+
+Tid CommitManager::Lav() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tid lav = snapshot_.base();
+  for (const auto& [tid, txn] : active_) lav = std::min(lav, txn.snapshot_base);
+  if (has_peer_lav_) lav = std::min(lav, peers_lav_);
+  return lav;
+}
+
+SnapshotDescriptor CommitManager::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+Tid CommitManager::HighestAssignedTid() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return highest_assigned_;
+}
+
+std::string CommitManager::SerializeStateLocked() const {
+  Tid lav = snapshot_.base();
+  for (const auto& [tid, txn] : active_) lav = std::min(lav, txn.snapshot_base);
+  BufferWriter writer;
+  writer.PutU64(lav);
+  writer.PutString(snapshot_.Serialize());
+  return writer.Release();
+}
+
+size_t CommitManager::StateBlobBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SerializeStateLocked().size();
+}
+
+Status CommitManager::SyncWithPeers(uint32_t num_peers) {
+  if (!alive()) return Status::Unavailable("commit manager is down");
+  std::lock_guard<std::mutex> lock(mutex_);
+  // 1. Publish our own state.
+  auto put = cluster_->Put(state_table_, StateKey(manager_id_),
+                           SerializeStateLocked());
+  TELL_RETURN_NOT_OK(put.status());
+  // 2. Read and merge every peer's most recent state.
+  Tid min_peer_lav = 0;
+  bool saw_peer = false;
+  for (uint32_t peer = 0; peer < num_peers; ++peer) {
+    if (peer == manager_id_) continue;
+    auto cell = cluster_->Get(state_table_, StateKey(peer));
+    if (cell.status().IsNotFound()) continue;  // peer has not published yet
+    TELL_RETURN_NOT_OK(cell.status());
+    BufferReader reader(cell->value);
+    TELL_ASSIGN_OR_RETURN(Tid peer_lav, reader.GetU64());
+    TELL_ASSIGN_OR_RETURN(std::string_view blob, reader.GetString());
+    TELL_ASSIGN_OR_RETURN(SnapshotDescriptor peer_snapshot,
+                          SnapshotDescriptor::Deserialize(blob));
+    snapshot_.MergeFrom(peer_snapshot);
+    min_peer_lav = saw_peer ? std::min(min_peer_lav, peer_lav) : peer_lav;
+    saw_peer = true;
+  }
+  if (saw_peer) {
+    peers_lav_ = min_peer_lav;
+    has_peer_lav_ = true;
+  }
+  return Status::OK();
+}
+
+Status CommitManager::RecoverFromStore(uint32_t num_peers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Last used tid: read the shared counter. Our replacement range starts
+  // fresh, so nothing of the failed instance's unassigned range is reused —
+  // the snapshot simply never advances into it, which is safe (those tids
+  // will never be observed).
+  active_.clear();
+  range_next_ = 1;
+  range_end_ = 0;
+  // Merge whatever the peers (or our own previous incarnation) published.
+  for (uint32_t peer = 0; peer < num_peers; ++peer) {
+    auto cell = cluster_->Get(state_table_, StateKey(peer));
+    if (!cell.ok()) continue;
+    BufferReader reader(cell->value);
+    auto peer_lav = reader.GetU64();
+    if (!peer_lav.ok()) continue;
+    auto blob = reader.GetString();
+    if (!blob.ok()) continue;
+    auto peer_snapshot = SnapshotDescriptor::Deserialize(*blob);
+    if (!peer_snapshot.ok()) continue;
+    snapshot_.MergeFrom(*peer_snapshot);
+  }
+  auto counter = cluster_->Get(state_table_, kTidCounterKey);
+  if (counter.ok() && counter->value.size() == sizeof(int64_t)) {
+    int64_t value;
+    std::memcpy(&value, counter->value.data(), sizeof(value));
+    highest_assigned_ = static_cast<Tid>(value);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CommitManagerGroup
+
+CommitManagerGroup::CommitManagerGroup(store::Cluster* cluster,
+                                       uint32_t num_managers,
+                                       const CommitManagerOptions& options,
+                                       double sync_interval_ms)
+    : cluster_(cluster), sync_interval_ms_(sync_interval_ms) {
+  TELL_CHECK(num_managers >= 1);
+  auto table = cluster_->CreateTable("__commit_manager_state");
+  TELL_CHECK(table.ok());
+  state_table_ = *table;
+  managers_.reserve(num_managers);
+  for (uint32_t i = 0; i < num_managers; ++i) {
+    managers_.push_back(std::make_unique<CommitManager>(
+        i, cluster_, state_table_, options, num_managers));
+  }
+  if (num_managers > 1 && sync_interval_ms_ > 0) {
+    sync_thread_ = std::thread([this] { SyncLoop(); });
+  }
+}
+
+CommitManagerGroup::~CommitManagerGroup() {
+  stop_.store(true, std::memory_order_release);
+  if (sync_thread_.joinable()) sync_thread_.join();
+}
+
+CommitManager* CommitManagerGroup::ManagerFor(uint32_t worker_id) {
+  uint32_t n = size();
+  for (uint32_t probe = 0; probe < n; ++probe) {
+    CommitManager* manager = managers_[(worker_id + probe) % n].get();
+    if (manager->alive()) return manager;
+  }
+  return nullptr;  // all managers down; the system is blocked (§4.4.3)
+}
+
+Status CommitManagerGroup::SyncAll() {
+  for (auto& manager : managers_) {
+    if (!manager->alive()) continue;
+    TELL_RETURN_NOT_OK(manager->SyncWithPeers(size()));
+  }
+  return Status::OK();
+}
+
+Tid CommitManagerGroup::GlobalLav() const {
+  Tid lav = 0;
+  bool first = true;
+  for (const auto& manager : managers_) {
+    if (!manager->alive()) continue;
+    Tid manager_lav = manager->Lav();
+    lav = first ? manager_lav : std::min(lav, manager_lav);
+    first = false;
+  }
+  return lav;
+}
+
+void CommitManagerGroup::SyncLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status st = SyncAll();
+    if (!st.ok()) {
+      TELL_LOG(kWarn) << "commit manager sync failed: " << st.ToString();
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(sync_interval_ms_ * 1000)));
+  }
+}
+
+}  // namespace tell::commitmgr

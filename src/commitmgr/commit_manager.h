@@ -1,0 +1,189 @@
+#ifndef TELL_COMMITMGR_COMMIT_MANAGER_H_
+#define TELL_COMMITMGR_COMMIT_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "commitmgr/snapshot_descriptor.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "store/cluster.h"
+
+namespace tell::commitmgr {
+
+/// What a transaction receives from start() (paper §4.2): a system-wide
+/// unique tid, the snapshot it may read, and the lowest active version
+/// number (the GC horizon).
+struct TxnBegin {
+  Tid tid = 0;
+  SnapshotDescriptor snapshot;
+  Tid lav = 0;
+};
+
+struct CommitManagerOptions {
+  /// Tids are acquired from the storage system's atomic counter in
+  /// continuous ranges of this size, so the counter is not a bottleneck
+  /// (paper §4.2; they use e.g. 256).
+  uint32_t tid_range_size = 256;
+  /// Interleaved tid assignment (paper §4.2's future-work item, after Tu et
+  /// al. [58], implemented here): manager i of n hands out i+1, i+1+n,
+  /// i+1+2n, ... — unique by construction, no shared counter, and the
+  /// snapshot base trails each manager by at most one in-flight transaction
+  /// per manager instead of a whole continuous range. The trade-off: an
+  /// IDLE manager stalls the base at its next tid until it assigns (or
+  /// syncs), whereas ranges only stall within acquired ranges.
+  bool interleaved_tids = false;
+};
+
+/// The lightweight service managing global transaction state (paper §4.2).
+///
+/// Supports exactly the paper's three calls: Start() hands out a tid, a
+/// snapshot descriptor and the lav; SetCommitted()/SetAborted() record a
+/// transaction's completion. Several commit managers can run against the
+/// same storage cluster: tid uniqueness comes from the store's atomic
+/// counter (incremented in ranges), and snapshots are synchronized by
+/// writing each manager's state to the store and merging the peers' states
+/// (SyncWithPeers), at a configurable interval. Operating on snapshots that
+/// are stale by the sync interval is legitimate — it can only raise the
+/// abort rate, never break consistency.
+///
+/// Thread safe: many PN workers call into one manager concurrently.
+class CommitManager {
+ public:
+  /// `state_table` must be a table created on `cluster` for commit manager
+  /// state + the tid counter (use CommitManagerGroup to set everything up).
+  /// `num_managers` is the group size (needed for interleaved assignment).
+  CommitManager(uint32_t manager_id, store::Cluster* cluster,
+                store::TableId state_table,
+                const CommitManagerOptions& options,
+                uint32_t num_managers = 1);
+
+  CommitManager(const CommitManager&) = delete;
+  CommitManager& operator=(const CommitManager&) = delete;
+
+  uint32_t manager_id() const { return manager_id_; }
+
+  /// Crash-stop failure injection: a dead manager rejects all calls.
+  void Kill() { alive_.store(false, std::memory_order_release); }
+  void Revive() { alive_.store(true, std::memory_order_release); }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  /// start(): new tid + snapshot + lav. `pn_id` identifies the processing
+  /// node starting the transaction, so that a PN failure can abort its
+  /// in-flight transactions (otherwise their tids would block the snapshot
+  /// base forever).
+  Result<TxnBegin> Start(uint32_t pn_id);
+
+  /// Marks every active transaction started by `pn_id` as aborted. Called
+  /// by the recovery process after it rolled back the PN's applied writes.
+  /// Returns the tids aborted.
+  std::vector<Tid> AbortActiveOf(uint32_t pn_id);
+
+  /// setCommitted(tid): the transaction applied all updates and committed.
+  Status SetCommitted(Tid tid);
+
+  /// setAborted(tid): the transaction rolled back.
+  Status SetAborted(Tid tid);
+
+  /// Writes this manager's state to the store and merges the peers' states
+  /// (called periodically by CommitManagerGroup's sync thread, or directly
+  /// by tests).
+  Status SyncWithPeers(uint32_t num_peers);
+
+  /// Current lowest active version number as this manager sees it.
+  Tid Lav() const;
+
+  /// Current snapshot (copy) — recovery and tests.
+  SnapshotDescriptor CurrentSnapshot() const;
+
+  /// Highest tid this manager has handed out (recovery: bound for the
+  /// backwards log scan).
+  Tid HighestAssignedTid() const;
+
+  /// Rebuilds state from the store after a commit manager failure: reads
+  /// the peers' published states and the tid counter (paper §4.4.3).
+  Status RecoverFromStore(uint32_t num_peers);
+
+  /// Serialized size of the state blob written on sync (tests).
+  size_t StateBlobBytes() const;
+
+ private:
+  Status RefillTidRangeLocked();
+  std::string SerializeStateLocked() const;
+
+  const uint32_t manager_id_;
+  store::Cluster* const cluster_;
+  const store::TableId state_table_;
+  const CommitManagerOptions options_;
+  std::atomic<bool> alive_{true};
+
+  mutable std::mutex mutex_;
+  SnapshotDescriptor snapshot_;
+  const uint32_t num_managers_;
+  /// Next tid to hand out and end of the currently owned range (inclusive).
+  /// In interleaved mode range_next_ strides by num_managers_ and
+  /// range_end_ is unused.
+  Tid range_next_ = 1;
+  Tid range_end_ = 0;
+  struct ActiveTxn {
+    Tid snapshot_base;
+    uint32_t pn_id;
+  };
+  /// Active transactions started here, keyed by tid.
+  std::map<Tid, ActiveTxn> active_;
+  /// Lav view published by peers (merged on sync).
+  Tid peers_lav_ = 0;
+  bool has_peer_lav_ = false;
+  Tid highest_assigned_ = 0;
+};
+
+/// A cluster of commit managers sharing one storage-backed state, with an
+/// optional background synchronization thread (default interval 1 ms, the
+/// paper's setting). PN workers are assigned managers round-robin.
+class CommitManagerGroup {
+ public:
+  /// Creates `num_managers` managers over `cluster`. Creates the state
+  /// table. `sync_interval` <= 0 disables the background thread (callers
+  /// then drive SyncAll() manually; single-manager setups need no sync).
+  CommitManagerGroup(store::Cluster* cluster, uint32_t num_managers,
+                     const CommitManagerOptions& options,
+                     double sync_interval_ms = 1.0);
+  ~CommitManagerGroup();
+
+  CommitManagerGroup(const CommitManagerGroup&) = delete;
+  CommitManagerGroup& operator=(const CommitManagerGroup&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(managers_.size()); }
+
+  /// Manager serving a given PN worker (round-robin by worker id). Skips
+  /// dead managers — PNs "automatically switch to the next one" (§4.4.3).
+  CommitManager* ManagerFor(uint32_t worker_id);
+
+  CommitManager* manager(uint32_t id) { return managers_[id].get(); }
+
+  /// One synchronization round across all live managers.
+  Status SyncAll();
+
+  /// Global lav (min across managers) — used by the lazy GC task.
+  Tid GlobalLav() const;
+
+ private:
+  void SyncLoop();
+
+  store::Cluster* const cluster_;
+  store::TableId state_table_ = 0;
+  std::vector<std::unique_ptr<CommitManager>> managers_;
+  std::atomic<bool> stop_{false};
+  double sync_interval_ms_;
+  std::thread sync_thread_;
+};
+
+}  // namespace tell::commitmgr
+
+#endif  // TELL_COMMITMGR_COMMIT_MANAGER_H_

@@ -1,0 +1,85 @@
+#include "commitmgr/snapshot_descriptor.h"
+
+#include "common/serde.h"
+
+namespace tell::commitmgr {
+
+void SnapshotDescriptor::MarkCompleted(Tid tid) {
+  if (tid <= base_) return;  // already covered by the base
+  completed_.Set(static_cast<size_t>(tid - base_ - 1));
+  AdvanceBase();
+}
+
+void SnapshotDescriptor::AdvanceBase() {
+  size_t prefix = completed_.FirstZero();
+  if (prefix == 0) return;
+  base_ += prefix;
+  completed_.DropFront(prefix);
+}
+
+Tid SnapshotDescriptor::HighestCompleted() const {
+  Tid highest = base_;
+  for (size_t i = completed_.size(); i > 0; --i) {
+    if (completed_.Test(i - 1)) {
+      highest = base_ + i;
+      break;
+    }
+  }
+  return highest;
+}
+
+void SnapshotDescriptor::MergeFrom(const SnapshotDescriptor& other) {
+  // Collect the other's completed tids before potentially moving our base.
+  if (other.base_ > base_) {
+    // Everything at or below other.base_ is globally complete.
+    Tid shift = other.base_ - base_;
+    completed_.DropFront(static_cast<size_t>(shift));
+    base_ = other.base_;
+  }
+  for (size_t i = 0; i < other.completed_.size(); ++i) {
+    if (other.completed_.Test(i)) {
+      Tid tid = other.base_ + 1 + i;
+      if (tid > base_) {
+        completed_.Set(static_cast<size_t>(tid - base_ - 1));
+      }
+    }
+  }
+  AdvanceBase();
+}
+
+bool SnapshotDescriptor::IsSubsetOf(const SnapshotDescriptor& super) const {
+  // Everything <= base_ is readable here; super must cover it.
+  if (base_ > super.base_) {
+    for (Tid tid = super.base_ + 1; tid <= base_; ++tid) {
+      if (!super.CanRead(tid)) return false;
+    }
+  }
+  for (size_t i = 0; i < completed_.size(); ++i) {
+    if (completed_.Test(i) && !super.CanRead(base_ + 1 + i)) return false;
+  }
+  return true;
+}
+
+std::string SnapshotDescriptor::Serialize() const {
+  BufferWriter writer;
+  writer.PutU64(base_);
+  writer.PutU64(completed_.size());
+  for (uint64_t word : completed_.words()) writer.PutU64(word);
+  return writer.Release();
+}
+
+Result<SnapshotDescriptor> SnapshotDescriptor::Deserialize(
+    std::string_view data) {
+  BufferReader reader(data);
+  TELL_ASSIGN_OR_RETURN(uint64_t base, reader.GetU64());
+  TELL_ASSIGN_OR_RETURN(uint64_t num_bits, reader.GetU64());
+  SnapshotDescriptor snapshot(base);
+  snapshot.completed_.Resize(static_cast<size_t>(num_bits));
+  for (auto& word : snapshot.completed_.mutable_words()) {
+    TELL_ASSIGN_OR_RETURN(word, reader.GetU64());
+  }
+  snapshot.AdvanceBase();
+  return snapshot;
+}
+
+}  // namespace tell::commitmgr

@@ -1,0 +1,100 @@
+#ifndef TELL_COMMON_BITSET_H_
+#define TELL_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tell {
+
+/// Growable dense bitset. Used by the snapshot descriptor: bit i represents
+/// tid (base + 1 + i) and is set iff that transaction has committed
+/// (paper §4.2: "each consecutive bit in N represents the next higher tid").
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t size) : size_(size), words_((size + 63) / 64) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Resize(size_t size) {
+    size_ = size;
+    words_.resize((size + 63) / 64, 0);
+    // Clear any stale bits past the new logical end in the last word.
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+
+  void Set(size_t i) {
+    if (i >= size_) Resize(i + 1);
+    words_[i / 64] |= uint64_t{1} << (i % 64);
+  }
+
+  void Clear(size_t i) {
+    if (i >= size_) return;
+    words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+  }
+
+  bool Test(size_t i) const {
+    if (i >= size_) return false;
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  /// Index of the first zero bit, or size() if all bits are set.
+  size_t FirstZero() const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t inverted = ~words_[wi];
+      if (wi == words_.size() - 1 && size_ % 64 != 0) {
+        inverted &= (uint64_t{1} << (size_ % 64)) - 1;
+      }
+      if (inverted != 0) {
+        size_t bit = wi * 64 + static_cast<size_t>(__builtin_ctzll(inverted));
+        if (bit < size_) return bit;
+      }
+    }
+    return size_;
+  }
+
+  /// Drops the first n bits, shifting everything down. Used when the
+  /// snapshot base advances.
+  void DropFront(size_t n) {
+    if (n >= size_) {
+      size_ = 0;
+      words_.clear();
+      return;
+    }
+    size_t new_size = size_ - n;
+    DenseBitset shifted(new_size);
+    for (size_t i = 0; i < new_size; ++i) {
+      if (Test(i + n)) shifted.Set(i);
+    }
+    *this = std::move(shifted);
+  }
+
+  /// Serialized byte footprint (for the paper's "N <= 13 KB" sizing claim).
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+  bool operator==(const DenseBitset& other) const {
+    if (size_ != other.size_) return false;
+    return words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace tell
+
+#endif  // TELL_COMMON_BITSET_H_

@@ -1,0 +1,93 @@
+#ifndef TELL_COMMON_RANDOM_H_
+#define TELL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tell {
+
+/// Deterministic, fast PRNG (xoshiro256**). Each worker thread owns its own
+/// instance so benchmark runs are reproducible for a given seed layout.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive, per the TPC-C spec's random(x, y).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// TPC-C NURand non-uniform random, clause 2.1.6.
+  int64_t NonUniform(int64_t a, int64_t c, int64_t x, int64_t y) {
+    return (((UniformInt(0, a) | UniformInt(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random alphanumeric string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len) {
+    static constexpr char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    int len = static_cast<int>(UniformInt(min_len, max_len));
+    std::string out;
+    out.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      out.push_back(kChars[Uniform(sizeof(kChars) - 1)]);
+    }
+    return out;
+  }
+
+  /// Random numeric string of exactly `len` digits.
+  std::string DigitString(int len) {
+    std::string out;
+    out.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('0' + Uniform(10)));
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace tell
+
+#endif  // TELL_COMMON_RANDOM_H_

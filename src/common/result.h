@@ -1,0 +1,81 @@
+#ifndef TELL_COMMON_RESULT_H_
+#define TELL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tell {
+
+/// Holds either a value of type T or a non-OK Status. Mirrors
+/// arrow::Result<T>: construct from a value for success, from a Status for
+/// failure.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return status;` both work, matching
+  /// the Arrow idiom.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace tell
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define TELL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define TELL_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define TELL_ASSIGN_OR_RETURN_CONCAT(a, b) TELL_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define TELL_ASSIGN_OR_RETURN(lhs, expr) \
+  TELL_ASSIGN_OR_RETURN_IMPL(            \
+      TELL_ASSIGN_OR_RETURN_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // TELL_COMMON_RESULT_H_

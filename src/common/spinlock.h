@@ -1,0 +1,39 @@
+#ifndef TELL_COMMON_SPINLOCK_H_
+#define TELL_COMMON_SPINLOCK_H_
+
+#include <atomic>
+
+namespace tell {
+
+/// Tiny test-and-test-and-set spinlock for very short critical sections
+/// (per-cell stamp checks in the store). Satisfies the Lockable concept so
+/// std::lock_guard works.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace tell
+
+#endif  // TELL_COMMON_SPINLOCK_H_

@@ -1,0 +1,179 @@
+#ifndef TELL_DB_TELL_DB_H_
+#define TELL_DB_TELL_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "buffer/shared_record_buffer.h"
+#include "buffer/version_sync_buffer.h"
+#include "commitmgr/commit_manager.h"
+#include "common/result.h"
+#include "index/btree.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "store/cluster.h"
+#include "store/management_node.h"
+#include "store/storage_client.h"
+#include "tx/catalog.h"
+#include "tx/garbage_collector.h"
+#include "tx/recovery.h"
+#include "tx/transaction.h"
+#include "tx/transaction_log.h"
+
+namespace tell::db {
+
+/// Which record buffering strategy the processing nodes use (paper §5.5,
+/// evaluated in Fig. 11).
+enum class BufferStrategy {
+  kTransactionOnly,  // TB: private per-transaction buffers only (default)
+  kSharedRecord,     // SB: PN-wide shared record buffer
+  kVersionSync,      // SBVS: shared buffer with version set synchronization
+};
+
+/// Full cluster configuration. Defaults give a small single-box cluster
+/// with the paper's technique choices (InfiniBand model, batching, inner
+/// node caching, TB buffering, RF1).
+struct TellDbOptions {
+  uint32_t num_processing_nodes = 1;
+  uint32_t num_storage_nodes = 3;
+  uint32_t num_commit_managers = 1;
+  uint32_t replication_factor = 1;
+
+  sim::NetworkModel network = sim::NetworkModel::InfiniBand();
+  sim::CpuModel cpu;
+  bool batching = true;
+
+  index::BTreeOptions btree;
+  /// §5.2 operator push-down: full-scan WHERE clauses evaluate on the
+  /// storage nodes (the paper's mixed-workload direction, implemented).
+  bool operator_pushdown = false;
+  BufferStrategy buffer_strategy = BufferStrategy::kTransactionOnly;
+  uint64_t buffer_unit_size = 10;  // SBVS cache unit size
+
+  commitmgr::CommitManagerOptions commit_manager;
+  /// <= 0 disables the background sync thread (then call SyncCommitManagers
+  /// manually; irrelevant with one manager).
+  double commit_manager_sync_ms = 1.0;
+
+  uint64_t memory_per_storage_node = 4ULL << 30;
+  uint32_t partitions_per_storage_node = 4;
+
+  tx::SessionOptions session;
+};
+
+/// The Tell database: a complete shared-data cluster in one process —
+/// storage nodes, commit managers, a management node, the transaction log,
+/// and any number of processing nodes, each with its own index caches and
+/// shared record buffer. Worker threads open Sessions against a PN and run
+/// Transactions; the SQL front-end sits on top.
+class TellDb {
+ public:
+  explicit TellDb(const TellDbOptions& options);
+  ~TellDb();
+
+  TellDb(const TellDb&) = delete;
+  TellDb& operator=(const TellDb&) = delete;
+
+  const TellDbOptions& options() const { return options_; }
+
+  // --- DDL -----------------------------------------------------------------
+
+  /// Creates a relational table with a unique primary key index and the
+  /// given secondary indexes.
+  Status CreateTable(const std::string& name, schema::Schema schema,
+                     const std::vector<schema::IndexDef>& secondary_indexes);
+
+  /// Executes a DDL statement (CREATE TABLE / CREATE [UNIQUE] INDEX).
+  /// CREATE INDEX backfills from existing data; it must run before the
+  /// table is first used on any processing node.
+  Status ExecuteDdl(const std::string& sql);
+
+  // --- Sessions / transactions ----------------------------------------------
+
+  /// Opens a worker session bound to processing node `pn_id`. `worker_id`
+  /// must be unique per live session (it picks the commit manager and seeds
+  /// determinism). The caller owns the session; one thread per session.
+  std::unique_ptr<tx::Session> OpenSession(uint32_t pn_id,
+                                           uint32_t worker_id);
+
+  /// Per-PN table handle (opens it on first use).
+  Result<tx::TableHandle*> GetTable(uint32_t pn_id, const std::string& name);
+
+  /// Parses, plans and executes one DML/query statement inside `txn`
+  /// (running on PN `pn_id`). DDL is executed immediately, outside any
+  /// transaction.
+  Result<sql::ResultSet> ExecuteSql(tx::Transaction* txn, uint32_t pn_id,
+                                    const std::string& sql);
+
+  /// Convenience: runs `sql` in its own transaction (begin/commit) on the
+  /// given session.
+  Result<sql::ResultSet> AutoCommitSql(tx::Session* session,
+                                       const std::string& sql);
+
+  // --- Elasticity & fault injection -----------------------------------------
+
+  /// Adds a processing node at runtime; returns its id. This is the cheap
+  /// elasticity the shared-data architecture promises — no data moves.
+  uint32_t AddProcessingNode();
+
+  uint32_t num_processing_nodes() const;
+
+  /// Crash-stops a processing node and runs the recovery process (rolls
+  /// back its in-flight transactions). Sessions bound to it must not be
+  /// used afterwards.
+  Result<tx::RecoveryStats> KillProcessingNode(uint32_t pn_id);
+
+  /// Crash-stops a storage node and lets the management node fail over.
+  Status KillStorageNode(uint32_t node_id);
+
+  /// One lazy-GC sweep over all tables opened on PN 0 plus log truncation.
+  Result<tx::GcStats> RunGarbageCollection();
+
+  // --- Internals exposed for tests and benches ------------------------------
+
+  store::Cluster* cluster() { return cluster_.get(); }
+  store::ManagementNode* management() { return management_.get(); }
+  commitmgr::CommitManagerGroup* commit_managers() {
+    return commit_managers_.get();
+  }
+  const tx::TransactionLog* transaction_log() const { return log_.get(); }
+  tx::Catalog* catalog() { return &catalog_; }
+  tx::RecoveryManager* recovery() { return recovery_.get(); }
+
+ private:
+  struct ProcessingNode {
+    bool alive = true;
+    tx::TableRegistry registry;
+    std::unique_ptr<tx::RecordBuffer> buffer;
+  };
+
+  std::unique_ptr<tx::RecordBuffer> MakeBuffer();
+  store::StorageClient* admin_client() { return admin_session_->client(); }
+
+  const TellDbOptions options_;
+  std::unique_ptr<store::Cluster> cluster_;
+  std::unique_ptr<store::ManagementNode> management_;
+  std::unique_ptr<commitmgr::CommitManagerGroup> commit_managers_;
+  std::unique_ptr<tx::TransactionLog> log_;
+  tx::Catalog catalog_;
+  std::unique_ptr<tx::RecoveryManager> recovery_;
+  std::unique_ptr<tx::GarbageCollector> gc_;
+  store::TableId version_set_table_ = 0;
+
+  mutable std::mutex pns_mutex_;
+  std::vector<std::unique_ptr<ProcessingNode>> pns_;
+
+  // Admin context (DDL, recovery, GC) — its costs are not part of any
+  // benchmark worker's virtual time.
+  std::unique_ptr<tx::PassthroughBuffer> admin_buffer_;
+  std::unique_ptr<tx::Session> admin_session_;
+
+  sql::Executor executor_;
+};
+
+}  // namespace tell::db
+
+#endif  // TELL_DB_TELL_DB_H_

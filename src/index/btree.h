@@ -1,0 +1,147 @@
+#ifndef TELL_INDEX_BTREE_H_
+#define TELL_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/storage_client.h"
+
+namespace tell::index {
+
+/// One index entry: encoded key -> rid.
+struct IndexEntry {
+  std::string key;
+  uint64_t rid = 0;
+};
+
+struct BTreeOptions {
+  /// Max entries per node before it splits.
+  uint32_t fanout = 64;
+  /// Paper §5.3.1: all index nodes except the leaf level are cached on the
+  /// processing node; leaves are always fetched from the storage system.
+  /// Disabled by the index-cache ablation bench.
+  bool cache_inner_nodes = true;
+};
+
+/// Per-processing-node cache of inner B+tree nodes. Shared by all workers of
+/// one PN; thread safe. Entries are (node id -> serialized node + stamp).
+class NodeCache {
+ public:
+  NodeCache() = default;
+  NodeCache(const NodeCache&) = delete;
+  NodeCache& operator=(const NodeCache&) = delete;
+
+  bool Get(uint64_t node_id, std::string* value, uint64_t* stamp);
+  void Put(uint64_t node_id, std::string value, uint64_t stamp);
+  void Erase(uint64_t node_id);
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::mutex mutex_;
+  std::map<uint64_t, std::pair<std::string, uint64_t>> nodes_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Latch-free distributed B+tree (paper §5.3).
+///
+/// Every tree node is one key-value pair in the storage system, updated with
+/// LL/SC conditional puts; a failed store-conditional simply retries from a
+/// fresh read, so no latches are held anywhere and system-wide progress is
+/// guaranteed. Structure modifications use the B-link technique (Lehman &
+/// Yao, the paper's reference [33]): a split first publishes the new right
+/// node, then shrinks the left node (which carries a right-sibling link and
+/// a high key), and only then inserts the separator into the parent — a
+/// traversal that lands left of its key follows sibling links, so lookups
+/// stay correct even when a parent update is still in flight (or was lost to
+/// a crashed processing node).
+///
+/// Indexes are version-unaware (§5.3.2): one entry per record, no version
+/// information, so readers must validate fetched records against their
+/// snapshot and may GC obsolete entries via Remove().
+///
+/// The BTree object itself is a cheap per-PN handle: tree identity is the
+/// storage table, the inner-node cache is shared per PN, and every method
+/// takes the calling worker's StorageClient for cost accounting.
+class BTree {
+ public:
+  /// Initializes an empty tree in `table` (root = empty leaf). Call once at
+  /// index creation time.
+  static Status Create(store::StorageClient* client, store::TableId table);
+
+  BTree(store::TableId table, const BTreeOptions& options, NodeCache* cache)
+      : table_(table), options_(options), cache_(cache) {}
+
+  store::TableId table() const { return table_; }
+
+  /// Inserts key -> rid. With `unique`, fails with AlreadyExists if the key
+  /// is already present under a different rid. Idempotent for the same
+  /// (key, rid) pair.
+  Status Insert(store::StorageClient* client, std::string_view key,
+                uint64_t rid, bool unique);
+
+  /// Removes the entry (key, rid). OK even if absent (idempotent — index GC
+  /// races are benign).
+  Status Remove(store::StorageClient* client, std::string_view key,
+                uint64_t rid);
+
+  /// All rids stored under exactly `key`.
+  Result<std::vector<uint64_t>> Lookup(store::StorageClient* client,
+                                       std::string_view key);
+
+  /// Entries with key in [start, end); empty `end` = unbounded. `limit` 0 =
+  /// unlimited.
+  Result<std::vector<IndexEntry>> RangeScan(store::StorageClient* client,
+                                            std::string_view start,
+                                            std::string_view end,
+                                            size_t limit);
+
+  /// Tree height (root to leaf, 1 = root is a leaf). Test/diagnostic helper.
+  Result<uint32_t> Height(store::StorageClient* client);
+
+ private:
+  struct Node;
+
+  Result<Node> ReadNode(store::StorageClient* client, uint64_t node_id,
+                        bool is_inner_level);
+  Result<Node> ReadNodeUncached(store::StorageClient* client,
+                                uint64_t node_id);
+
+  /// Descends to the leaf that should hold `key`. Fills `path` with the
+  /// inner node ids visited (root first). Retries with the cache disabled
+  /// when a stale cached path is detected.
+  Result<Node> DescendToLeaf(store::StorageClient* client,
+                             std::string_view key,
+                             std::vector<uint64_t>* path);
+
+  /// Splits `node` (already full) and publishes both halves; then inserts
+  /// the separator into the parent level best-effort. Retries internally.
+  Status SplitNode(store::StorageClient* client, Node& node,
+                   const std::vector<uint64_t>& path);
+
+  /// Inserts the separator at exactly `target_level` (the split node's
+  /// level + 1), descending from the remembered ancestor if the root has
+  /// since grown taller.
+  Status InsertIntoParent(store::StorageClient* client,
+                          const std::vector<uint64_t>& path,
+                          std::string_view separator, uint64_t right_id,
+                          uint32_t target_level);
+
+  Result<uint64_t> AllocateNodeId(store::StorageClient* client);
+
+  const store::TableId table_;
+  const BTreeOptions options_;
+  NodeCache* const cache_;
+};
+
+}  // namespace tell::index
+
+#endif  // TELL_INDEX_BTREE_H_

@@ -1,0 +1,78 @@
+#ifndef TELL_SCHEMA_VERSIONED_RECORD_H_
+#define TELL_SCHEMA_VERSIONED_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "commitmgr/snapshot_descriptor.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tell::schema {
+
+using commitmgr::SnapshotDescriptor;
+using commitmgr::Tid;
+
+/// One version of a record: the creating transaction's tid (= version
+/// number), a tombstone flag for deletes, and the serialized tuple.
+struct RecordVersion {
+  Tid version = 0;
+  bool tombstone = false;
+  std::string payload;
+};
+
+/// The value stored under one rid: the serialized set of ALL versions of the
+/// record (paper §5.1, Figure 4). Storing every version in one cell is the
+/// row-level storage scheme that lets a single Get fetch everything a
+/// transaction might need, and a single LL/SC Put apply an update or detect
+/// the conflict.
+///
+/// Versions are kept sorted ascending by version number.
+class VersionedRecord {
+ public:
+  VersionedRecord() = default;
+
+  const std::vector<RecordVersion>& versions() const { return versions_; }
+  bool Empty() const { return versions_.empty(); }
+  size_t NumVersions() const { return versions_.size(); }
+
+  /// Adds (or replaces) the version with number `tid`.
+  void PutVersion(Tid tid, std::string payload, bool tombstone = false);
+
+  /// Removes the version with number `tid` (recovery rollback / abort).
+  /// Returns false if absent.
+  bool RemoveVersion(Tid tid);
+
+  bool HasVersion(Tid tid) const;
+
+  /// Highest version visible under `snapshot`, also treating `own_tid`
+  /// (the reading transaction's own updates) as visible. Returns nullptr if
+  /// nothing is visible. A returned tombstone version means "deleted".
+  const RecordVersion* VisibleVersion(const SnapshotDescriptor& snapshot,
+                                      Tid own_tid = 0) const;
+
+  /// Newest version regardless of visibility (GC, recovery, tests).
+  const RecordVersion* Newest() const;
+
+  /// Garbage collection (paper §5.4): with C = versions visible to all
+  /// transactions (version <= lav), every version in C except max(C) can be
+  /// deleted. If max(C) is a tombstone and it is also the newest version
+  /// overall, the whole record is dead (caller should erase the cell).
+  /// Returns the number of versions removed.
+  size_t CollectGarbage(Tid lav);
+
+  /// True if the record's newest version is a tombstone visible to all
+  /// (version <= lav) — the cell itself can be erased from the store.
+  bool DeadAt(Tid lav) const;
+
+  std::string Serialize() const;
+  static Result<VersionedRecord> Deserialize(std::string_view data);
+
+ private:
+  std::vector<RecordVersion> versions_;
+};
+
+}  // namespace tell::schema
+
+#endif  // TELL_SCHEMA_VERSIONED_RECORD_H_

@@ -1,0 +1,56 @@
+#ifndef TELL_SIM_METRICS_H_
+#define TELL_SIM_METRICS_H_
+
+#include <cstdint>
+
+#include "sim/histogram.h"
+
+namespace tell::sim {
+
+/// Per-worker counters accumulated while driving transactions. Workers each
+/// own one (no synchronization); the harness merges them at the end of a run.
+struct WorkerMetrics {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  /// Committed new-order transactions only (the TpmC numerator).
+  uint64_t committed_new_order = 0;
+  /// Storage requests issued (after batching).
+  uint64_t storage_requests = 0;
+  /// Logical storage operations (before batching).
+  uint64_t storage_ops = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+  /// Transaction response time distribution (virtual ns).
+  Histogram response_time;
+
+  void Merge(const WorkerMetrics& other) {
+    committed += other.committed;
+    aborted += other.aborted;
+    committed_new_order += other.committed_new_order;
+    storage_requests += other.storage_requests;
+    storage_ops += other.storage_ops;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    buffer_hits += other.buffer_hits;
+    buffer_misses += other.buffer_misses;
+    response_time.Merge(other.response_time);
+  }
+
+  double AbortRate() const {
+    uint64_t total = committed + aborted;
+    return total == 0 ? 0.0 : static_cast<double>(aborted) /
+                                  static_cast<double>(total);
+  }
+
+  double BufferHitRate() const {
+    uint64_t total = buffer_hits + buffer_misses;
+    return total == 0 ? 0.0 : static_cast<double>(buffer_hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+}  // namespace tell::sim
+
+#endif  // TELL_SIM_METRICS_H_

@@ -1,0 +1,87 @@
+#ifndef TELL_SIM_NETWORK_MODEL_H_
+#define TELL_SIM_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tell::sim {
+
+/// Latency/bandwidth cost model of the cluster interconnect.
+///
+/// The paper's evaluation (§6.6) shows the shared-data architecture lives and
+/// dies by network latency: InfiniBand RDMA round trips of a few microseconds
+/// give >6x the throughput of 10 Gb Ethernet. We model a storage request as
+///
+///     cost = base_rtt_ns + (request_bytes + response_bytes) * ns_per_byte
+///            + queue_ns   (congestion term, grows with load factor)
+///
+/// which captures both the latency floor (dominant for small record ops) and
+/// the serialization cost of large transfers (dominant for scans).
+struct NetworkModel {
+  std::string name;
+  /// One round trip PN <-> SN (or SN <-> replica), nanoseconds.
+  uint64_t base_rtt_ns = 5000;
+  /// Serialization cost per payload byte (both directions), nanoseconds.
+  double ns_per_byte = 0.2;
+  /// Fixed per-request software overhead on top of the wire (stack
+  /// traversal; ~0 for RDMA, substantial for kernel TCP).
+  uint64_t software_overhead_ns = 0;
+
+  /// Cost of one request/response exchange carrying the given payloads.
+  uint64_t RequestCost(uint64_t request_bytes, uint64_t response_bytes) const {
+    return base_rtt_ns + software_overhead_ns +
+           static_cast<uint64_t>(
+               static_cast<double>(request_bytes + response_bytes) *
+               ns_per_byte);
+  }
+
+  /// 40 Gbit QDR InfiniBand with RDMA (paper testbed): ~5 us round trip,
+  /// OS network stack bypassed.
+  static NetworkModel InfiniBand() {
+    NetworkModel m;
+    m.name = "InfiniBand";
+    m.base_rtt_ns = 5000;        // ~5 us RDMA round trip
+    m.ns_per_byte = 0.2;         // 40 Gbit/s ~ 5 GB/s
+    m.software_overhead_ns = 0;  // kernel bypass
+    return m;
+  }
+
+  /// 10 Gb Ethernet through the kernel TCP stack.
+  static NetworkModel TenGbEthernet() {
+    NetworkModel m;
+    m.name = "10GbE";
+    m.base_rtt_ns = 35000;           // ~35 us TCP round trip
+    m.ns_per_byte = 0.8;             // 10 Gbit/s ~ 1.25 GB/s
+    m.software_overhead_ns = 25000;  // kernel stack + interrupts
+    return m;
+  }
+
+  /// Zero-cost network for unit tests that only care about semantics.
+  static NetworkModel Instant() {
+    NetworkModel m;
+    m.name = "instant";
+    m.base_rtt_ns = 0;
+    m.ns_per_byte = 0.0;
+    m.software_overhead_ns = 0;
+    return m;
+  }
+};
+
+/// Modelled CPU costs on the processing node, charged to the worker's
+/// virtual clock alongside network costs.
+struct CpuModel {
+  /// Per storage operation client-side work (marshalling, hashing).
+  uint64_t per_op_ns = 300;
+  /// Per transaction fixed work (begin/commit bookkeeping, plan dispatch).
+  uint64_t per_txn_ns = 10000;
+  /// Per record processed by the query executor (predicate eval, copying).
+  uint64_t per_record_ns = 150;
+  /// SQL text parse + plan cost, charged only when the SQL front-end is used
+  /// (the TPC-C benchmark drivers use pre-compiled plans, like VoltDB stored
+  /// procedures).
+  uint64_t per_parse_ns = 20000;
+};
+
+}  // namespace tell::sim
+
+#endif  // TELL_SIM_NETWORK_MODEL_H_

@@ -1,0 +1,40 @@
+#ifndef TELL_SIM_VIRTUAL_CLOCK_H_
+#define TELL_SIM_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+namespace tell::sim {
+
+/// Per-worker simulated clock.
+///
+/// The reproduction runs the whole cluster in one process, so the physical
+/// network does not exist. Instead, every worker thread (a "terminal" driving
+/// transactions on a processing node) owns a VirtualClock and every storage
+/// interaction charges its modelled latency here. Reported throughput and
+/// response times are computed purely from virtual time, which makes the
+/// results independent of the host machine's speed while real thread
+/// interleaving still produces genuine conflicts and aborts.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current virtual time in nanoseconds since worker start.
+  uint64_t now_ns() const { return now_ns_; }
+
+  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+
+  /// Jumps forward to `t_ns` if it is in the future (waiting in a virtual
+  /// queue); never moves backwards.
+  void AdvanceTo(uint64_t t_ns) {
+    if (t_ns > now_ns_) now_ns_ = t_ns;
+  }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace tell::sim
+
+#endif  // TELL_SIM_VIRTUAL_CLOCK_H_

@@ -1,0 +1,168 @@
+#ifndef TELL_SQL_AST_H_
+#define TELL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "schema/tuple.h"
+
+namespace tell::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kLiteral, kColumnRef, kBinary, kNot, kIsNull };
+
+  Kind kind;
+  // kLiteral
+  schema::Value literal;
+  // kColumnRef
+  std::string column_name;
+  uint32_t column_index = UINT32_MAX;  // resolved by the planner
+  // kBinary
+  BinaryOp op = BinaryOp::kEq;
+  ExprPtr left;
+  ExprPtr right;
+  // kNot / kIsNull
+  ExprPtr child;
+  bool negated = false;  // IS NOT NULL
+
+  static ExprPtr Literal(schema::Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ExprPtr Column(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kColumnRef;
+    e->column_name = std::move(name);
+    return e;
+  }
+  static ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kBinary;
+    e->op = op;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+  static ExprPtr Not(ExprPtr child) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kNot;
+    e->child = std::move(child);
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class AggregateFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One item in a SELECT list: a plain expression or an aggregate over one.
+struct SelectItem {
+  AggregateFunc aggregate = AggregateFunc::kNone;
+  bool count_star = false;
+  ExprPtr expr;       // null for COUNT(*)
+  std::string alias;  // display name
+};
+
+struct OrderByItem {
+  std::string column;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  bool select_star = false;
+  std::string table;
+  std::string table_alias;  // optional "FROM t [AS] a"
+  /// INNER JOIN support (single join): `SELECT ... FROM t1 JOIN t2 ON
+  /// t1.a = t2.b`. Empty = no join. Executed as a hash join over the
+  /// equality condition; every processing node can join any tables — the
+  /// shared-data architecture has no cross-partition restriction (§3's
+  /// contrast with Azure SQL Database).
+  std::string join_table;
+  std::string join_alias;  // optional alias for the joined table
+  ExprPtr join_left;   // column ref into the left table
+  ExprPtr join_right;  // column ref into the right table
+  ExprPtr where;  // may be null
+  std::vector<std::string> group_by;
+  std::vector<OrderByItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // empty = positional
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<schema::Column> columns;
+  std::vector<std::string> primary_key;
+};
+
+struct CreateIndexStatement {
+  std::string index_name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+    kCreateIndex,
+  };
+  Kind kind;
+  SelectStatement select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement delete_;
+  CreateTableStatement create_table;
+  CreateIndexStatement create_index;
+};
+
+}  // namespace tell::sql
+
+#endif  // TELL_SQL_AST_H_

@@ -1,0 +1,464 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tell::sql {
+
+using schema::Tuple;
+using schema::Value;
+
+bool ValueIsTruthy(const Value& value) {
+  if (schema::ValueIsNull(value)) return false;
+  if (const int64_t* i = std::get_if<int64_t>(&value)) return *i != 0;
+  if (const double* d = std::get_if<double>(&value)) return *d != 0.0;
+  return !std::get<std::string>(value).empty();
+}
+
+Result<Value> EvalExpr(const Expr* expr, const Tuple& tuple) {
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      return expr->literal;
+    case Expr::Kind::kColumnRef:
+      if (expr->column_index >= tuple.size()) {
+        return Status::InternalError("unresolved column reference '" +
+                                     expr->column_name + "'");
+      }
+      return tuple.at(expr->column_index);
+    case Expr::Kind::kIsNull: {
+      TELL_ASSIGN_OR_RETURN(Value child, EvalExpr(expr->child.get(), tuple));
+      bool is_null = schema::ValueIsNull(child);
+      return Value(static_cast<int64_t>(expr->negated ? !is_null : is_null));
+    }
+    case Expr::Kind::kNot: {
+      TELL_ASSIGN_OR_RETURN(Value child, EvalExpr(expr->child.get(), tuple));
+      return Value(static_cast<int64_t>(!ValueIsTruthy(child)));
+    }
+    case Expr::Kind::kBinary:
+      break;
+  }
+  TELL_ASSIGN_OR_RETURN(Value left, EvalExpr(expr->left.get(), tuple));
+  // Short-circuit logic ops.
+  if (expr->op == BinaryOp::kAnd) {
+    if (!ValueIsTruthy(left)) return Value(int64_t{0});
+    TELL_ASSIGN_OR_RETURN(Value right, EvalExpr(expr->right.get(), tuple));
+    return Value(static_cast<int64_t>(ValueIsTruthy(right)));
+  }
+  if (expr->op == BinaryOp::kOr) {
+    if (ValueIsTruthy(left)) return Value(int64_t{1});
+    TELL_ASSIGN_OR_RETURN(Value right, EvalExpr(expr->right.get(), tuple));
+    return Value(static_cast<int64_t>(ValueIsTruthy(right)));
+  }
+  TELL_ASSIGN_OR_RETURN(Value right, EvalExpr(expr->right.get(), tuple));
+
+  switch (expr->op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (schema::ValueIsNull(left) || schema::ValueIsNull(right)) {
+        return Value(int64_t{0});  // NULL comparisons are never true
+      }
+      int cmp = schema::CompareValues(left, right);
+      bool result = false;
+      switch (expr->op) {
+        case BinaryOp::kEq: result = cmp == 0; break;
+        case BinaryOp::kNe: result = cmp != 0; break;
+        case BinaryOp::kLt: result = cmp < 0; break;
+        case BinaryOp::kLe: result = cmp <= 0; break;
+        case BinaryOp::kGt: result = cmp > 0; break;
+        case BinaryOp::kGe: result = cmp >= 0; break;
+        default: break;
+      }
+      return Value(static_cast<int64_t>(result));
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: {
+      if (schema::ValueIsNull(left) || schema::ValueIsNull(right)) {
+        return Value(std::monostate{});
+      }
+      bool both_int = std::holds_alternative<int64_t>(left) &&
+                      std::holds_alternative<int64_t>(right);
+      auto as_double = [](const Value& v) {
+        if (const int64_t* i = std::get_if<int64_t>(&v)) {
+          return static_cast<double>(*i);
+        }
+        if (const double* d = std::get_if<double>(&v)) return *d;
+        return 0.0;
+      };
+      if (both_int) {
+        int64_t a = std::get<int64_t>(left);
+        int64_t b = std::get<int64_t>(right);
+        switch (expr->op) {
+          case BinaryOp::kAdd: return Value(a + b);
+          case BinaryOp::kSub: return Value(a - b);
+          case BinaryOp::kMul: return Value(a * b);
+          case BinaryOp::kDiv:
+            if (b == 0) return Status::InvalidArgument("division by zero");
+            return Value(a / b);
+          default: break;
+        }
+      }
+      double a = as_double(left);
+      double b = as_double(right);
+      switch (expr->op) {
+        case BinaryOp::kAdd: return Value(a + b);
+        case BinaryOp::kSub: return Value(a - b);
+        case BinaryOp::kMul: return Value(a * b);
+        case BinaryOp::kDiv:
+          if (b == 0.0) return Status::InvalidArgument("division by zero");
+          return Value(a / b);
+        default: break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::InternalError("unhandled binary operator");
+}
+
+std::string ResultSet::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out << (i == 0 ? "" : " | ") << columns[i];
+  }
+  if (!columns.empty()) out << "\n";
+  for (const Tuple& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : " | ") << schema::ValueToString(row.at(i));
+    }
+    out << "\n";
+  }
+  if (columns.empty()) {
+    out << affected_rows << " row(s) affected\n";
+  }
+  return out.str();
+}
+
+Result<std::vector<std::pair<uint64_t, Tuple>>> Executor::FetchRows(
+    tx::Transaction* txn, tx::TableHandle* handle, const Plan& plan,
+    const Expr* where) {
+  std::vector<std::pair<uint64_t, Tuple>> rows;
+  switch (plan.access.kind) {
+    case AccessPath::Kind::kIndexPoint: {
+      TELL_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> rids,
+          txn->LookupIndex(handle, plan.access.index, plan.access.point_key));
+      for (uint64_t rid : rids) {
+        TELL_ASSIGN_OR_RETURN(std::optional<Tuple> tuple,
+                              txn->Read(handle, rid));
+        if (tuple.has_value()) rows.emplace_back(rid, std::move(*tuple));
+      }
+      break;
+    }
+    case AccessPath::Kind::kIndexRange: {
+      TELL_ASSIGN_OR_RETURN(
+          rows, txn->ScanIndexEncoded(handle, plan.access.index,
+                                      plan.access.range_lo,
+                                      plan.access.range_hi, /*limit=*/0));
+      break;
+    }
+    case AccessPath::Kind::kFullScan: {
+      if (pushdown_ && where != nullptr) {
+        // §5.2: evaluate the WHERE clause on the storage nodes; only
+        // matching records cross the network.
+        TELL_ASSIGN_OR_RETURN(
+            rows, txn->FilteredScan(handle, [where](const Tuple& tuple) {
+              auto pass = EvalExpr(where, tuple);
+              return pass.ok() && ValueIsTruthy(*pass);
+            }));
+        return rows;
+      }
+      TELL_ASSIGN_OR_RETURN(
+          rows, txn->ScanIndexEncoded(handle, /*index=*/-1, "", "",
+                                      /*limit=*/0));
+      break;
+    }
+  }
+  if (where == nullptr) return rows;
+  std::vector<std::pair<uint64_t, Tuple>> filtered;
+  filtered.reserve(rows.size());
+  for (auto& [rid, tuple] : rows) {
+    TELL_ASSIGN_OR_RETURN(Value pass, EvalExpr(where, tuple));
+    if (ValueIsTruthy(pass)) filtered.emplace_back(rid, std::move(tuple));
+  }
+  return filtered;
+}
+
+Result<std::vector<std::pair<uint64_t, Tuple>>> Executor::HashJoin(
+    tx::Transaction* txn, tx::TableHandle* left, tx::TableHandle* right,
+    const Plan& plan) {
+  // Materialize both sides ("data is shipped to the query") and hash-join
+  // on the equality columns. Any PN can do this over any tables — there is
+  // no cross-partition restriction in a shared-data architecture.
+  TELL_ASSIGN_OR_RETURN(
+      auto left_rows,
+      txn->ScanIndexEncoded(left, /*index=*/-1, "", "", /*limit=*/0));
+  TELL_ASSIGN_OR_RETURN(
+      auto right_rows,
+      txn->ScanIndexEncoded(right, /*index=*/-1, "", "", /*limit=*/0));
+  std::unordered_map<std::string, std::vector<const Tuple*>> build;
+  build.reserve(right_rows.size());
+  for (const auto& [rid, tuple] : right_rows) {
+    const Value& key = tuple.at(plan.join_right_column);
+    if (schema::ValueIsNull(key)) continue;  // NULL never joins
+    auto encoded = schema::EncodeIndexKeyValues({key});
+    if (!encoded.ok()) continue;
+    build[*encoded].push_back(&tuple);
+  }
+  std::vector<std::pair<uint64_t, Tuple>> out;
+  for (const auto& [rid, tuple] : left_rows) {
+    const Value& key = tuple.at(plan.join_left_column);
+    if (schema::ValueIsNull(key)) continue;
+    auto encoded = schema::EncodeIndexKeyValues({key});
+    if (!encoded.ok()) continue;
+    auto it = build.find(*encoded);
+    if (it == build.end()) continue;
+    for (const Tuple* match : it->second) {
+      std::vector<Value> combined = tuple.values();
+      combined.insert(combined.end(), match->values().begin(),
+                      match->values().end());
+      out.emplace_back(rid, Tuple(std::move(combined)));
+    }
+  }
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteSelect(tx::Transaction* txn,
+                                          tx::TableHandle* handle,
+                                          tx::TableRegistry* registry,
+                                          const Plan& plan) {
+  const SelectStatement& select = plan.statement.select;
+  std::vector<std::pair<uint64_t, Tuple>> rows;
+  if (plan.join_table != nullptr) {
+    TELL_ASSIGN_OR_RETURN(tx::TableHandle * right,
+                          registry->Find(plan.join_table->name));
+    TELL_ASSIGN_OR_RETURN(rows, HashJoin(txn, handle, right, plan));
+    if (select.where != nullptr) {
+      std::vector<std::pair<uint64_t, Tuple>> filtered;
+      for (auto& [rid, tuple] : rows) {
+        TELL_ASSIGN_OR_RETURN(Value pass, EvalExpr(select.where.get(), tuple));
+        if (ValueIsTruthy(pass)) filtered.emplace_back(rid, std::move(tuple));
+      }
+      rows = std::move(filtered);
+    }
+  } else {
+    TELL_ASSIGN_OR_RETURN(rows,
+                          FetchRows(txn, handle, plan, select.where.get()));
+  }
+
+  ResultSet result;
+  result.columns = plan.output_columns;
+
+  bool has_aggregate = false;
+  for (const SelectItem& item : select.items) {
+    if (item.aggregate != AggregateFunc::kNone) has_aggregate = true;
+  }
+
+  if (has_aggregate || !select.group_by.empty()) {
+    // Group rows by the GROUP BY key (single group when absent).
+    const std::vector<uint32_t>& group_columns = plan.group_by_columns;
+    std::map<std::string, std::vector<const Tuple*>> groups;
+    for (const auto& [rid, tuple] : rows) {
+      std::string key;
+      for (uint32_t column : group_columns) {
+        key += schema::ValueToString(tuple.at(column));
+        key.push_back('\x1F');
+      }
+      groups[key].push_back(&tuple);
+    }
+    if (groups.empty() && group_columns.empty()) {
+      groups.emplace("", std::vector<const Tuple*>{});
+    }
+    for (const auto& [key, members] : groups) {
+      Tuple out(select.items.size());
+      for (size_t i = 0; i < select.items.size(); ++i) {
+        const SelectItem& item = select.items[i];
+        if (item.aggregate == AggregateFunc::kNone) {
+          // Must be a group-by column (or any expr over it); evaluate on the
+          // first member.
+          if (members.empty()) {
+            out.Set(i, std::monostate{});
+          } else {
+            TELL_ASSIGN_OR_RETURN(Value v,
+                                  EvalExpr(item.expr.get(), *members[0]));
+            out.Set(i, std::move(v));
+          }
+          continue;
+        }
+        if (item.count_star) {
+          out.Set(i, static_cast<int64_t>(members.size()));
+          continue;
+        }
+        // Aggregate over the member expression values (NULLs skipped).
+        double sum = 0;
+        int64_t count = 0;
+        Value min_v, max_v;
+        for (const Tuple* member : members) {
+          TELL_ASSIGN_OR_RETURN(Value v, EvalExpr(item.expr.get(), *member));
+          if (schema::ValueIsNull(v)) continue;
+          double d = std::holds_alternative<int64_t>(v)
+                         ? static_cast<double>(std::get<int64_t>(v))
+                         : (std::holds_alternative<double>(v)
+                                ? std::get<double>(v)
+                                : 0.0);
+          sum += d;
+          if (count == 0 || schema::CompareValues(v, min_v) < 0) min_v = v;
+          if (count == 0 || schema::CompareValues(v, max_v) > 0) max_v = v;
+          ++count;
+        }
+        switch (item.aggregate) {
+          case AggregateFunc::kCount:
+            out.Set(i, count);
+            break;
+          case AggregateFunc::kSum:
+            out.Set(i, count == 0 ? Value(std::monostate{}) : Value(sum));
+            break;
+          case AggregateFunc::kAvg:
+            out.Set(i, count == 0 ? Value(std::monostate{})
+                                  : Value(sum / static_cast<double>(count)));
+            break;
+          case AggregateFunc::kMin:
+            out.Set(i, count == 0 ? Value(std::monostate{}) : min_v);
+            break;
+          case AggregateFunc::kMax:
+            out.Set(i, count == 0 ? Value(std::monostate{}) : max_v);
+            break;
+          default:
+            break;
+        }
+      }
+      result.rows.push_back(std::move(out));
+    }
+  } else {
+    // Plain projection.
+    for (const auto& [rid, tuple] : rows) {
+      if (select.select_star) {
+        result.rows.push_back(tuple);
+        continue;
+      }
+      Tuple out(select.items.size());
+      for (size_t i = 0; i < select.items.size(); ++i) {
+        TELL_ASSIGN_OR_RETURN(Value v,
+                              EvalExpr(select.items[i].expr.get(), tuple));
+        out.Set(i, std::move(v));
+      }
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  // ORDER BY, resolved by the planner: select-star orders by source
+  // columns (identical to output columns for star), projections by output
+  // position.
+  if (!plan.order_by.empty()) {
+    std::stable_sort(
+        result.rows.begin(), result.rows.end(),
+        [&](const Tuple& a, const Tuple& b) {
+          for (const Plan::ResolvedOrderBy& key : plan.order_by) {
+            int cmp = schema::CompareValues(a.at(key.index), b.at(key.index));
+            if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+          }
+          return false;
+        });
+  }
+  if (plan.statement.select.limit.has_value() &&
+      result.rows.size() > *plan.statement.select.limit) {
+    result.rows.resize(*plan.statement.select.limit);
+  }
+  return result;
+}
+
+Result<ResultSet> Executor::ExecuteInsert(tx::Transaction* txn,
+                                          tx::TableHandle* handle,
+                                          const Plan& plan) {
+  const InsertStatement& insert = plan.statement.insert;
+  const schema::Schema& schema = handle->meta->schema;
+  ResultSet result;
+  for (const auto& row : insert.rows) {
+    Tuple tuple(schema.num_columns());
+    if (insert.columns.empty()) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        TELL_ASSIGN_OR_RETURN(Value v, EvalExpr(row[i].get(), tuple));
+        tuple.Set(i, std::move(v));
+      }
+    } else {
+      for (size_t i = 0; i < insert.columns.size(); ++i) {
+        TELL_ASSIGN_OR_RETURN(uint32_t idx,
+                              schema.ColumnIndex(insert.columns[i]));
+        TELL_ASSIGN_OR_RETURN(Value v, EvalExpr(row[i].get(), tuple));
+        tuple.Set(idx, std::move(v));
+      }
+    }
+    TELL_RETURN_NOT_OK(txn->Insert(handle, tuple).status());
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<ResultSet> Executor::ExecuteUpdate(tx::Transaction* txn,
+                                          tx::TableHandle* handle,
+                                          const Plan& plan) {
+  const UpdateStatement& update = plan.statement.update;
+  const schema::Schema& schema = handle->meta->schema;
+  TELL_ASSIGN_OR_RETURN(
+      auto rows, FetchRows(txn, handle, plan, update.where.get()));
+  ResultSet result;
+  for (auto& [rid, tuple] : rows) {
+    Tuple updated = tuple;
+    for (const auto& [column, expr] : update.assignments) {
+      TELL_ASSIGN_OR_RETURN(uint32_t idx, schema.ColumnIndex(column));
+      TELL_ASSIGN_OR_RETURN(Value v, EvalExpr(expr.get(), tuple));
+      updated.Set(idx, std::move(v));
+    }
+    TELL_RETURN_NOT_OK(txn->Update(handle, rid, updated));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<ResultSet> Executor::ExecuteDelete(tx::Transaction* txn,
+                                          tx::TableHandle* handle,
+                                          const Plan& plan) {
+  const DeleteStatement& del = plan.statement.delete_;
+  TELL_ASSIGN_OR_RETURN(auto rows,
+                        FetchRows(txn, handle, plan, del.where.get()));
+  ResultSet result;
+  for (const auto& [rid, tuple] : rows) {
+    TELL_RETURN_NOT_OK(txn->Delete(handle, rid));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<ResultSet> Executor::Execute(tx::Transaction* txn,
+                                    tx::TableRegistry* registry,
+                                    const Plan& plan) {
+  if (plan.table == nullptr) {
+    return Status::InvalidArgument("DDL statements go through the database");
+  }
+  TELL_ASSIGN_OR_RETURN(tx::TableHandle * handle,
+                        registry->Find(plan.table->name));
+  switch (plan.statement.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(txn, handle, registry, plan);
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(txn, handle, plan);
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdate(txn, handle, plan);
+    case Statement::Kind::kDelete:
+      return ExecuteDelete(txn, handle, plan);
+    default:
+      return Status::InvalidArgument("unsupported statement kind");
+  }
+}
+
+}  // namespace tell::sql

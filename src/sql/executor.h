@@ -1,0 +1,70 @@
+#ifndef TELL_SQL_EXECUTOR_H_
+#define TELL_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/planner.h"
+#include "tx/transaction.h"
+
+namespace tell::sql {
+
+/// Result of a statement: rows for queries, affected-row count for DML.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<schema::Tuple> rows;
+  uint64_t affected_rows = 0;
+
+  std::string ToString() const;  // simple ASCII table (examples / debugging)
+};
+
+/// Evaluates a resolved expression against a tuple. Comparison and logic
+/// results are int64 0/1; NULL propagates through comparisons and
+/// arithmetic (three-valued logic reduced to "NULL is falsy").
+Result<schema::Value> EvalExpr(const Expr* expr, const schema::Tuple& tuple);
+
+/// True if `value` counts as true in a WHERE context.
+bool ValueIsTruthy(const schema::Value& value);
+
+/// Executes planned statements inside a transaction, using the iterator
+/// model over the access paths chosen by the planner ("data is shipped to
+/// the query", paper §2.1). Stateless — one instance per PN is fine.
+class Executor {
+ public:
+  /// `pushdown` enables §5.2 operator push-down: full-table scans with a
+  /// WHERE clause evaluate the predicate on the storage nodes.
+  explicit Executor(bool pushdown = false) : pushdown_(pushdown) {}
+
+  /// Runs a DML/query plan. DDL plans are rejected (the database layer owns
+  /// DDL).
+  Result<ResultSet> Execute(tx::Transaction* txn, tx::TableRegistry* registry,
+                            const Plan& plan);
+
+ private:
+  Result<std::vector<std::pair<uint64_t, schema::Tuple>>> FetchRows(
+      tx::Transaction* txn, tx::TableHandle* handle, const Plan& plan,
+      const Expr* where);
+
+  Result<ResultSet> ExecuteSelect(tx::Transaction* txn,
+                                  tx::TableHandle* handle,
+                                  tx::TableRegistry* registry,
+                                  const Plan& plan);
+
+  /// Materializes both sides and hash-joins on the planned equality.
+  Result<std::vector<std::pair<uint64_t, schema::Tuple>>> HashJoin(
+      tx::Transaction* txn, tx::TableHandle* left, tx::TableHandle* right,
+      const Plan& plan);
+  Result<ResultSet> ExecuteInsert(tx::Transaction* txn,
+                                  tx::TableHandle* handle, const Plan& plan);
+  Result<ResultSet> ExecuteUpdate(tx::Transaction* txn,
+                                  tx::TableHandle* handle, const Plan& plan);
+  Result<ResultSet> ExecuteDelete(tx::Transaction* txn,
+                                  tx::TableHandle* handle, const Plan& plan);
+
+  const bool pushdown_;
+};
+
+}  // namespace tell::sql
+
+#endif  // TELL_SQL_EXECUTOR_H_

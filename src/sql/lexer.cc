@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <algorithm>
+
+namespace tell::sql {
+
+namespace {
+
+constexpr std::array<std::string_view, 34> kKeywords = {
+    "SELECT", "FROM",   "WHERE",   "AND",    "OR",     "NOT",   "INSERT",
+    "INTO",   "VALUES", "UPDATE",  "SET",    "DELETE", "CREATE", "TABLE",
+    "INDEX",  "UNIQUE", "PRIMARY", "KEY",    "ON",     "ORDER", "BY",
+    "ASC",    "DESC",   "LIMIT",   "GROUP",  "INT",    "DOUBLE", "VARCHAR",
+    "IS",     "NULL",   "AS",     "JOIN",   "INNER",  "BETWEEN",
+};
+
+bool IsKeyword(std::string_view upper) {
+  return std::find(kKeywords.begin(), kKeywords.end(), upper) !=
+         kKeywords.end();
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        ++i;
+      }
+      std::string word(sql.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        for (char& ch : word) ch = static_cast<char>(std::tolower(ch));
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])) &&
+         (tokens.empty() || tokens.back().type == TokenType::kSymbol ||
+          tokens.back().type == TokenType::kKeyword))) {
+      bool is_float = false;
+      ++i;  // first digit or '-'
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        if (sql[i] == '.') is_float = true;
+        ++i;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        std::string(sql.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < sql.size()) {
+      std::string two(sql.substr(i, 2));
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back(
+            {TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static constexpr std::string_view kSingles = "(),*=<>+-/.;";
+    if (kSingles.find(c) != std::string_view::npos) {
+      if (c == ';') {
+        ++i;
+        continue;  // statement terminator is optional noise
+      }
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at position " +
+                                   std::to_string(i));
+  }
+  tokens.push_back({TokenType::kEnd, "", sql.size()});
+  return tokens;
+}
+
+}  // namespace tell::sql

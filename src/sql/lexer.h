@@ -1,0 +1,34 @@
+#ifndef TELL_SQL_LEXER_H_
+#define TELL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tell::sql {
+
+enum class TokenType {
+  kKeyword,     // upper-cased SQL keyword
+  kIdentifier,  // table / column name
+  kInteger,
+  kFloat,
+  kString,      // 'quoted'
+  kSymbol,      // ( ) , * = < > <= >= <> + - / .
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // keywords upper-cased, identifiers lower-cased
+  size_t position = 0;
+};
+
+/// Tokenizes one SQL statement. Keywords are recognized case-insensitively.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace tell::sql
+
+#endif  // TELL_SQL_LEXER_H_

@@ -1,0 +1,505 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+namespace tell::sql {
+
+namespace {
+
+/// Token-stream cursor with the usual helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool CheckKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::InvalidArgument("expected " + std::string(kw) +
+                                     " near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool CheckSymbol(std::string_view sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (!CheckSymbol(sym)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::InvalidArgument("expected '" + std::string(sym) +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Result<SelectStatement> ParseSelect();
+  Result<InsertStatement> ParseInsert();
+  Result<UpdateStatement> ParseUpdate();
+  Result<DeleteStatement> ParseDelete();
+  Result<Statement> ParseCreate();
+
+  Result<SelectItem> ParseSelectItem();
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<ExprPtr> Parser::ParseOr() {
+  TELL_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    TELL_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Expr::Binary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  TELL_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    TELL_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = Expr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    TELL_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return Expr::Not(std::move(child));
+  }
+  return ParseComparison();
+}
+
+/// Deep copy of a column-ref / literal / arithmetic expression (needed to
+/// desugar BETWEEN, whose operand appears twice).
+ExprPtr CloneExpr(const Expr* expr) {
+  if (expr == nullptr) return nullptr;
+  auto copy = std::make_unique<Expr>();
+  copy->kind = expr->kind;
+  copy->literal = expr->literal;
+  copy->column_name = expr->column_name;
+  copy->column_index = expr->column_index;
+  copy->op = expr->op;
+  copy->negated = expr->negated;
+  if (expr->left) copy->left = CloneExpr(expr->left.get());
+  if (expr->right) copy->right = CloneExpr(expr->right.get());
+  if (expr->child) copy->child = CloneExpr(expr->child.get());
+  return copy;
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  TELL_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  if (MatchKeyword("BETWEEN")) {
+    // x BETWEEN a AND b  desugars to  x >= a AND x <= b.
+    TELL_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    TELL_RETURN_NOT_OK(ExpectKeyword("AND"));
+    TELL_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    ExprPtr left_copy = CloneExpr(left.get());
+    return Expr::Binary(
+        BinaryOp::kAnd,
+        Expr::Binary(BinaryOp::kGe, std::move(left), std::move(lo)),
+        Expr::Binary(BinaryOp::kLe, std::move(left_copy), std::move(hi)));
+  }
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    TELL_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kIsNull;
+    e->child = std::move(left);
+    e->negated = negated;
+    return ExprPtr(std::move(e));
+  }
+  struct OpMap {
+    std::string_view symbol;
+    BinaryOp op;
+  };
+  static constexpr OpMap kOps[] = {
+      {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+      {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+  };
+  for (const OpMap& entry : kOps) {
+    if (MatchSymbol(entry.symbol)) {
+      TELL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::Binary(entry.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  TELL_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    if (MatchSymbol("+")) {
+      TELL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(BinaryOp::kAdd, std::move(left), std::move(right));
+    } else if (MatchSymbol("-")) {
+      TELL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(BinaryOp::kSub, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  TELL_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+  while (true) {
+    if (MatchSymbol("*")) {
+      TELL_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = Expr::Binary(BinaryOp::kMul, std::move(left), std::move(right));
+    } else if (MatchSymbol("/")) {
+      TELL_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = Expr::Binary(BinaryOp::kDiv, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& token = Peek();
+  switch (token.type) {
+    case TokenType::kInteger: {
+      Advance();
+      return Expr::Literal(
+          schema::Value(static_cast<int64_t>(std::strtoll(token.text.c_str(),
+                                                          nullptr, 10))));
+    }
+    case TokenType::kFloat: {
+      Advance();
+      return Expr::Literal(
+          schema::Value(std::strtod(token.text.c_str(), nullptr)));
+    }
+    case TokenType::kString: {
+      Advance();
+      return Expr::Literal(schema::Value(token.text));
+    }
+    case TokenType::kIdentifier: {
+      Advance();
+      // Qualified reference: table.column.
+      if (MatchSymbol(".")) {
+        TELL_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+        return Expr::Column(token.text + "." + column);
+      }
+      return Expr::Column(token.text);
+    }
+    case TokenType::kKeyword:
+      if (token.text == "NULL") {
+        Advance();
+        return Expr::Literal(schema::Value(std::monostate{}));
+      }
+      break;
+    case TokenType::kSymbol:
+      if (token.text == "(") {
+        Advance();
+        TELL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+        return inner;
+      }
+      if (token.text == "-") {
+        Advance();
+        TELL_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+        return Expr::Binary(BinaryOp::kSub,
+                            Expr::Literal(schema::Value(int64_t{0})),
+                            std::move(inner));
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument("unexpected token '" + token.text +
+                                 "' in expression");
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  struct AggMap {
+    std::string_view name;
+    AggregateFunc func;
+  };
+  static constexpr AggMap kAggs[] = {
+      {"count", AggregateFunc::kCount}, {"sum", AggregateFunc::kSum},
+      {"avg", AggregateFunc::kAvg},     {"min", AggregateFunc::kMin},
+      {"max", AggregateFunc::kMax},
+  };
+  if (Peek().type == TokenType::kIdentifier) {
+    for (const AggMap& agg : kAggs) {
+      if (Peek().text == agg.name && tokens_[pos_ + 1].text == "(") {
+        Advance();  // function name
+        Advance();  // (
+        item.aggregate = agg.func;
+        if (agg.func == AggregateFunc::kCount && MatchSymbol("*")) {
+          item.count_star = true;
+        } else {
+          TELL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+        item.alias = std::string(agg.name) + (item.count_star ? "(*)" : "()");
+        if (MatchKeyword("AS")) {
+          TELL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        }
+        return item;
+      }
+    }
+  }
+  TELL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  item.alias = item.expr->kind == Expr::Kind::kColumnRef
+                   ? item.expr->column_name
+                   : "expr";
+  if (MatchKeyword("AS")) {
+    TELL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+  }
+  return item;
+}
+
+Result<SelectStatement> Parser::ParseSelect() {
+  SelectStatement stmt;
+  if (MatchSymbol("*")) {
+    stmt.select_star = true;
+  } else {
+    do {
+      TELL_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  TELL_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  TELL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  // Optional table alias: FROM t [AS] a.
+  if (MatchKeyword("AS")) {
+    TELL_ASSIGN_OR_RETURN(stmt.table_alias, ExpectIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier) {
+    stmt.table_alias = Advance().text;
+  }
+  if (MatchKeyword("INNER") || CheckKeyword("JOIN")) {
+    TELL_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    TELL_ASSIGN_OR_RETURN(stmt.join_table, ExpectIdentifier());
+    if (MatchKeyword("AS")) {
+      TELL_ASSIGN_OR_RETURN(stmt.join_alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier) {
+      stmt.join_alias = Advance().text;
+    }
+    TELL_RETURN_NOT_OK(ExpectKeyword("ON"));
+    TELL_ASSIGN_OR_RETURN(ExprPtr condition, ParseExpr());
+    if (condition->kind != Expr::Kind::kBinary ||
+        condition->op != BinaryOp::kEq ||
+        condition->left->kind != Expr::Kind::kColumnRef ||
+        condition->right->kind != Expr::Kind::kColumnRef) {
+      return Status::InvalidArgument(
+          "JOIN ... ON requires an equality of two columns");
+    }
+    stmt.join_left = std::move(condition->left);
+    stmt.join_right = std::move(condition->right);
+  }
+  if (MatchKeyword("WHERE")) {
+    TELL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    TELL_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      TELL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.group_by.push_back(std::move(col));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("ORDER")) {
+    TELL_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      TELL_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInteger) {
+      return Status::InvalidArgument("LIMIT expects an integer");
+    }
+    stmt.limit = static_cast<uint64_t>(
+        std::strtoull(Advance().text.c_str(), nullptr, 10));
+  }
+  return stmt;
+}
+
+Result<InsertStatement> Parser::ParseInsert() {
+  InsertStatement stmt;
+  TELL_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  TELL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  if (MatchSymbol("(")) {
+    do {
+      TELL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  TELL_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  do {
+    TELL_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      TELL_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      row.push_back(std::move(value));
+    } while (MatchSymbol(","));
+    TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+    stmt.rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  return stmt;
+}
+
+Result<UpdateStatement> Parser::ParseUpdate() {
+  UpdateStatement stmt;
+  TELL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  TELL_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    TELL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    TELL_RETURN_NOT_OK(ExpectSymbol("="));
+    TELL_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+    stmt.assignments.emplace_back(std::move(col), std::move(value));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    TELL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<DeleteStatement> Parser::ParseDelete() {
+  DeleteStatement stmt;
+  TELL_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  TELL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  if (MatchKeyword("WHERE")) {
+    TELL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  Statement out;
+  bool unique = MatchKeyword("UNIQUE");
+  if (MatchKeyword("TABLE")) {
+    if (unique) return Status::InvalidArgument("UNIQUE TABLE is not a thing");
+    out.kind = Statement::Kind::kCreateTable;
+    CreateTableStatement& stmt = out.create_table;
+    TELL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    TELL_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      if (MatchKeyword("PRIMARY")) {
+        TELL_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        TELL_RETURN_NOT_OK(ExpectSymbol("("));
+        do {
+          TELL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          stmt.primary_key.push_back(std::move(col));
+        } while (MatchSymbol(","));
+        TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+        continue;
+      }
+      schema::Column column;
+      TELL_ASSIGN_OR_RETURN(column.name, ExpectIdentifier());
+      if (MatchKeyword("INT")) {
+        column.type = schema::ColumnType::kInt64;
+      } else if (MatchKeyword("DOUBLE")) {
+        column.type = schema::ColumnType::kDouble;
+      } else if (MatchKeyword("VARCHAR")) {
+        column.type = schema::ColumnType::kString;
+        if (MatchSymbol("(")) {  // length is accepted and ignored
+          if (Peek().type == TokenType::kInteger) Advance();
+          TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+        }
+      } else {
+        return Status::InvalidArgument("unknown column type near '" +
+                                       Peek().text + "'");
+      }
+      stmt.columns.push_back(std::move(column));
+    } while (MatchSymbol(","));
+    TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+    if (stmt.primary_key.empty()) {
+      return Status::InvalidArgument("CREATE TABLE requires a PRIMARY KEY");
+    }
+    return out;
+  }
+  if (MatchKeyword("INDEX")) {
+    out.kind = Statement::Kind::kCreateIndex;
+    CreateIndexStatement& stmt = out.create_index;
+    stmt.unique = unique;
+    TELL_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier());
+    TELL_RETURN_NOT_OK(ExpectKeyword("ON"));
+    TELL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    TELL_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      TELL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    TELL_RETURN_NOT_OK(ExpectSymbol(")"));
+    return out;
+  }
+  return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Statement out;
+  if (MatchKeyword("SELECT")) {
+    out.kind = Statement::Kind::kSelect;
+    TELL_ASSIGN_OR_RETURN(out.select, ParseSelect());
+  } else if (MatchKeyword("INSERT")) {
+    out.kind = Statement::Kind::kInsert;
+    TELL_ASSIGN_OR_RETURN(out.insert, ParseInsert());
+  } else if (MatchKeyword("UPDATE")) {
+    out.kind = Statement::Kind::kUpdate;
+    TELL_ASSIGN_OR_RETURN(out.update, ParseUpdate());
+  } else if (MatchKeyword("DELETE")) {
+    out.kind = Statement::Kind::kDelete;
+    TELL_ASSIGN_OR_RETURN(out.delete_, ParseDelete());
+  } else if (MatchKeyword("CREATE")) {
+    TELL_ASSIGN_OR_RETURN(out, ParseCreate());
+  } else {
+    return Status::InvalidArgument("expected a statement, got '" +
+                                   Peek().text + "'");
+  }
+  if (Peek().type != TokenType::kEnd) {
+    return Status::InvalidArgument("trailing input near '" + Peek().text +
+                                   "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  TELL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace tell::sql

@@ -1,0 +1,29 @@
+#ifndef TELL_SQL_PARSER_H_
+#define TELL_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace tell::sql {
+
+/// Recursive-descent parser for the supported SQL subset:
+///
+///   SELECT <*|expr[,...]> FROM t [WHERE expr] [GROUP BY cols]
+///       [ORDER BY col [ASC|DESC][,...]] [LIMIT n]
+///   INSERT INTO t [(cols)] VALUES (expr,...)[,(...)]
+///   UPDATE t SET col = expr[,...] [WHERE expr]
+///   DELETE FROM t [WHERE expr]
+///   CREATE TABLE t (col TYPE[,...], PRIMARY KEY (cols))
+///   CREATE [UNIQUE] INDEX name ON t (cols)
+///
+/// Expressions: comparisons (= <> < <= > >=), AND/OR/NOT, IS [NOT] NULL,
+/// arithmetic (+ - * /), column refs, integer/float/string literals,
+/// aggregates COUNT(*|col), SUM, AVG, MIN, MAX in the select list.
+Result<Statement> Parse(std::string_view sql);
+
+}  // namespace tell::sql
+
+#endif  // TELL_SQL_PARSER_H_

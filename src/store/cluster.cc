@@ -1,0 +1,239 @@
+#include "store/cluster.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace tell::store {
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+  TELL_CHECK(options_.num_storage_nodes > 0);
+  TELL_CHECK(options_.replication_factor >= 1);
+  TELL_CHECK(options_.replication_factor <= options_.num_storage_nodes);
+  nodes_.reserve(options_.num_storage_nodes);
+  for (uint32_t i = 0; i < options_.num_storage_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<StorageNode>(i, options_.memory_per_node_bytes));
+  }
+}
+
+Result<TableId> Cluster::CreateTable(const std::string& name) {
+  std::unique_lock lock(catalog_mutex_);
+  if (catalog_.find(name) != catalog_.end()) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  TableId id = next_table_id_++;
+  uint32_t num_partitions =
+      options_.num_storage_nodes * options_.partitions_per_node;
+  std::vector<uint32_t> node_ids;
+  for (const auto& node : nodes_) {
+    if (node->alive()) node_ids.push_back(node->node_id());
+  }
+  TELL_RETURN_NOT_OK(partition_map_.AddTable(id, num_partitions, node_ids,
+                                             options_.replication_factor));
+  // Materialize the partitions on every hosting node (master and backups).
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    auto placement = partition_map_.PlacementOf(id, p);
+    TELL_CHECK(placement.ok());
+    nodes_[placement->master]->CreatePartition(id, p);
+    for (uint32_t replica : placement->replicas) {
+      nodes_[replica]->CreatePartition(id, p);
+    }
+  }
+  catalog_.emplace(name, id);
+  return id;
+}
+
+Result<TableId> Cluster::TableByName(const std::string& name) const {
+  std::shared_lock lock(catalog_mutex_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return Status::NotFound("table '" + name + "'");
+  return it->second;
+}
+
+Result<Cluster::Route> Cluster::RouteFor(TableId table,
+                                         std::string_view key) const {
+  TELL_ASSIGN_OR_RETURN(uint32_t partition,
+                        partition_map_.PartitionFor(table, key));
+  return RouteForPartition(table, partition);
+}
+
+Result<Cluster::Route> Cluster::RouteForPartition(TableId table,
+                                                  uint32_t partition) const {
+  TELL_ASSIGN_OR_RETURN(PartitionPlacement placement,
+                        partition_map_.PlacementOf(table, partition));
+  Route route;
+  route.partition = partition;
+  route.master = const_cast<StorageNode*>(nodes_[placement.master].get());
+  if (!route.master->alive()) {
+    return Status::Unavailable("master of partition is down");
+  }
+  for (uint32_t replica : placement.replicas) {
+    StorageNode* node = const_cast<StorageNode*>(nodes_[replica].get());
+    if (node->alive()) route.replicas.push_back(node);
+  }
+  return route;
+}
+
+Result<VersionedCell> Cluster::Get(TableId table, std::string_view key) const {
+  TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  return route.master->Get(table, route.partition, key);
+}
+
+Result<uint64_t> Cluster::Put(TableId table, std::string_view key,
+                              std::string_view value) {
+  TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  TELL_ASSIGN_OR_RETURN(uint64_t stamp,
+                        route.master->Put(table, route.partition, key, value));
+  Replicate(table, route.partition, route.replicas, key, value, stamp);
+  return stamp;
+}
+
+Result<uint64_t> Cluster::ConditionalPut(TableId table, std::string_view key,
+                                         uint64_t expected_stamp,
+                                         std::string_view value) {
+  TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  TELL_ASSIGN_OR_RETURN(uint64_t stamp,
+                        route.master->ConditionalPut(table, route.partition,
+                                                     key, expected_stamp,
+                                                     value));
+  Replicate(table, route.partition, route.replicas, key, value, stamp);
+  return stamp;
+}
+
+Status Cluster::ConditionalErase(TableId table, std::string_view key,
+                                 uint64_t expected_stamp) {
+  TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  TELL_RETURN_NOT_OK(route.master->ConditionalErase(table, route.partition,
+                                                    key, expected_stamp));
+  ReplicateErase(table, route.partition, route.replicas, key);
+  return Status::OK();
+}
+
+Status Cluster::Erase(TableId table, std::string_view key) {
+  TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  TELL_RETURN_NOT_OK(route.master->Erase(table, route.partition, key));
+  ReplicateErase(table, route.partition, route.replicas, key);
+  return Status::OK();
+}
+
+Result<int64_t> Cluster::AtomicIncrement(TableId table, std::string_view key,
+                                         int64_t delta) {
+  TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  TELL_ASSIGN_OR_RETURN(int64_t value,
+                        route.master->AtomicIncrement(table, route.partition,
+                                                      key, delta));
+  // Replicate the counter cell so it survives master failure.
+  auto cell = route.master->Get(table, route.partition, key);
+  if (cell.ok()) {
+    Replicate(table, route.partition, route.replicas, key, cell->value,
+              cell->stamp);
+  }
+  return value;
+}
+
+Result<std::vector<KeyCell>> Cluster::Scan(TableId table,
+                                           std::string_view start_key,
+                                           std::string_view end_key,
+                                           size_t limit, bool reverse) const {
+  TELL_ASSIGN_OR_RETURN(uint32_t num_partitions,
+                        partition_map_.NumPartitions(table));
+  std::vector<KeyCell> merged;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    TELL_ASSIGN_OR_RETURN(Route route, RouteForPartition(table, p));
+    TELL_ASSIGN_OR_RETURN(
+        std::vector<KeyCell> part,
+        route.master->Scan(table, p, start_key, end_key, limit, reverse));
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  if (reverse) {
+    std::sort(merged.begin(), merged.end(),
+              [](const KeyCell& a, const KeyCell& b) { return a.key > b.key; });
+  } else {
+    std::sort(merged.begin(), merged.end(),
+              [](const KeyCell& a, const KeyCell& b) { return a.key < b.key; });
+  }
+  if (limit != 0 && merged.size() > limit) merged.resize(limit);
+  return merged;
+}
+
+Result<std::vector<KeyCell>> Cluster::ScanFiltered(
+    TableId table, std::string_view start_key, std::string_view end_key,
+    size_t limit,
+    const std::function<bool(std::string_view, std::string_view)>& predicate,
+    uint64_t* scanned) const {
+  TELL_ASSIGN_OR_RETURN(uint32_t num_partitions,
+                        partition_map_.NumPartitions(table));
+  std::vector<KeyCell> merged;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    TELL_ASSIGN_OR_RETURN(Route route, RouteForPartition(table, p));
+    TELL_ASSIGN_OR_RETURN(
+        std::vector<KeyCell> part,
+        route.master->ScanFiltered(table, p, start_key, end_key, limit,
+                                   predicate, scanned));
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const KeyCell& a, const KeyCell& b) { return a.key < b.key; });
+  if (limit != 0 && merged.size() > limit) merged.resize(limit);
+  return merged;
+}
+
+StorageNode* Cluster::node(uint32_t node_id) {
+  TELL_CHECK(node_id < nodes_.size());
+  return nodes_[node_id].get();
+}
+
+const StorageNode* Cluster::node(uint32_t node_id) const {
+  TELL_CHECK(node_id < nodes_.size());
+  return nodes_[node_id].get();
+}
+
+Result<uint32_t> Cluster::MasterOf(TableId table, std::string_view key) const {
+  TELL_ASSIGN_OR_RETURN(uint32_t partition,
+                        partition_map_.PartitionFor(table, key));
+  TELL_ASSIGN_OR_RETURN(PartitionPlacement placement,
+                        partition_map_.PlacementOf(table, partition));
+  return placement.master;
+}
+
+uint64_t Cluster::TotalMemoryUsed() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node->alive()) total += node->memory_used();
+  }
+  return total;
+}
+
+void Cluster::Replicate(TableId table, uint32_t partition,
+                        const std::vector<StorageNode*>& replicas,
+                        std::string_view key, std::string_view value,
+                        uint64_t stamp) {
+  for (StorageNode* replica : replicas) {
+    // A replica that died mid-write is simply skipped; the management node
+    // will notice and restore the replication level (paper §4.4.2).
+    Status st =
+        replica->ApplyReplicatedPut(table, partition, key, value, stamp);
+    if (!st.ok() && !st.IsUnavailable()) {
+      TELL_LOG(kWarn) << "replication to node " << replica->node_id()
+                      << " failed: " << st.ToString();
+    }
+  }
+}
+
+void Cluster::ReplicateErase(TableId table, uint32_t partition,
+                             const std::vector<StorageNode*>& replicas,
+                             std::string_view key) {
+  for (StorageNode* replica : replicas) {
+    Status st = replica->ApplyReplicatedErase(table, partition, key);
+    if (!st.ok() && !st.IsUnavailable() && !st.IsNotFound()) {
+      TELL_LOG(kWarn) << "replicated erase to node " << replica->node_id()
+                      << " failed: " << st.ToString();
+    }
+  }
+}
+
+}  // namespace tell::store

@@ -1,0 +1,132 @@
+#ifndef TELL_STORE_CLUSTER_H_
+#define TELL_STORE_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/partition_map.h"
+#include "store/storage_node.h"
+
+namespace tell::store {
+
+/// Configuration of the distributed storage system.
+struct ClusterOptions {
+  uint32_t num_storage_nodes = 3;
+  uint32_t replication_factor = 1;
+  /// Partitions per table = num_storage_nodes * partitions_per_node, so load
+  /// spreads evenly and fail-over moves 1/Nth of the data.
+  uint32_t partitions_per_node = 4;
+  /// DRAM budget per storage node.
+  uint64_t memory_per_node_bytes = 4ULL << 30;
+};
+
+/// The distributed storage system: a set of storage nodes, the partition
+/// map (lookup service) and the routing/replication logic that in a real
+/// deployment would live in the RamCloud coordinator and servers.
+///
+/// This class is the *server side*; processing nodes talk to it through
+/// StorageClient, which layers network-cost accounting and batching on top.
+/// Every write is synchronously replicated to all backups of the partition
+/// before it is acknowledged (paper §4.4.2: in-memory storage mandates
+/// synchronous replication), and reads are always served by the master copy
+/// (§6.1: "all requests to a particular partition are sent to the master
+/// copy").
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterOptions& options() const { return options_; }
+
+  /// Creates a table spread across all live storage nodes. Returns its id.
+  Result<TableId> CreateTable(const std::string& name);
+
+  /// Id of an existing table.
+  Result<TableId> TableByName(const std::string& name) const;
+
+  // --- Record operations (routed to the master copy, replicated) ---------
+
+  Result<VersionedCell> Get(TableId table, std::string_view key) const;
+  Result<uint64_t> Put(TableId table, std::string_view key,
+                       std::string_view value);
+  Result<uint64_t> ConditionalPut(TableId table, std::string_view key,
+                                  uint64_t expected_stamp,
+                                  std::string_view value);
+  Status ConditionalErase(TableId table, std::string_view key,
+                          uint64_t expected_stamp);
+  Status Erase(TableId table, std::string_view key);
+  Result<int64_t> AtomicIncrement(TableId table, std::string_view key,
+                                  int64_t delta);
+
+  /// Ordered scan of [start_key, end_key) merged across all partitions of
+  /// the table. `limit` 0 = unlimited; `reverse` walks keys descending.
+  Result<std::vector<KeyCell>> Scan(TableId table, std::string_view start_key,
+                                    std::string_view end_key, size_t limit,
+                                    bool reverse = false) const;
+
+  /// Filtered scan with the predicate evaluated on the storage nodes
+  /// (§5.2 operator push-down); only matching cells are returned.
+  /// `scanned` (optional) counts cells examined server-side.
+  Result<std::vector<KeyCell>> ScanFiltered(
+      TableId table, std::string_view start_key, std::string_view end_key,
+      size_t limit,
+      const std::function<bool(std::string_view, std::string_view)>& predicate,
+      uint64_t* scanned = nullptr) const;
+
+  // --- Topology ----------------------------------------------------------
+
+  StorageNode* node(uint32_t node_id);
+  const StorageNode* node(uint32_t node_id) const;
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  PartitionMap& partition_map() { return partition_map_; }
+  const PartitionMap& partition_map() const { return partition_map_; }
+
+  /// Number of storage nodes a request for `key` would touch (always 1;
+  /// exposed for the client's batching logic: ops are grouped per master).
+  Result<uint32_t> MasterOf(TableId table, std::string_view key) const;
+
+  /// Sum of memory used across live nodes (capacity experiments, Fig 7).
+  uint64_t TotalMemoryUsed() const;
+
+ private:
+  friend class ManagementNode;
+
+  /// Resolves (table, key) to its partition and current master node, failing
+  /// with Unavailable when the master is down (clients retry after the
+  /// management node has failed over).
+  struct Route {
+    uint32_t partition;
+    StorageNode* master;
+    std::vector<StorageNode*> replicas;
+  };
+  Result<Route> RouteFor(TableId table, std::string_view key) const;
+  Result<Route> RouteForPartition(TableId table, uint32_t partition) const;
+
+  /// Pushes a successful master write to every live backup.
+  void Replicate(TableId table, uint32_t partition,
+                 const std::vector<StorageNode*>& replicas,
+                 std::string_view key, std::string_view value, uint64_t stamp);
+  void ReplicateErase(TableId table, uint32_t partition,
+                      const std::vector<StorageNode*>& replicas,
+                      std::string_view key);
+
+  const ClusterOptions options_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  PartitionMap partition_map_;
+
+  mutable std::shared_mutex catalog_mutex_;
+  std::map<std::string, TableId> catalog_;
+  TableId next_table_id_ = 1;
+};
+
+}  // namespace tell::store
+
+#endif  // TELL_STORE_CLUSTER_H_

@@ -1,0 +1,125 @@
+#include "store/management_node.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace tell::store {
+
+Result<uint32_t> ManagementNode::DetectAndRecover() {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  if (handled_.size() < cluster_->num_nodes()) {
+    handled_.resize(cluster_->num_nodes(), false);
+  }
+  uint32_t recovered = 0;
+  for (uint32_t id = 0; id < cluster_->num_nodes(); ++id) {
+    StorageNode* node = cluster_->node(id);
+    if (node->alive()) {
+      handled_[id] = false;  // a revived node can fail again later
+      continue;
+    }
+    if (handled_[id]) continue;
+    Status st = RecoverNode(id);
+    if (!st.ok()) return st;
+    handled_[id] = true;
+    ++recovered;
+  }
+  if (recovered > 0) {
+    TELL_RETURN_NOT_OK(RestoreReplicationLevel());
+  }
+  return recovered;
+}
+
+Status ManagementNode::RecoverNode(uint32_t node_id) {
+  TELL_LOG(kInfo) << "recovering failed storage node " << node_id;
+  PartitionMap& map = cluster_->partition_map();
+  // Drop the dead node from every placement; collect partitions that lost
+  // their master copy.
+  std::vector<std::pair<TableId, uint32_t>> orphaned = map.RemoveNode(node_id);
+  for (const auto& [table, partition] : orphaned) {
+    // Re-read the placement: replicas of this partition, now master-less.
+    TELL_ASSIGN_OR_RETURN(PartitionPlacement placement,
+                          map.PlacementOf(table, partition));
+    uint32_t promoted = UINT32_MAX;
+    for (uint32_t replica : placement.replicas) {
+      if (cluster_->node(replica)->alive()) {
+        promoted = replica;
+        break;
+      }
+    }
+    if (promoted == UINT32_MAX) {
+      // With RF1 (or all replicas dead) acknowledged data is lost — exactly
+      // the risk the paper's synchronous replication exists to avoid.
+      return Status::Unavailable(
+          "partition lost all copies; data unrecoverable (table " +
+          std::to_string(table) + " partition " + std::to_string(partition) +
+          ")");
+    }
+    TELL_RETURN_NOT_OK(map.PromoteReplica(table, partition, promoted));
+  }
+  return Status::OK();
+}
+
+Status ManagementNode::RestoreReplicationLevel() {
+  PartitionMap& map = cluster_->partition_map();
+  uint32_t target_rf = cluster_->options().replication_factor;
+  for (const auto& [table, partition] : map.AllPartitions()) {
+    TELL_ASSIGN_OR_RETURN(PartitionPlacement placement,
+                          map.PlacementOf(table, partition));
+    StorageNode* master = cluster_->node(placement.master);
+    if (!master->alive()) continue;  // unrecoverable; reported elsewhere
+    uint32_t live_copies = 1;
+    for (uint32_t replica : placement.replicas) {
+      if (cluster_->node(replica)->alive()) ++live_copies;
+    }
+    while (live_copies < target_rf) {
+      // Pick a live node not yet hosting this partition.
+      uint32_t candidate = UINT32_MAX;
+      for (uint32_t id = 0; id < cluster_->num_nodes(); ++id) {
+        if (!cluster_->node(id)->alive()) continue;
+        if (id == placement.master) continue;
+        if (std::find(placement.replicas.begin(), placement.replicas.end(),
+                      id) != placement.replicas.end()) {
+          continue;
+        }
+        candidate = id;
+        break;
+      }
+      if (candidate == UINT32_MAX) break;  // not enough live nodes
+      TELL_ASSIGN_OR_RETURN(std::vector<KeyCell> cells,
+                            master->DumpPartition(table, partition));
+      TELL_RETURN_NOT_OK(
+          cluster_->node(candidate)->InstallPartition(table, partition, cells));
+      TELL_RETURN_NOT_OK(map.AddReplica(table, partition, candidate));
+      placement.replicas.push_back(candidate);
+      ++live_copies;
+      TELL_LOG(kInfo) << "re-replicated table " << table << " partition "
+                      << partition << " onto node " << candidate;
+    }
+  }
+  return Status::OK();
+}
+
+bool ManagementNode::ReplicationLevelRestored() const {
+  const PartitionMap& map = cluster_->partition_map();
+  uint32_t target_rf = cluster_->options().replication_factor;
+  uint32_t live_nodes = 0;
+  for (uint32_t id = 0; id < cluster_->num_nodes(); ++id) {
+    if (cluster_->node(id)->alive()) ++live_nodes;
+  }
+  uint32_t achievable = std::min(target_rf, live_nodes);
+  for (const auto& [table, partition] : map.AllPartitions()) {
+    auto placement = map.PlacementOf(table, partition);
+    if (!placement.ok()) return false;
+    if (!cluster_->node(placement->master)->alive()) return false;
+    uint32_t live_copies = 1;
+    for (uint32_t replica : placement->replicas) {
+      if (cluster_->node(replica)->alive()) ++live_copies;
+    }
+    if (live_copies < achievable) return false;
+  }
+  return true;
+}
+
+}  // namespace tell::store

@@ -1,0 +1,51 @@
+#ifndef TELL_STORE_MANAGEMENT_NODE_H_
+#define TELL_STORE_MANAGEMENT_NODE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "store/cluster.h"
+
+namespace tell::store {
+
+/// The management node of the storage layer (paper §4.4.2): detects storage
+/// node failures, fails partitions over to their replicas and restores the
+/// replication level on the surviving nodes.
+///
+/// Failure detection in the paper is an eventually perfect detector based on
+/// timeouts; in the in-process reproduction a node's crash-stop state is its
+/// `alive()` flag, and DetectAndRecover() plays the role of the detector
+/// firing. Only one recovery process runs at a time (§4.4.1), enforced with
+/// a mutex; a single pass handles any number of concurrently failed nodes.
+class ManagementNode {
+ public:
+  explicit ManagementNode(Cluster* cluster) : cluster_(cluster) {}
+
+  ManagementNode(const ManagementNode&) = delete;
+  ManagementNode& operator=(const ManagementNode&) = delete;
+
+  /// Scans for dead storage nodes and recovers each: every partition whose
+  /// master died is failed over to a surviving replica (which already holds
+  /// all acknowledged writes, thanks to synchronous replication), and
+  /// partitions below the configured replication factor are re-replicated
+  /// onto other live nodes. Returns the number of nodes recovered.
+  Result<uint32_t> DetectAndRecover();
+
+  /// True if every live partition currently has `replication_factor` copies
+  /// on live nodes (test hook).
+  bool ReplicationLevelRestored() const;
+
+ private:
+  Status RecoverNode(uint32_t node_id);
+  Status RestoreReplicationLevel();
+
+  Cluster* const cluster_;
+  std::mutex recovery_mutex_;
+  std::vector<bool> handled_;  // grown lazily; true once a node was recovered
+};
+
+}  // namespace tell::store
+
+#endif  // TELL_STORE_MANAGEMENT_NODE_H_

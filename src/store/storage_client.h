@@ -1,0 +1,156 @@
+#ifndef TELL_STORE_STORAGE_CLIENT_H_
+#define TELL_STORE_STORAGE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/metrics.h"
+#include "sim/network_model.h"
+#include "sim/virtual_clock.h"
+#include "store/cluster.h"
+#include "store/management_node.h"
+
+namespace tell::store {
+
+/// One logical read in a batch.
+struct GetOp {
+  TableId table;
+  std::string key;
+};
+
+/// One logical write in a batch. `conditional` selects LL/SC semantics
+/// (expected_stamp must match; kStampAbsent means insert-if-absent);
+/// `erase` deletes instead of writing.
+struct WriteOp {
+  TableId table;
+  std::string key;
+  std::string value;
+  uint64_t expected_stamp = kStampAbsent;
+  bool conditional = true;
+  bool erase = false;
+};
+
+/// Client-side knobs; the defaults reproduce the paper's configuration.
+struct ClientOptions {
+  sim::NetworkModel network = sim::NetworkModel::InfiniBand();
+  sim::CpuModel cpu;
+  /// Paper §5.1: Tell aggressively batches operations — several logical ops
+  /// to the same storage node travel in one request, and requests to
+  /// different nodes are issued in parallel. Disabled for the batching
+  /// ablation bench (each op then pays a full sequential round trip).
+  bool batching = true;
+  /// Extra round trips charged per write for synchronous replication
+  /// (master -> backup chain). Set from the cluster's replication factor.
+  uint32_t replication_extra_hops = 0;
+};
+
+/// The storage interface of a processing node worker (paper Fig. 3,
+/// "Storage Interface / Get/Put Byte[]").
+///
+/// Semantically a thin veneer over Cluster; its real job is *accounting*:
+/// every interaction charges modelled network + CPU time to the worker's
+/// VirtualClock and updates its WorkerMetrics, which is how all benchmark
+/// figures are produced. Each worker thread owns its own StorageClient, so
+/// nothing here needs synchronization.
+class StorageClient {
+ public:
+  StorageClient(Cluster* cluster, ManagementNode* management,
+                const ClientOptions& options, sim::VirtualClock* clock,
+                sim::WorkerMetrics* metrics)
+      : cluster_(cluster),
+        management_(management),
+        options_(options),
+        clock_(clock),
+        metrics_(metrics) {}
+
+  StorageClient(const StorageClient&) = delete;
+  StorageClient& operator=(const StorageClient&) = delete;
+
+  const ClientOptions& options() const { return options_; }
+  sim::VirtualClock* clock() { return clock_; }
+  sim::WorkerMetrics* metrics() { return metrics_; }
+  Cluster* cluster() { return cluster_; }
+
+  /// Single-record read (one round trip).
+  Result<VersionedCell> Get(TableId table, std::string_view key);
+
+  /// Reads many records. With batching on, ops going to the same storage
+  /// node share one request and requests to distinct nodes fly in parallel,
+  /// so the charged time is the *maximum* over nodes, not the sum.
+  std::vector<Result<VersionedCell>> BatchGet(const std::vector<GetOp>& ops);
+
+  /// Unconditional single write.
+  Result<uint64_t> Put(TableId table, std::string_view key,
+                       std::string_view value);
+
+  /// Store-conditional single write (the LL/SC commit primitive).
+  Result<uint64_t> ConditionalPut(TableId table, std::string_view key,
+                                  uint64_t expected_stamp,
+                                  std::string_view value);
+
+  Status Erase(TableId table, std::string_view key);
+  Status ConditionalErase(TableId table, std::string_view key,
+                          uint64_t expected_stamp);
+
+  /// Applies many writes; same batching rules as BatchGet. Results are
+  /// positionally aligned with `ops`: the new stamp for puts, 0 for erases,
+  /// or the failure status. Ops are *independent* — a failed conditional put
+  /// does not stop the others (the transaction layer decides what to roll
+  /// back).
+  std::vector<Result<uint64_t>> BatchWrite(const std::vector<WriteOp>& ops);
+
+  /// Ordered scan; partition scans are issued in parallel.
+  Result<std::vector<KeyCell>> Scan(TableId table, std::string_view start_key,
+                                    std::string_view end_key, size_t limit,
+                                    bool reverse = false);
+
+  /// Push-down scan (§5.2): the predicate executes on the storage nodes and
+  /// only matching cells cross the network, so the charged traffic is the
+  /// result set, not the table. `filter_descriptor_bytes` models the size
+  /// of the serialized predicate shipped with the request.
+  Result<std::vector<KeyCell>> PushdownScan(
+      TableId table, std::string_view start_key, std::string_view end_key,
+      size_t limit,
+      const std::function<bool(std::string_view, std::string_view)>& predicate,
+      uint64_t filter_descriptor_bytes = 64);
+
+  /// Atomic fetch-add on a counter cell (one round trip).
+  Result<int64_t> AtomicIncrement(TableId table, std::string_view key,
+                                  int64_t delta);
+
+  /// Charges pure CPU time to the worker (used by the transaction and query
+  /// layers for their own modelled work).
+  void ChargeCpu(uint64_t ns) { clock_->Advance(ns); }
+
+  /// Charges one non-storage RPC (e.g. the commit manager's start() call) to
+  /// the worker: same network model, counted as a request.
+  void ChargeRpc(uint64_t request_bytes, uint64_t response_bytes) {
+    ChargeRequest(request_bytes, response_bytes);
+  }
+
+ private:
+  /// Charges one network request and updates metrics.
+  void ChargeRequest(uint64_t request_bytes, uint64_t response_bytes);
+  /// Charges n parallel requests (max of individual costs — here they are
+  /// uniform per-group costs, so cost of the largest group).
+  void ChargeParallelRequests(const std::vector<std::pair<uint64_t, uint64_t>>&
+                                  per_request_bytes);
+  void ChargeReplication(uint64_t num_writes);
+
+  /// Routes Unavailable errors through the management node once (fail-over)
+  /// and signals the caller to retry.
+  bool HandleUnavailable(const Status& status);
+
+  Cluster* const cluster_;
+  ManagementNode* const management_;
+  const ClientOptions options_;
+  sim::VirtualClock* const clock_;
+  sim::WorkerMetrics* const metrics_;
+};
+
+}  // namespace tell::store
+
+#endif  // TELL_STORE_STORAGE_CLIENT_H_

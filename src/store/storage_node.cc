@@ -1,0 +1,313 @@
+#include "store/storage_node.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace tell::store {
+
+StorageNode::StorageNode(uint32_t node_id, uint64_t memory_capacity_bytes)
+    : node_id_(node_id), memory_capacity_(memory_capacity_bytes) {}
+
+void StorageNode::CreatePartition(TableId table, uint32_t partition) {
+  std::unique_lock lock(partitions_mutex_);
+  uint64_t key = PartitionKey(table, partition);
+  if (partitions_.find(key) == partitions_.end()) {
+    partitions_.emplace(key, std::make_unique<Partition>());
+  }
+}
+
+StorageNode::Partition* StorageNode::FindPartition(TableId table,
+                                                   uint32_t partition) const {
+  std::shared_lock lock(partitions_mutex_);
+  auto it = partitions_.find(PartitionKey(table, partition));
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+Status StorageNode::CheckAlive() const {
+  if (!alive()) {
+    return Status::Unavailable("storage node " + std::to_string(node_id_) +
+                               " is down");
+  }
+  return Status::OK();
+}
+
+Result<VersionedCell> StorageNode::Get(TableId table, uint32_t partition,
+                                       std::string_view key) const {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::shared_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  if (it == part->cells.end()) return Status::NotFound();
+  return it->second;
+}
+
+Result<uint64_t> StorageNode::Put(TableId table, uint32_t partition,
+                                  std::string_view key,
+                                  std::string_view value) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::unique_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  uint64_t stamp = part->next_stamp++;
+  if (it == part->cells.end()) {
+    uint64_t bytes = key.size() + value.size() + sizeof(VersionedCell);
+    if (memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes >
+        memory_capacity_) {
+      memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return Status::CapacityExceeded("storage node " +
+                                      std::to_string(node_id_) + " is full");
+    }
+    part->cells.emplace(std::string(key), VersionedCell{std::string(value), stamp});
+  } else {
+    int64_t delta = static_cast<int64_t>(value.size()) -
+                    static_cast<int64_t>(it->second.value.size());
+    memory_used_.fetch_add(static_cast<uint64_t>(delta),
+                           std::memory_order_relaxed);
+    it->second.value.assign(value);
+    it->second.stamp = stamp;
+  }
+  return stamp;
+}
+
+Result<uint64_t> StorageNode::ConditionalPut(TableId table, uint32_t partition,
+                                             std::string_view key,
+                                             uint64_t expected_stamp,
+                                             std::string_view value) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::unique_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  uint64_t current = it == part->cells.end() ? kStampAbsent : it->second.stamp;
+  if (current != expected_stamp) {
+    return Status::ConditionFailed("stamp mismatch: expected " +
+                                   std::to_string(expected_stamp) + ", have " +
+                                   std::to_string(current));
+  }
+  uint64_t stamp = part->next_stamp++;
+  if (it == part->cells.end()) {
+    uint64_t bytes = key.size() + value.size() + sizeof(VersionedCell);
+    if (memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes >
+        memory_capacity_) {
+      memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return Status::CapacityExceeded("storage node " +
+                                      std::to_string(node_id_) + " is full");
+    }
+    part->cells.emplace(std::string(key),
+                        VersionedCell{std::string(value), stamp});
+  } else {
+    int64_t delta = static_cast<int64_t>(value.size()) -
+                    static_cast<int64_t>(it->second.value.size());
+    memory_used_.fetch_add(static_cast<uint64_t>(delta),
+                           std::memory_order_relaxed);
+    it->second.value.assign(value);
+    it->second.stamp = stamp;
+  }
+  return stamp;
+}
+
+Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
+                                     std::string_view key,
+                                     uint64_t expected_stamp) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::unique_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  if (it == part->cells.end()) return Status::NotFound();
+  if (it->second.stamp != expected_stamp) {
+    return Status::ConditionFailed();
+  }
+  memory_used_.fetch_sub(key.size() + it->second.value.size() +
+                             sizeof(VersionedCell),
+                         std::memory_order_relaxed);
+  part->cells.erase(it);
+  return Status::OK();
+}
+
+Status StorageNode::Erase(TableId table, uint32_t partition,
+                          std::string_view key) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::unique_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  if (it == part->cells.end()) return Status::NotFound();
+  memory_used_.fetch_sub(key.size() + it->second.value.size() +
+                             sizeof(VersionedCell),
+                         std::memory_order_relaxed);
+  part->cells.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<KeyCell>> StorageNode::Scan(TableId table,
+                                               uint32_t partition,
+                                               std::string_view start_key,
+                                               std::string_view end_key,
+                                               size_t limit,
+                                               bool reverse) const {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::shared_lock lock(part->mutex);
+  std::vector<KeyCell> out;
+  auto lo = part->cells.lower_bound(start_key);
+  auto hi = end_key.empty() ? part->cells.end()
+                            : part->cells.lower_bound(end_key);
+  if (!reverse) {
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back({it->first, it->second.value, it->second.stamp});
+      if (limit != 0 && out.size() >= limit) break;
+    }
+  } else {
+    auto it = hi;
+    while (it != lo) {
+      --it;
+      out.push_back({it->first, it->second.value, it->second.stamp});
+      if (limit != 0 && out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<KeyCell>> StorageNode::ScanFiltered(
+    TableId table, uint32_t partition, std::string_view start_key,
+    std::string_view end_key, size_t limit,
+    const std::function<bool(std::string_view, std::string_view)>& predicate,
+    uint64_t* scanned) const {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::shared_lock lock(part->mutex);
+  std::vector<KeyCell> out;
+  auto lo = part->cells.lower_bound(start_key);
+  auto hi = end_key.empty() ? part->cells.end()
+                            : part->cells.lower_bound(end_key);
+  uint64_t examined = 0;
+  for (auto it = lo; it != hi; ++it) {
+    ++examined;
+    if (!predicate(it->first, it->second.value)) continue;
+    out.push_back({it->first, it->second.value, it->second.stamp});
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  if (scanned != nullptr) *scanned += examined;
+  return out;
+}
+
+Result<int64_t> StorageNode::AtomicIncrement(TableId table, uint32_t partition,
+                                             std::string_view key,
+                                             int64_t delta) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::unique_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  int64_t current = 0;
+  if (it != part->cells.end() && it->second.value.size() == sizeof(int64_t)) {
+    std::memcpy(&current, it->second.value.data(), sizeof(int64_t));
+  }
+  int64_t updated = current + delta;
+  std::string encoded(sizeof(int64_t), '\0');
+  std::memcpy(encoded.data(), &updated, sizeof(int64_t));
+  uint64_t stamp = part->next_stamp++;
+  if (it == part->cells.end()) {
+    memory_used_.fetch_add(key.size() + encoded.size() + sizeof(VersionedCell),
+                           std::memory_order_relaxed);
+    part->cells.emplace(std::string(key), VersionedCell{encoded, stamp});
+  } else {
+    it->second.value = encoded;
+    it->second.stamp = stamp;
+  }
+  return updated;
+}
+
+Result<std::vector<KeyCell>> StorageNode::DumpPartition(
+    TableId table, uint32_t partition) const {
+  // Intentionally works on a dead node: fail-over needs to read the replica
+  // copies hosted on the *surviving* nodes, and tests also use it to verify
+  // what a crashed node held.
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::shared_lock lock(part->mutex);
+  std::vector<KeyCell> out;
+  out.reserve(part->cells.size());
+  for (const auto& [key, cell] : part->cells) {
+    out.push_back({key, cell.value, cell.stamp});
+  }
+  return out;
+}
+
+Status StorageNode::InstallPartition(TableId table, uint32_t partition,
+                                     const std::vector<KeyCell>& cells) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  CreatePartition(table, partition);
+  Partition* part = FindPartition(table, partition);
+  std::unique_lock lock(part->mutex);
+  uint64_t max_stamp = part->next_stamp;
+  for (const auto& cell : cells) {
+    auto [it, inserted] = part->cells.insert_or_assign(
+        cell.key, VersionedCell{cell.value, cell.stamp});
+    if (inserted) {
+      memory_used_.fetch_add(cell.key.size() + cell.value.size() +
+                                 sizeof(VersionedCell),
+                             std::memory_order_relaxed);
+    }
+    if (cell.stamp >= max_stamp) max_stamp = cell.stamp + 1;
+  }
+  // Keep the stamp source ahead of every installed stamp so post-fail-over
+  // writes remain ABA-safe.
+  part->next_stamp = max_stamp;
+  return Status::OK();
+}
+
+Status StorageNode::ApplyReplicatedPut(TableId table, uint32_t partition,
+                                       std::string_view key,
+                                       std::string_view value,
+                                       uint64_t stamp) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::unique_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  if (it == part->cells.end()) {
+    memory_used_.fetch_add(key.size() + value.size() + sizeof(VersionedCell),
+                           std::memory_order_relaxed);
+    part->cells.emplace(std::string(key),
+                        VersionedCell{std::string(value), stamp});
+  } else {
+    it->second.value.assign(value);
+    it->second.stamp = stamp;
+  }
+  if (stamp >= part->next_stamp) part->next_stamp = stamp + 1;
+  return Status::OK();
+}
+
+Status StorageNode::ApplyReplicatedErase(TableId table, uint32_t partition,
+                                         std::string_view key) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::unique_lock lock(part->mutex);
+  auto it = part->cells.find(key);
+  if (it != part->cells.end()) {
+    memory_used_.fetch_sub(key.size() + it->second.value.size() +
+                               sizeof(VersionedCell),
+                           std::memory_order_relaxed);
+    part->cells.erase(it);
+  }
+  return Status::OK();
+}
+
+size_t StorageNode::PartitionSize(TableId table, uint32_t partition) const {
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return 0;
+  std::shared_lock lock(part->mutex);
+  return part->cells.size();
+}
+
+}  // namespace tell::store

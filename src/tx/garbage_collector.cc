@@ -1,0 +1,87 @@
+#include "tx/garbage_collector.h"
+
+#include "common/serde.h"
+#include "schema/tuple.h"
+#include "schema/versioned_record.h"
+
+namespace tell::tx {
+
+Result<GcStats> GarbageCollector::SweepTable(store::StorageClient* client,
+                                             TableHandle* table) {
+  GcStats stats;
+  Tid lav = commit_managers_->GlobalLav();
+  store::TableId data_table = table->meta->data_table;
+  TELL_ASSIGN_OR_RETURN(std::vector<store::KeyCell> cells,
+                        client->Scan(data_table, "", "", /*limit=*/0));
+  for (const store::KeyCell& cell : cells) {
+    if (cell.key.size() != sizeof(uint64_t)) continue;  // meta cells
+    auto record = schema::VersionedRecord::Deserialize(cell.value);
+    if (!record.ok()) continue;
+    uint64_t rid = DecodeOrderedU64(cell.key);
+
+    if (record->DeadAt(lav)) {
+      // The record's newest version is a tombstone visible to everyone:
+      // remove its index entries, then the record itself.
+      auto remove_entries = [&](index::BTree* tree,
+                                const schema::IndexDef& def) {
+        for (const schema::RecordVersion& version : record->versions()) {
+          if (version.tombstone) continue;
+          auto tuple = schema::Tuple::Deserialize(table->meta->schema,
+                                                  version.payload);
+          if (!tuple.ok()) continue;
+          auto key = schema::EncodeIndexKey(*tuple, def.key_columns);
+          if (!key.ok()) continue;
+          if (tree->Remove(client, *key, rid).ok()) {
+            ++stats.index_entries_removed;
+          }
+        }
+      };
+      remove_entries(&table->primary, table->meta->primary.def);
+      for (size_t i = 0; i < table->secondaries.size(); ++i) {
+        remove_entries(&table->secondaries[i],
+                       table->meta->secondaries[i].def);
+      }
+      Status st = client->ConditionalErase(data_table, cell.key, cell.stamp);
+      if (st.ok()) {
+        ++stats.records_erased;
+        stats.versions_removed += record->NumVersions();
+      }
+      continue;  // ConditionFailed: a live writer raced us; next sweep
+    }
+
+    size_t removed = record->CollectGarbage(lav);
+    if (removed == 0) continue;
+    Status st = client
+                    ->ConditionalPut(data_table, cell.key, cell.stamp,
+                                     record->Serialize())
+                    .status();
+    if (st.ok()) {
+      ++stats.records_rewritten;
+      stats.versions_removed += removed;
+    }
+    // On ConditionFailed a concurrent update already rewrote the record —
+    // and performed its own eager GC in the process.
+  }
+  return stats;
+}
+
+Result<GcStats> GarbageCollector::Sweep(
+    store::StorageClient* client, const std::vector<TableHandle*>& tables,
+    const TransactionLog* log) {
+  GcStats total;
+  for (TableHandle* table : tables) {
+    TELL_ASSIGN_OR_RETURN(GcStats stats, SweepTable(client, table));
+    total.records_rewritten += stats.records_rewritten;
+    total.versions_removed += stats.versions_removed;
+    total.records_erased += stats.records_erased;
+    total.index_entries_removed += stats.index_entries_removed;
+  }
+  if (log != nullptr) {
+    Tid lav = commit_managers_->GlobalLav();
+    TELL_ASSIGN_OR_RETURN(size_t truncated, log->Truncate(client, lav));
+    total.log_entries_truncated = truncated;
+  }
+  return total;
+}
+
+}  // namespace tell::tx

@@ -1,0 +1,52 @@
+#ifndef TELL_TX_GARBAGE_COLLECTOR_H_
+#define TELL_TX_GARBAGE_COLLECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "commitmgr/commit_manager.h"
+#include "common/result.h"
+#include "store/storage_client.h"
+#include "tx/catalog.h"
+#include "tx/transaction_log.h"
+
+namespace tell::tx {
+
+struct GcStats {
+  size_t records_rewritten = 0;
+  size_t versions_removed = 0;
+  size_t records_erased = 0;
+  size_t index_entries_removed = 0;
+  size_t log_entries_truncated = 0;
+};
+
+/// The lazy garbage collection strategy (paper §5.4): a background task that
+/// sweeps all records in regular intervals and removes versions (and whole
+/// records, and their index entries) that can never be accessed again
+/// because they are older than the lowest active version number. Complements
+/// the eager strategy, which runs inline with updates (Transaction::Commit)
+/// and reads (index entry validation).
+class GarbageCollector {
+ public:
+  explicit GarbageCollector(commitmgr::CommitManagerGroup* commit_managers)
+      : commit_managers_(commit_managers) {}
+
+  GarbageCollector(const GarbageCollector&) = delete;
+  GarbageCollector& operator=(const GarbageCollector&) = delete;
+
+  /// One sweep over a table's records at the current global lav.
+  Result<GcStats> SweepTable(store::StorageClient* client, TableHandle* table);
+
+  /// Sweeps all given tables and truncates the transaction log below the
+  /// lav.
+  Result<GcStats> Sweep(store::StorageClient* client,
+                        const std::vector<TableHandle*>& tables,
+                        const TransactionLog* log);
+
+ private:
+  commitmgr::CommitManagerGroup* const commit_managers_;
+};
+
+}  // namespace tell::tx
+
+#endif  // TELL_TX_GARBAGE_COLLECTOR_H_

@@ -1,0 +1,90 @@
+#ifndef TELL_TX_RECORD_BUFFER_H_
+#define TELL_TX_RECORD_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "commitmgr/snapshot_descriptor.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "schema/versioned_record.h"
+#include "store/storage_client.h"
+
+namespace tell::tx {
+
+using commitmgr::SnapshotDescriptor;
+using commitmgr::Tid;
+
+/// A record as held client-side: the parsed version set plus the LL/SC stamp
+/// it was read with.
+struct FetchedRecord {
+  schema::VersionedRecord record;
+  uint64_t stamp = store::kStampAbsent;
+};
+
+/// PN-level record buffering strategy (paper §5.5). The transaction's own
+/// private buffer (strategy TB, §5.5.1) always exists inside Transaction;
+/// an implementation of this interface optionally adds a buffer layer shared
+/// by all transactions of a processing node:
+///   * PassthroughBuffer  — no shared layer (= strategy TB alone),
+///   * SharedRecordBuffer — §5.5.2 (strategy SB),
+///   * VersionSyncBuffer  — §5.5.3 (strategy SBVS).
+class RecordBuffer {
+ public:
+  virtual ~RecordBuffer() = default;
+
+  /// Produces the record under (table, rid) in a state valid for a
+  /// transaction reading with `snapshot`. Either serves a buffered copy or
+  /// fetches from the storage system through `client` (charging its costs).
+  /// NotFound if the record does not exist.
+  virtual Result<FetchedRecord> Read(store::StorageClient* client,
+                                     store::TableId table, uint64_t rid,
+                                     const SnapshotDescriptor& snapshot) = 0;
+
+  /// Called after a transaction successfully applied a record at commit:
+  /// write-through so the buffer stays coherent. `tid` is the writer and
+  /// `snapshot` its descriptor; `stamp` the new LL/SC stamp.
+  virtual void OnApply(store::StorageClient* client, store::TableId table,
+                       uint64_t rid, const schema::VersionedRecord& record,
+                       uint64_t stamp, Tid tid,
+                       const SnapshotDescriptor& snapshot) = 0;
+
+  /// Called when a new transaction begins on this PN, with its snapshot —
+  /// the buffers use the most recent snapshot (V_max) to label fetched
+  /// records with the largest valid version set.
+  virtual void OnTransactionStart(const SnapshotDescriptor& snapshot) = 0;
+
+  /// True if the strategy has no PN-level state, so the transaction layer
+  /// may fetch groups of records itself with one batched request.
+  virtual bool PrefersBatchFetch() const { return false; }
+};
+
+/// No shared buffering: every read (beyond the transaction's private buffer)
+/// fetches the latest record from the storage system. This is the paper's
+/// default and, per §6.7, the fastest strategy under TPC-C with fast RDMA.
+class PassthroughBuffer final : public RecordBuffer {
+ public:
+  Result<FetchedRecord> Read(store::StorageClient* client,
+                             store::TableId table, uint64_t rid,
+                             const SnapshotDescriptor& snapshot) override {
+    (void)snapshot;
+    auto cell = client->Get(table, EncodeOrderedU64(rid));
+    client->metrics()->buffer_misses += 1;
+    if (!cell.ok()) return cell.status();
+    TELL_ASSIGN_OR_RETURN(schema::VersionedRecord record,
+                          schema::VersionedRecord::Deserialize(cell->value));
+    return FetchedRecord{std::move(record), cell->stamp};
+  }
+
+  void OnApply(store::StorageClient*, store::TableId, uint64_t,
+               const schema::VersionedRecord&, uint64_t, Tid,
+               const SnapshotDescriptor&) override {}
+
+  void OnTransactionStart(const SnapshotDescriptor&) override {}
+
+  bool PrefersBatchFetch() const override { return true; }
+};
+
+}  // namespace tell::tx
+
+#endif  // TELL_TX_RECORD_BUFFER_H_

@@ -1,0 +1,89 @@
+#include "tx/recovery.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/serde.h"
+#include "schema/versioned_record.h"
+
+namespace tell::tx {
+
+namespace {
+constexpr int kMaxRevertRetries = 1024;
+}
+
+bool RecoveryManager::RevertRecord(store::StorageClient* client,
+                                   store::TableId table, uint64_t rid,
+                                   Tid tid) {
+  std::string key = EncodeOrderedU64(rid);
+  for (int retry = 0; retry < kMaxRevertRetries; ++retry) {
+    auto cell = client->Get(table, key);
+    if (!cell.ok()) return false;  // record gone
+    auto record = schema::VersionedRecord::Deserialize(cell->value);
+    if (!record.ok()) {
+      TELL_LOG(kWarn) << "recovery: corrupt record " << rid << " in table "
+                      << table;
+      return false;
+    }
+    if (!record->RemoveVersion(tid)) return false;  // nothing to revert
+    Status st;
+    if (record->Empty()) {
+      st = client->ConditionalErase(table, key, cell->stamp);
+    } else {
+      st = client->ConditionalPut(table, key, cell->stamp,
+                                  record->Serialize())
+               .status();
+    }
+    if (st.ok()) return true;
+    if (!st.IsConditionFailed()) return false;
+    // LL/SC race with a live transaction; retry from a fresh read.
+  }
+  TELL_LOG(kError) << "recovery: revert retries exhausted for rid " << rid;
+  return false;
+}
+
+Result<RecoveryStats> RecoveryManager::RecoverProcessingNode(
+    store::StorageClient* client, uint32_t failed_pn) {
+  RecoveryStats stats;
+
+  // Bound the log walk: highest tid handed out anywhere, down to the lav
+  // (no transaction below the lav can still be active — rolling checkpoint).
+  Tid highest = 0;
+  for (uint32_t i = 0; i < commit_managers_->size(); ++i) {
+    highest = std::max(highest,
+                       commit_managers_->manager(i)->HighestAssignedTid());
+  }
+  Tid lav = commit_managers_->GlobalLav();
+
+  TELL_ASSIGN_OR_RETURN(std::vector<LogEntry> entries,
+                        log_->ScanBackwards(client, highest, lav));
+  for (const LogEntry& entry : entries) {
+    if (entry.pn_id != failed_pn || entry.committed) continue;
+    bool reverted_any = false;
+    for (const auto& [table, rid] : entry.write_set) {
+      if (RevertRecord(client, table, rid, entry.tid)) {
+        ++stats.versions_removed;
+        reverted_any = true;
+      }
+    }
+    if (reverted_any) ++stats.transactions_rolled_back;
+    // The transaction is finished (aborted) from the system's perspective.
+    for (uint32_t i = 0; i < commit_managers_->size(); ++i) {
+      if (commit_managers_->manager(i)->alive()) {
+        (void)commit_managers_->manager(i)->SetAborted(entry.tid);
+      }
+    }
+  }
+
+  // Transactions that began but never logged: nothing to revert, but their
+  // tids must be completed or the snapshot base stalls forever.
+  for (uint32_t i = 0; i < commit_managers_->size(); ++i) {
+    if (!commit_managers_->manager(i)->alive()) continue;
+    std::vector<Tid> abandoned =
+        commit_managers_->manager(i)->AbortActiveOf(failed_pn);
+    stats.transactions_abandoned += abandoned.size();
+  }
+  return stats;
+}
+
+}  // namespace tell::tx

@@ -1,0 +1,686 @@
+#include "tx/transaction.h"
+
+#include <cstddef>
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace tell::tx {
+
+namespace {
+constexpr std::string_view kNextRidKey = "meta/next_rid";
+constexpr int kMaxRollbackRetries = 1024;
+
+std::string RidKey(uint64_t rid) { return EncodeOrderedU64(rid); }
+}  // namespace
+
+Result<uint64_t> Session::AllocateRid(const TableMeta* table) {
+  auto& range = rid_ranges_[table->data_table];
+  if (range.first > range.second || range.first == 0) {
+    TELL_ASSIGN_OR_RETURN(
+        int64_t end, client_.AtomicIncrement(table->data_table, kNextRidKey,
+                                             options_.rid_range_size));
+    range.second = static_cast<uint64_t>(end);
+    range.first = range.second - options_.rid_range_size + 1;
+  }
+  return range.first++;
+}
+
+Transaction::Transaction(Session* session, const TxnOptions& options)
+    : session_(session), client_(session->client()), options_(options) {}
+
+Transaction::~Transaction() {
+  if (state_ == TxnState::kRunning) {
+    (void)Abort();
+  }
+}
+
+Status Transaction::CheckWritable(const RecordState& state) const {
+  const schema::RecordVersion* newest = state.record.Newest();
+  if (newest != nullptr && newest->version != tid_ &&
+      !snapshot_.CanRead(newest->version)) {
+    return Status::Aborted(
+        "write-write conflict: record has a newer invisible version");
+  }
+  return Status::OK();
+}
+
+Status Transaction::Begin() {
+  TELL_CHECK(state_ == TxnState::kPending);
+  // Each processing node talks to one dedicated commit manager (§4.2);
+  // fail-over to the next manager is handled inside ManagerFor.
+  commit_manager_ = session_->commit_managers()->ManagerFor(
+      session_->pn_id());
+  if (commit_manager_ == nullptr) {
+    return Status::Unavailable("no live commit manager");
+  }
+  TELL_ASSIGN_OR_RETURN(commitmgr::TxnBegin begin,
+                        commit_manager_->Start(session_->pn_id()));
+  tid_ = begin.tid;
+  snapshot_ = std::move(begin.snapshot);
+  lav_ = begin.lav;
+  // One round trip to the commit manager; the response carries the snapshot
+  // descriptor (base + bitset + lav).
+  client_->ChargeRpc(16, 24 + snapshot_.BitsetBytes());
+  session_->record_buffer()->OnTransactionStart(snapshot_);
+  state_ = TxnState::kRunning;
+  return Status::OK();
+}
+
+Result<Transaction::RecordState*> Transaction::EnsureFetched(
+    TableHandle* table, uint64_t rid) {
+  RecordKey key{table->meta->data_table, rid};
+  auto it = buffer_.find(key);
+  if (it != buffer_.end()) return &it->second;
+
+  RecordState state;
+  state.table = table;
+  auto fetched = session_->record_buffer()->Read(
+      client_, table->meta->data_table, rid, snapshot_);
+  if (fetched.ok()) {
+    state.record = std::move(fetched->record);
+    state.stamp = fetched->stamp;
+    state.exists = true;
+  } else if (fetched.status().IsNotFound()) {
+    state.exists = false;
+  } else {
+    return fetched.status();
+  }
+  auto [inserted, _] = buffer_.emplace(key, std::move(state));
+  return &inserted->second;
+}
+
+Result<std::optional<schema::Tuple>> Transaction::Read(TableHandle* table,
+                                                       uint64_t rid) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
+  const schema::RecordVersion* visible =
+      state->record.VisibleVersion(snapshot_, tid_);
+  if (visible == nullptr || visible->tombstone) return std::optional<schema::Tuple>{};
+  client_->ChargeCpu(client_->options().cpu.per_record_ns);
+  TELL_ASSIGN_OR_RETURN(
+      schema::Tuple tuple,
+      schema::Tuple::Deserialize(table->meta->schema, visible->payload));
+  return std::optional<schema::Tuple>(std::move(tuple));
+}
+
+Result<std::vector<std::optional<schema::Tuple>>> Transaction::BatchRead(
+    TableHandle* table, const std::vector<uint64_t>& rids) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  store::TableId data_table = table->meta->data_table;
+  // Fetch everything not yet buffered, in one batched request when the
+  // buffering strategy allows it.
+  std::vector<uint64_t> missing;
+  for (uint64_t rid : rids) {
+    if (buffer_.find({data_table, rid}) == buffer_.end()) {
+      missing.push_back(rid);
+    }
+  }
+  if (!missing.empty() && session_->record_buffer()->PrefersBatchFetch()) {
+    std::vector<store::GetOp> ops;
+    ops.reserve(missing.size());
+    for (uint64_t rid : missing) ops.push_back({data_table, RidKey(rid)});
+    std::vector<Result<store::VersionedCell>> cells = client_->BatchGet(ops);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      client_->metrics()->buffer_misses += 1;
+      RecordState state;
+      state.table = table;
+      if (cells[i].ok()) {
+        TELL_ASSIGN_OR_RETURN(
+            state.record,
+            schema::VersionedRecord::Deserialize(cells[i]->value));
+        state.stamp = cells[i]->stamp;
+        state.exists = true;
+      } else if (!cells[i].status().IsNotFound()) {
+        return cells[i].status();
+      }
+      buffer_.emplace(RecordKey{data_table, missing[i]}, std::move(state));
+    }
+  }
+  std::vector<std::optional<schema::Tuple>> out;
+  out.reserve(rids.size());
+  for (uint64_t rid : rids) {
+    TELL_ASSIGN_OR_RETURN(std::optional<schema::Tuple> tuple,
+                          Read(table, rid));
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+Status Transaction::QueueIndexInserts(TableHandle* table, uint64_t rid,
+                                      const schema::Tuple& tuple,
+                                      const schema::Tuple* old_tuple) {
+  auto queue_for = [&](index::BTree* tree, const schema::IndexDef& def)
+      -> Status {
+    TELL_ASSIGN_OR_RETURN(std::string new_key,
+                          schema::EncodeIndexKey(tuple, def.key_columns));
+    if (old_tuple != nullptr) {
+      TELL_ASSIGN_OR_RETURN(
+          std::string old_key,
+          schema::EncodeIndexKey(*old_tuple, def.key_columns));
+      // §5.3.2: an index entry is only inserted when the indexed key
+      // actually changes; obsolete entries are collected later.
+      if (old_key == new_key) return Status::OK();
+    }
+    index_ops_.push_back({tree, new_key, rid, def.unique});
+    pending_index_[{tree->table(), new_key}].push_back(rid);
+    return Status::OK();
+  };
+  TELL_RETURN_NOT_OK(queue_for(&table->primary, table->meta->primary.def));
+  for (size_t i = 0; i < table->secondaries.size(); ++i) {
+    TELL_RETURN_NOT_OK(
+        queue_for(&table->secondaries[i], table->meta->secondaries[i].def));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Transaction::Insert(TableHandle* table,
+                                     const schema::Tuple& tuple,
+                                     bool check_unique) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  for (uint32_t column : table->meta->primary.def.key_columns) {
+    if (schema::ValueIsNull(tuple.at(column))) {
+      return Status::InvalidArgument("primary key column '" +
+                                     table->meta->schema.column(column).name +
+                                     "' must not be NULL");
+    }
+  }
+  if (check_unique) {
+    std::vector<schema::Value> key;
+    for (uint32_t column : table->meta->primary.def.key_columns) {
+      key.push_back(tuple.at(column));
+    }
+    TELL_ASSIGN_OR_RETURN(std::optional<uint64_t> existing,
+                          LookupPrimary(table, key));
+    if (existing.has_value()) {
+      return Status::AlreadyExists("primary key already exists in '" +
+                                   table->meta->name + "'");
+    }
+  }
+  TELL_ASSIGN_OR_RETURN(uint64_t rid, session_->AllocateRid(table->meta));
+  RecordState state;
+  state.table = table;
+  state.is_new = true;
+  state.dirty = true;
+  state.exists = false;
+  state.record.PutVersion(tid_, tuple.Serialize(table->meta->schema));
+  buffer_[{table->meta->data_table, rid}] = std::move(state);
+  TELL_RETURN_NOT_OK(QueueIndexInserts(table, rid, tuple, nullptr));
+  return rid;
+}
+
+Status Transaction::Update(TableHandle* table, uint64_t rid,
+                           const schema::Tuple& tuple) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
+  TELL_RETURN_NOT_OK(CheckWritable(*state));
+  const schema::RecordVersion* visible =
+      state->record.VisibleVersion(snapshot_, tid_);
+  if (visible == nullptr || visible->tombstone) {
+    return Status::NotFound("record not visible in this snapshot");
+  }
+  TELL_ASSIGN_OR_RETURN(
+      schema::Tuple old_tuple,
+      schema::Tuple::Deserialize(table->meta->schema, visible->payload));
+  state->record.PutVersion(tid_, tuple.Serialize(table->meta->schema));
+  state->dirty = true;
+  return QueueIndexInserts(table, rid, tuple, &old_tuple);
+}
+
+Status Transaction::Delete(TableHandle* table, uint64_t rid) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
+  TELL_RETURN_NOT_OK(CheckWritable(*state));
+  const schema::RecordVersion* visible =
+      state->record.VisibleVersion(snapshot_, tid_);
+  if (visible == nullptr || visible->tombstone) {
+    return Status::NotFound("record not visible in this snapshot");
+  }
+  state->record.PutVersion(tid_, "", /*tombstone=*/true);
+  state->dirty = true;
+  // Index entries stay; version-unaware indexes drop them via GC once no
+  // version carries the key anymore (§5.3.2, §5.4).
+  return Status::OK();
+}
+
+Result<std::optional<schema::Tuple>> Transaction::ValidateIndexHit(
+    TableHandle* table, index::BTree* tree, const std::string& key,
+    uint64_t rid) {
+  const schema::IndexDef* def = nullptr;
+  if (tree == &table->primary) {
+    def = &table->meta->primary.def;
+  } else {
+    for (size_t i = 0; i < table->secondaries.size(); ++i) {
+      if (tree == &table->secondaries[i]) {
+        def = &table->meta->secondaries[i].def;
+        break;
+      }
+    }
+  }
+  TELL_CHECK(def != nullptr);
+
+  RecordKey record_key{table->meta->data_table, rid};
+  bool own_pending = false;
+  auto pending_it = pending_index_.find({tree->table(), key});
+  if (pending_it != pending_index_.end()) {
+    own_pending = std::find(pending_it->second.begin(),
+                            pending_it->second.end(),
+                            rid) != pending_it->second.end();
+  }
+
+  TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
+  if (!state->exists && !state->dirty) {
+    // Record gone entirely: the entry is orphaned — index GC (§5.4).
+    if (!own_pending) {
+      (void)tree->Remove(client_, key, rid);
+    }
+    return std::optional<schema::Tuple>{};
+  }
+  // Does ANY version still carry this key? If not, the entry is obsolete
+  // (V_a \ G = ∅ approximation: no live version contains a).
+  bool key_in_some_version = false;
+  std::optional<schema::Tuple> match;
+  const schema::RecordVersion* visible =
+      state->record.VisibleVersion(snapshot_, tid_);
+  for (const schema::RecordVersion& version : state->record.versions()) {
+    if (version.tombstone) continue;
+    auto tuple = schema::Tuple::Deserialize(table->meta->schema,
+                                            version.payload);
+    if (!tuple.ok()) continue;
+    auto version_key = schema::EncodeIndexKey(*tuple, def->key_columns);
+    if (version_key.ok() && *version_key == key) {
+      key_in_some_version = true;
+      if (visible != nullptr && visible->version == version.version &&
+          !visible->tombstone) {
+        match = std::move(*tuple);
+      }
+    }
+  }
+  if (!key_in_some_version && !own_pending) {
+    (void)tree->Remove(client_, key, rid);
+  }
+  return match;
+}
+
+Result<std::vector<uint64_t>> Transaction::LookupIndex(
+    TableHandle* table, int index, const std::vector<schema::Value>& key) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  index::BTree* tree =
+      index < 0 ? &table->primary
+                : &table->secondaries[static_cast<size_t>(index)];
+  TELL_ASSIGN_OR_RETURN(std::string encoded,
+                        schema::EncodeIndexKeyValues(key));
+  TELL_ASSIGN_OR_RETURN(std::vector<uint64_t> rids,
+                        tree->Lookup(client_, encoded));
+  auto pending_it = pending_index_.find({tree->table(), encoded});
+  if (pending_it != pending_index_.end()) {
+    for (uint64_t rid : pending_it->second) rids.push_back(rid);
+  }
+  std::sort(rids.begin(), rids.end());
+  rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+  std::vector<uint64_t> visible;
+  for (uint64_t rid : rids) {
+    TELL_ASSIGN_OR_RETURN(std::optional<schema::Tuple> tuple,
+                          ValidateIndexHit(table, tree, encoded, rid));
+    if (tuple.has_value()) visible.push_back(rid);
+  }
+  return visible;
+}
+
+Result<std::optional<uint64_t>> Transaction::LookupPrimary(
+    TableHandle* table, const std::vector<schema::Value>& key) {
+  TELL_ASSIGN_OR_RETURN(std::vector<uint64_t> rids,
+                        LookupIndex(table, -1, key));
+  if (rids.empty()) return std::optional<uint64_t>{};
+  if (rids.size() > 1) {
+    return Status::InternalError("unique index returned multiple rids");
+  }
+  return std::optional<uint64_t>(rids.front());
+}
+
+Result<std::optional<schema::Tuple>> Transaction::ReadByKey(
+    TableHandle* table, const std::vector<schema::Value>& key) {
+  TELL_ASSIGN_OR_RETURN(std::optional<uint64_t> rid,
+                        LookupPrimary(table, key));
+  if (!rid.has_value()) return std::optional<schema::Tuple>{};
+  return Read(table, *rid);
+}
+
+Result<std::optional<std::pair<uint64_t, schema::Tuple>>>
+Transaction::ReadByKeyWithRid(TableHandle* table,
+                              const std::vector<schema::Value>& key) {
+  TELL_ASSIGN_OR_RETURN(std::optional<uint64_t> rid,
+                        LookupPrimary(table, key));
+  if (!rid.has_value()) {
+    return std::optional<std::pair<uint64_t, schema::Tuple>>{};
+  }
+  TELL_ASSIGN_OR_RETURN(std::optional<schema::Tuple> tuple,
+                        Read(table, *rid));
+  if (!tuple.has_value()) {
+    return std::optional<std::pair<uint64_t, schema::Tuple>>{};
+  }
+  return std::optional<std::pair<uint64_t, schema::Tuple>>(
+      std::make_pair(*rid, std::move(*tuple)));
+}
+
+Result<std::vector<std::pair<uint64_t, schema::Tuple>>> Transaction::ScanIndex(
+    TableHandle* table, int index, const std::vector<schema::Value>& start,
+    const std::vector<schema::Value>& end, size_t limit) {
+  std::string lo, hi;
+  if (!start.empty()) {
+    TELL_ASSIGN_OR_RETURN(lo, schema::EncodeIndexKeyValues(start));
+  }
+  if (!end.empty()) {
+    TELL_ASSIGN_OR_RETURN(hi, schema::EncodeIndexKeyValues(end));
+  }
+  return ScanIndexEncoded(table, index, lo, hi, limit);
+}
+
+Result<std::vector<std::pair<uint64_t, schema::Tuple>>>
+Transaction::ScanIndexEncoded(TableHandle* table, int index,
+                              const std::string& lo, const std::string& hi,
+                              size_t limit) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  index::BTree* tree =
+      index < 0 ? &table->primary
+                : &table->secondaries[static_cast<size_t>(index)];
+  // Fetch extra entries to compensate for invisible versions; a second pass
+  // extends the scan if the limit was not reached.
+  size_t fetch_limit = limit == 0 ? 0 : limit * 4 + 16;
+  TELL_ASSIGN_OR_RETURN(std::vector<index::IndexEntry> entries,
+                        tree->RangeScan(client_, lo, hi, fetch_limit));
+  // Merge this transaction's pending inserts in [lo, hi).
+  for (const auto& [key, rids] : pending_index_) {
+    if (key.first != tree->table()) continue;
+    if (key.second < lo) continue;
+    if (!hi.empty() && key.second >= hi) continue;
+    for (uint64_t rid : rids) entries.push_back({key.second, rid});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const index::IndexEntry& a, const index::IndexEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.rid < b.rid;
+            });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const index::IndexEntry& a,
+                               const index::IndexEntry& b) {
+                              return a.key == b.key && a.rid == b.rid;
+                            }),
+                entries.end());
+  // Prefetch every referenced record that is not yet buffered in one
+  // batched request (§5.1 batching), so validation below is buffer-only.
+  {
+    std::vector<uint64_t> missing;
+    for (const index::IndexEntry& entry : entries) {
+      if (buffer_.find({table->meta->data_table, entry.rid}) ==
+          buffer_.end()) {
+        missing.push_back(entry.rid);
+      }
+    }
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+    if (!missing.empty() && session_->record_buffer()->PrefersBatchFetch()) {
+      TELL_RETURN_NOT_OK(BatchRead(table, missing).status());
+    }
+  }
+  std::vector<std::pair<uint64_t, schema::Tuple>> out;
+  for (const index::IndexEntry& entry : entries) {
+    TELL_ASSIGN_OR_RETURN(
+        std::optional<schema::Tuple> tuple,
+        ValidateIndexHit(table, tree, entry.key, entry.rid));
+    if (tuple.has_value()) {
+      out.emplace_back(entry.rid, std::move(*tuple));
+      if (limit != 0 && out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+Status Transaction::ValidateReadSet() {
+  std::vector<store::GetOp> ops;
+  std::vector<uint64_t> expected;
+  for (const auto& [key, state] : buffer_) {
+    if (state.dirty) continue;  // writes are validated by LL/SC itself
+    if (!state.exists) continue;  // absent records: phantom-style validation
+                                  // is out of scope (no gap locks)
+    ops.push_back({key.first, RidKey(key.second)});
+    expected.push_back(state.stamp);
+  }
+  if (ops.empty()) return Status::OK();
+  std::vector<Result<store::VersionedCell>> cells = client_->BatchGet(ops);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].ok() || cells[i]->stamp != expected[i]) {
+      return Status::Aborted("serializable validation: read set changed");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<uint64_t, schema::Tuple>>>
+Transaction::FilteredScan(
+    TableHandle* table,
+    const std::function<bool(const schema::Tuple&)>& predicate) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  const schema::Schema& schema = table->meta->schema;
+  // The closure below executes on the storage nodes: visibility check plus
+  // the pushed-down predicate, so non-matching records never hit the wire.
+  SnapshotDescriptor snapshot = snapshot_;
+  Tid tid = tid_;
+  auto server_side = [&schema, snapshot, tid, &predicate](
+                         std::string_view key, std::string_view value) {
+    if (key.size() != sizeof(uint64_t)) return false;  // meta cells
+    auto record = schema::VersionedRecord::Deserialize(value);
+    if (!record.ok()) return false;
+    const schema::RecordVersion* visible =
+        record->VisibleVersion(snapshot, tid);
+    if (visible == nullptr || visible->tombstone) return false;
+    auto tuple = schema::Tuple::Deserialize(schema, visible->payload);
+    if (!tuple.ok()) return false;
+    return predicate(*tuple);
+  };
+  TELL_ASSIGN_OR_RETURN(
+      std::vector<store::KeyCell> cells,
+      client_->PushdownScan(table->meta->data_table, "", "", /*limit=*/0,
+                            server_side));
+  std::vector<std::pair<uint64_t, schema::Tuple>> out;
+  out.reserve(cells.size());
+  std::set<uint64_t> seen;
+  for (const store::KeyCell& cell : cells) {
+    uint64_t rid = DecodeOrderedU64(cell.key);
+    // Own dirty records are overlaid below from the private buffer.
+    RecordKey record_key{table->meta->data_table, rid};
+    auto buffered = buffer_.find(record_key);
+    if (buffered != buffer_.end() && buffered->second.dirty) continue;
+    TELL_ASSIGN_OR_RETURN(schema::VersionedRecord record,
+                          schema::VersionedRecord::Deserialize(cell.value));
+    const schema::RecordVersion* visible =
+        record.VisibleVersion(snapshot_, tid_);
+    if (visible == nullptr || visible->tombstone) continue;
+    TELL_ASSIGN_OR_RETURN(schema::Tuple tuple,
+                          schema::Tuple::Deserialize(schema,
+                                                     visible->payload));
+    client_->ChargeCpu(client_->options().cpu.per_record_ns);
+    out.emplace_back(rid, std::move(tuple));
+    seen.insert(rid);
+  }
+  // Merge this transaction's own pending writes that match.
+  for (const auto& [key, state] : buffer_) {
+    if (!state.dirty || key.first != table->meta->data_table) continue;
+    const schema::RecordVersion* visible =
+        state.record.VisibleVersion(snapshot_, tid_);
+    if (visible == nullptr || visible->tombstone) continue;
+    auto tuple = schema::Tuple::Deserialize(schema, visible->payload);
+    if (!tuple.ok() || !predicate(*tuple)) continue;
+    out.emplace_back(key.second, std::move(*tuple));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+Status Transaction::FinishCommitEmpty() {
+  Status st = commit_manager_->SetCommitted(tid_);
+  state_ = TxnState::kCommitted;
+  client_->metrics()->committed += 1;
+  return st;
+}
+
+Status Transaction::Commit() {
+  if (state_ != TxnState::kRunning) {
+    return Status::InvalidArgument("transaction not running");
+  }
+  client_->ChargeCpu(client_->options().cpu.per_txn_ns);
+
+  std::vector<RecordKey> dirty;
+  for (auto& [key, state] : buffer_) {
+    if (state.dirty) dirty.push_back(key);
+  }
+  if (dirty.empty()) return FinishCommitEmpty();
+
+  // 1. Try-Commit: append the log entry with the write set (§4.3 step 3).
+  LogEntry entry;
+  entry.tid = tid_;
+  entry.pn_id = session_->pn_id();
+  entry.timestamp_ns = session_->clock()->now_ns();
+  for (const RecordKey& key : dirty) entry.write_set.push_back(key);
+  Status log_status = session_->log()->Append(client_, entry);
+  if (!log_status.ok()) {
+    (void)commit_manager_->SetAborted(tid_);
+    state_ = TxnState::kAborted;
+    client_->metrics()->aborted += 1;
+    return log_status;
+  }
+
+  // 2. Apply all buffered updates with LL/SC conditional puts. Records also
+  //    get their eager version GC here (§5.4: "record GC is part of the
+  //    update process").
+  std::vector<store::WriteOp> ops;
+  ops.reserve(dirty.size());
+  for (const RecordKey& key : dirty) {
+    RecordState& state = buffer_[key];
+    state.record.CollectGarbage(lav_);
+    ops.push_back({key.first, RidKey(key.second), state.record.Serialize(),
+                   state.stamp, /*conditional=*/true, /*erase=*/false});
+  }
+  std::vector<Result<uint64_t>> results = client_->BatchWrite(ops);
+
+  std::vector<RecordKey> applied;
+  std::vector<uint64_t> new_stamps(dirty.size(), 0);
+  Status failure;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok()) {
+      applied.push_back(dirty[i]);
+      new_stamps[i] = *results[i];
+    } else if (failure.ok()) {
+      failure = results[i].status();
+    }
+  }
+  if (!failure.ok()) {
+    // Write-write conflict (or storage failure): revert what was applied.
+    RollbackApplied(applied);
+    (void)commit_manager_->SetAborted(tid_);
+    state_ = TxnState::kAborted;
+    client_->metrics()->aborted += 1;
+    if (failure.IsConditionFailed()) {
+      return Status::Aborted("write-write conflict on commit");
+    }
+    return failure;
+  }
+
+  // 2b. Serializable SI: validate the read set AFTER the writes are
+  //     installed (Silo-style ordering — see TxnOptions::serializable).
+  if (options_.serializable) {
+    Status valid = ValidateReadSet();
+    if (!valid.ok()) {
+      RollbackApplied(applied);
+      (void)commit_manager_->SetAborted(tid_);
+      state_ = TxnState::kAborted;
+      client_->metrics()->aborted += 1;
+      return valid;
+    }
+  }
+
+  // 3. Alter the indexes to reflect the updates (§4.3 step 4a).
+  for (const IndexOp& op : index_ops_) {
+    Status st = op.tree->Insert(client_, op.key, op.rid, op.unique);
+    if (!st.ok()) {
+      // Unique-index race (two transactions inserting the same key) or a
+      // storage failure: the data updates must not become durable.
+      RollbackApplied(applied);
+      (void)commit_manager_->SetAborted(tid_);
+      state_ = TxnState::kAborted;
+      client_->metrics()->aborted += 1;
+      if (st.IsAlreadyExists()) {
+        return Status::Aborted("unique index conflict on commit");
+      }
+      return st;
+    }
+  }
+
+  // 4. Commit flag in the log, then notify the commit manager.
+  Status mark = session_->log()->MarkCommitted(client_, tid_);
+  if (!mark.ok()) {
+    TELL_LOG(kWarn) << "failed to set commit flag for tid " << tid_ << ": "
+                    << mark.ToString();
+  }
+  (void)commit_manager_->SetCommitted(tid_);
+
+  // 5. Write-through to the PN's shared buffer (if any).
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    RecordState& state = buffer_[dirty[i]];
+    session_->record_buffer()->OnApply(client_, dirty[i].first,
+                                       dirty[i].second, state.record,
+                                       new_stamps[i], tid_, snapshot_);
+  }
+
+  state_ = TxnState::kCommitted;
+  client_->metrics()->committed += 1;
+  return Status::OK();
+}
+
+void Transaction::RollbackApplied(const std::vector<RecordKey>& applied) {
+  for (const RecordKey& key : applied) {
+    for (int retry = 0; retry < kMaxRollbackRetries; ++retry) {
+      auto cell = client_->Get(key.first, RidKey(key.second));
+      if (!cell.ok()) break;  // gone entirely — nothing to revert
+      auto record = schema::VersionedRecord::Deserialize(cell->value);
+      if (!record.ok()) break;
+      if (!record->RemoveVersion(tid_)) break;  // already reverted
+      Status st;
+      if (record->Empty()) {
+        st = client_->ConditionalErase(key.first, RidKey(key.second),
+                                       cell->stamp);
+      } else {
+        st = client_
+                 ->ConditionalPut(key.first, RidKey(key.second), cell->stamp,
+                                  record->Serialize())
+                 .status();
+      }
+      if (!st.IsConditionFailed()) break;  // success or unrecoverable
+    }
+  }
+}
+
+Status Transaction::Abort() {
+  if (state_ != TxnState::kRunning) {
+    return Status::InvalidArgument("transaction not running");
+  }
+  // Manual abort: nothing was applied (we never reached Try-Commit), so only
+  // the commit manager needs to know (§4.3 step 4b).
+  (void)commit_manager_->SetAborted(tid_);
+  state_ = TxnState::kAborted;
+  client_->metrics()->aborted += 1;
+  return Status::OK();
+}
+
+size_t Transaction::PendingWrites() const {
+  size_t count = 0;
+  for (const auto& [key, state] : buffer_) {
+    if (state.dirty) ++count;
+  }
+  return count;
+}
+
+}  // namespace tell::tx

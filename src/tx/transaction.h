@@ -1,0 +1,275 @@
+#ifndef TELL_TX_TRANSACTION_H_
+#define TELL_TX_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "commitmgr/commit_manager.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/tuple.h"
+#include "schema/versioned_record.h"
+#include "store/storage_client.h"
+#include "tx/catalog.h"
+#include "tx/record_buffer.h"
+#include "tx/transaction_log.h"
+
+namespace tell::tx {
+
+class Transaction;
+
+struct SessionOptions {
+  /// Rids are allocated from a per-table counter in ranges of this size,
+  /// cached per session.
+  uint32_t rid_range_size = 512;
+};
+
+/// Per-worker execution context on a processing node: the storage client
+/// (with this worker's virtual clock and metrics), the commit manager
+/// binding, the transaction log, the PN's shared record buffer and the rid
+/// allocator. One Session per worker thread; not thread safe.
+class Session {
+ public:
+  Session(uint32_t pn_id, uint32_t worker_id, store::Cluster* cluster,
+          store::ManagementNode* management,
+          const store::ClientOptions& client_options,
+          commitmgr::CommitManagerGroup* commit_managers,
+          const TransactionLog* log, RecordBuffer* record_buffer,
+          const SessionOptions& options = {})
+      : pn_id_(pn_id),
+        worker_id_(worker_id),
+        client_(cluster, management, client_options, &clock_, &metrics_),
+        commit_managers_(commit_managers),
+        log_(log),
+        record_buffer_(record_buffer),
+        options_(options) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint32_t pn_id() const { return pn_id_; }
+  uint32_t worker_id() const { return worker_id_; }
+  store::StorageClient* client() { return &client_; }
+  sim::VirtualClock* clock() { return &clock_; }
+  sim::WorkerMetrics* metrics() { return &metrics_; }
+  const TransactionLog* log() const { return log_; }
+  RecordBuffer* record_buffer() { return record_buffer_; }
+  commitmgr::CommitManagerGroup* commit_managers() {
+    return commit_managers_;
+  }
+
+  /// Allocates a fresh rid for `table` from the session's cached range.
+  Result<uint64_t> AllocateRid(const TableMeta* table);
+
+ private:
+  friend class Transaction;
+
+  const uint32_t pn_id_;
+  const uint32_t worker_id_;
+  sim::VirtualClock clock_;
+  sim::WorkerMetrics metrics_;
+  store::StorageClient client_;
+  commitmgr::CommitManagerGroup* const commit_managers_;
+  const TransactionLog* const log_;
+  RecordBuffer* const record_buffer_;
+  const SessionOptions options_;
+  /// Cached rid ranges per data table: (next, end inclusive).
+  std::map<store::TableId, std::pair<uint64_t, uint64_t>> rid_ranges_;
+};
+
+enum class TxnState { kPending, kRunning, kCommitted, kAborted };
+
+/// Per-transaction options.
+struct TxnOptions {
+  /// Serializable snapshot isolation (the paper's §4.1 "near future" item,
+  /// implemented here): at commit, after the writes are installed, the
+  /// read set is re-validated against the store — if any record read (but
+  /// not written) by this transaction changed since it was read, the
+  /// transaction aborts. This closes SI's write-skew anomaly: of two
+  /// transactions with intersecting read/write sets, at most one can pass
+  /// validation (writes install before reads validate, so the later
+  /// validator observes the earlier installer's write).
+  bool serializable = false;
+};
+
+/// One ACID transaction under distributed snapshot isolation (paper §4).
+///
+/// Life-cycle (§4.3): Begin (fetch tid/snapshot/lav from the commit
+/// manager) -> Running (reads fetch records and cache them in the private
+/// transaction buffer; updates are buffered) -> Commit (append the log
+/// entry, apply all buffered updates with LL/SC conditional puts — a failed
+/// store-conditional is a write-write conflict and aborts the transaction —
+/// then update indexes, set the committed flag and notify the commit
+/// manager). Manual Abort never touches the store.
+class Transaction {
+ public:
+  explicit Transaction(Session* session, const TxnOptions& options = {});
+
+  /// A still-running transaction aborts on destruction (the commit manager
+  /// must learn about every tid, or the snapshot base would stall).
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Contacts the commit manager; must be called exactly once, first.
+  Status Begin();
+
+  Tid tid() const { return tid_; }
+  Tid lav() const { return lav_; }
+  const SnapshotDescriptor& snapshot() const { return snapshot_; }
+  TxnState state() const { return state_; }
+
+  // --- Record operations --------------------------------------------------
+
+  /// Reads the version of record `rid` visible in this snapshot. nullopt if
+  /// the record does not exist (or is deleted) in this snapshot.
+  Result<std::optional<schema::Tuple>> Read(TableHandle* table, uint64_t rid);
+
+  /// Reads many records; fetches not yet buffered records in one batched
+  /// request. Results positionally match `rids`.
+  Result<std::vector<std::optional<schema::Tuple>>> BatchRead(
+      TableHandle* table, const std::vector<uint64_t>& rids);
+
+  /// Inserts a new record, allocating its rid (returned). With
+  /// `check_unique` the primary key is probed first (costs one index
+  /// lookup); racing duplicate inserts are additionally caught by the unique
+  /// index at commit.
+  Result<uint64_t> Insert(TableHandle* table, const schema::Tuple& tuple,
+                          bool check_unique = true);
+
+  /// Replaces the record's content (a new version with this transaction's
+  /// tid). The record must be visible in this snapshot.
+  Status Update(TableHandle* table, uint64_t rid, const schema::Tuple& tuple);
+
+  /// Deletes the record (writes a tombstone version).
+  Status Delete(TableHandle* table, uint64_t rid);
+
+  // --- Index operations ---------------------------------------------------
+
+  /// Rid under the primary key, if the record is visible. One index lookup
+  /// plus one record fetch (the fetch stays buffered for a following Read).
+  Result<std::optional<uint64_t>> LookupPrimary(
+      TableHandle* table, const std::vector<schema::Value>& key);
+
+  /// All visible rids under `key` in the given index (-1 = primary).
+  /// Version-unaware index entries are validated against the fetched
+  /// records; obsolete entries are garbage collected on the way (§5.4).
+  Result<std::vector<uint64_t>> LookupIndex(
+      TableHandle* table, int index, const std::vector<schema::Value>& key);
+
+  /// Visible (rid, tuple) pairs with index key in [start, end); empty end =
+  /// unbounded. Merges this transaction's own pending inserts.
+  Result<std::vector<std::pair<uint64_t, schema::Tuple>>> ScanIndex(
+      TableHandle* table, int index, const std::vector<schema::Value>& start,
+      const std::vector<schema::Value>& end, size_t limit);
+
+  /// Same, with pre-encoded byte bounds (used by the SQL planner for prefix
+  /// and range scans over composite keys).
+  Result<std::vector<std::pair<uint64_t, schema::Tuple>>> ScanIndexEncoded(
+      TableHandle* table, int index, const std::string& start,
+      const std::string& end, size_t limit);
+
+  /// Full-table scan with the predicate pushed down to the storage nodes
+  /// (§5.2): only records whose snapshot-visible version satisfies
+  /// `predicate` travel over the network. Own buffered writes are merged in
+  /// afterwards. Designed for the OLAP side of mixed workloads.
+  Result<std::vector<std::pair<uint64_t, schema::Tuple>>> FilteredScan(
+      TableHandle* table,
+      const std::function<bool(const schema::Tuple&)>& predicate);
+
+  /// Convenience: LookupPrimary + Read.
+  Result<std::optional<schema::Tuple>> ReadByKey(
+      TableHandle* table, const std::vector<schema::Value>& key);
+
+  /// Rid variant of ReadByKey returning both pieces.
+  Result<std::optional<std::pair<uint64_t, schema::Tuple>>> ReadByKeyWithRid(
+      TableHandle* table, const std::vector<schema::Value>& key);
+
+  // --- Completion -----------------------------------------------------------
+
+  /// Try-Commit + Commit (§4.3). Returns OK, or Aborted on a write-write
+  /// conflict (all partially applied updates rolled back).
+  Status Commit();
+
+  /// Manual abort; no updates were applied, only the commit manager is
+  /// notified.
+  Status Abort();
+
+  /// Number of buffered (dirty) records (tests).
+  size_t PendingWrites() const;
+
+ private:
+  struct RecordState {
+    schema::VersionedRecord record;
+    uint64_t stamp = store::kStampAbsent;
+    bool exists = false;  // present in the store when fetched
+    bool dirty = false;
+    bool is_new = false;  // first version written by this transaction
+    TableHandle* table = nullptr;
+  };
+
+  struct IndexOp {
+    index::BTree* tree = nullptr;
+    std::string key;
+    uint64_t rid = 0;
+    bool unique = false;
+  };
+
+  using RecordKey = std::pair<store::TableId, uint64_t>;
+
+  /// Fetches (or returns the buffered) record state.
+  Result<RecordState*> EnsureFetched(TableHandle* table, uint64_t rid);
+
+  /// Registers index insertions for the new tuple (vs. the previously
+  /// visible tuple for updates; `old_tuple` null for inserts).
+  Status QueueIndexInserts(TableHandle* table, uint64_t rid,
+                           const schema::Tuple& tuple,
+                           const schema::Tuple* old_tuple);
+
+  /// Rolls back updates already applied to the store (conflict during
+  /// commit): removes this transaction's version from each record again.
+  void RollbackApplied(const std::vector<RecordKey>& applied);
+
+  /// Write-write conflict check for scenario 1 of §4.1: fails with Aborted
+  /// if the record holds a version that is neither ours nor visible in our
+  /// snapshot (a concurrent transaction already applied an update).
+  Status CheckWritable(const RecordState& state) const;
+
+  /// Serializable mode: re-reads the stamps of all records in the read set
+  /// (fetched but not written). OK if unchanged; Aborted otherwise.
+  Status ValidateReadSet();
+
+  /// Validates an index hit: fetches the record, checks some version still
+  /// carries `key` (else GCs the entry), and returns the tuple if the
+  /// visible version matches the key.
+  Result<std::optional<schema::Tuple>> ValidateIndexHit(
+      TableHandle* table, index::BTree* tree, const std::string& key,
+      uint64_t rid);
+
+  Status FinishCommitEmpty();
+
+  Session* const session_;
+  store::StorageClient* const client_;
+  const TxnOptions options_;
+  TxnState state_ = TxnState::kPending;
+  Tid tid_ = 0;
+  Tid lav_ = 0;
+  SnapshotDescriptor snapshot_;
+  commitmgr::CommitManager* commit_manager_ = nullptr;
+
+  std::map<RecordKey, RecordState> buffer_;
+  std::vector<IndexOp> index_ops_;
+  /// Own pending index inserts, visible to this transaction's lookups:
+  /// (index store table, key) -> rids.
+  std::map<std::pair<store::TableId, std::string>, std::vector<uint64_t>>
+      pending_index_;
+};
+
+}  // namespace tell::tx
+
+#endif  // TELL_TX_TRANSACTION_H_

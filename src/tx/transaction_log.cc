@@ -1,0 +1,102 @@
+#include "tx/transaction_log.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace tell::tx {
+
+std::string LogEntry::Serialize() const {
+  BufferWriter writer;
+  writer.PutU64(tid);
+  writer.PutU32(pn_id);
+  writer.PutU64(timestamp_ns);
+  writer.PutU8(committed ? 1 : 0);
+  writer.PutU32(static_cast<uint32_t>(write_set.size()));
+  for (const auto& [table, rid] : write_set) {
+    writer.PutU32(table);
+    writer.PutU64(rid);
+  }
+  return writer.Release();
+}
+
+Result<LogEntry> LogEntry::Deserialize(std::string_view data) {
+  BufferReader reader(data);
+  LogEntry entry;
+  TELL_ASSIGN_OR_RETURN(entry.tid, reader.GetU64());
+  TELL_ASSIGN_OR_RETURN(entry.pn_id, reader.GetU32());
+  TELL_ASSIGN_OR_RETURN(entry.timestamp_ns, reader.GetU64());
+  TELL_ASSIGN_OR_RETURN(uint8_t committed, reader.GetU8());
+  entry.committed = committed != 0;
+  TELL_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  entry.write_set.reserve(std::min<size_t>(count, reader.remaining() / 12 + 1));
+  for (uint32_t i = 0; i < count; ++i) {
+    TELL_ASSIGN_OR_RETURN(uint32_t table, reader.GetU32());
+    TELL_ASSIGN_OR_RETURN(uint64_t rid, reader.GetU64());
+    entry.write_set.emplace_back(table, rid);
+  }
+  return entry;
+}
+
+Status TransactionLog::Append(store::StorageClient* client,
+                              const LogEntry& entry) const {
+  auto put = client->ConditionalPut(table_, EncodeOrderedU64(entry.tid),
+                                    store::kStampAbsent, entry.Serialize());
+  if (put.status().IsConditionFailed()) {
+    return Status::AlreadyExists("log entry for tid exists");
+  }
+  return put.status();
+}
+
+Status TransactionLog::MarkCommitted(store::StorageClient* client,
+                                     Tid tid) const {
+  TELL_ASSIGN_OR_RETURN(store::VersionedCell cell,
+                        client->Get(table_, EncodeOrderedU64(tid)));
+  TELL_ASSIGN_OR_RETURN(LogEntry entry, LogEntry::Deserialize(cell.value));
+  entry.committed = true;
+  // Only the owning transaction ever sets this flag, so an unconditional
+  // put is safe; recovery only reads entries of *dead* PNs.
+  return client->Put(table_, EncodeOrderedU64(tid), entry.Serialize())
+      .status();
+}
+
+Result<std::optional<LogEntry>> TransactionLog::Get(
+    store::StorageClient* client, Tid tid) const {
+  auto cell = client->Get(table_, EncodeOrderedU64(tid));
+  if (cell.status().IsNotFound()) return std::optional<LogEntry>{};
+  TELL_RETURN_NOT_OK(cell.status());
+  TELL_ASSIGN_OR_RETURN(LogEntry entry, LogEntry::Deserialize(cell->value));
+  return std::optional<LogEntry>(std::move(entry));
+}
+
+Result<std::vector<LogEntry>> TransactionLog::ScanBackwards(
+    store::StorageClient* client, Tid from_tid, Tid lav) const {
+  // Entries with tid in (lav, from_tid].
+  std::string start = EncodeOrderedU64(lav + 1);
+  std::string end = EncodeOrderedU64(from_tid + 1);
+  TELL_ASSIGN_OR_RETURN(
+      std::vector<store::KeyCell> cells,
+      client->Scan(table_, start, end, /*limit=*/0, /*reverse=*/true));
+  std::vector<LogEntry> entries;
+  entries.reserve(cells.size());
+  for (const auto& cell : cells) {
+    TELL_ASSIGN_OR_RETURN(LogEntry entry, LogEntry::Deserialize(cell.value));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<size_t> TransactionLog::Truncate(store::StorageClient* client,
+                                        Tid lav) const {
+  TELL_ASSIGN_OR_RETURN(
+      std::vector<store::KeyCell> cells,
+      client->Scan(table_, "", EncodeOrderedU64(lav + 1), /*limit=*/0));
+  size_t removed = 0;
+  for (const auto& cell : cells) {
+    Status st = client->Erase(table_, cell.key);
+    if (st.ok()) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace tell::tx

@@ -1,0 +1,250 @@
+#include "workload/tpcc/tpcc_loader.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tell::tpcc {
+
+namespace {
+
+using schema::Tuple;
+using schema::Value;
+
+constexpr const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                                      "ESE", "ANTI", "CALLY", "ATION", "EING"};
+
+/// Commits the running transaction and opens a fresh one every
+/// `kRowsPerTxn` inserts so loader transactions stay small.
+class ChunkedWriter {
+ public:
+  static constexpr size_t kRowsPerTxn = 256;
+
+  ChunkedWriter(tx::Session* session) : session_(session) { Reset(); }
+
+  Status Insert(tx::TableHandle* table, const Tuple& tuple) {
+    TELL_RETURN_NOT_OK(
+        txn_->Insert(table, tuple, /*check_unique=*/false).status());
+    if (++rows_ >= kRowsPerTxn) {
+      TELL_RETURN_NOT_OK(Flush());
+    }
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (txn_ != nullptr) {
+      TELL_RETURN_NOT_OK(txn_->Commit());
+    }
+    Reset();
+    return Status::OK();
+  }
+
+ private:
+  void Reset() {
+    txn_ = std::make_unique<tx::Transaction>(session_);
+    Status st = txn_->Begin();
+    TELL_CHECK(st.ok());
+    rows_ = 0;
+  }
+
+  tx::Session* session_;
+  std::unique_ptr<tx::Transaction> txn_;
+  size_t rows_ = 0;
+};
+
+std::string DataString(Random* rng, int min_len, int max_len,
+                       bool original_10pct) {
+  std::string data = rng->AlphaString(min_len, max_len);
+  if (original_10pct && rng->Bernoulli(0.1) && data.size() >= 8) {
+    size_t pos = rng->Uniform(data.size() - 8 + 1);
+    data.replace(pos, 8, "ORIGINAL");
+  }
+  return data;
+}
+
+std::string ZipCode(Random* rng) { return rng->DigitString(4) + "11111"; }
+
+}  // namespace
+
+std::string LastName(int64_t number) {
+  return std::string(kSyllables[(number / 100) % 10]) +
+         kSyllables[(number / 10) % 10] + kSyllables[number % 10];
+}
+
+Status LoadTpcc(db::TellDb* db, const TpccScale& scale, uint64_t seed) {
+  Random rng(seed);
+  auto session = db->OpenSession(/*pn_id=*/0, /*worker_id=*/0);
+  TELL_ASSIGN_OR_RETURN(TpccTables tables, OpenTpccTables(db, 0));
+  ChunkedWriter writer(session.get());
+
+  // ITEM table (shared across warehouses).
+  for (uint32_t i = 1; i <= scale.items; ++i) {
+    Tuple item(5);
+    item.Set(col::kIId, static_cast<int64_t>(i));
+    item.Set(col::kIImId, rng.UniformInt(1, 10000));
+    item.Set(col::kIName, rng.AlphaString(14, 24));
+    item.Set(col::kIPrice, static_cast<double>(rng.UniformInt(100, 10000)) / 100.0);
+    item.Set(col::kIData, DataString(&rng, 26, 50, true));
+    TELL_RETURN_NOT_OK(writer.Insert(tables.item, item));
+  }
+
+  int64_t next_history_id = 1;
+  int64_t now = 1234567890;
+
+  for (uint32_t w = 1; w <= scale.warehouses; ++w) {
+    Tuple warehouse(9);
+    warehouse.Set(col::kWId, static_cast<int64_t>(w));
+    warehouse.Set(col::kWName, rng.AlphaString(6, 10));
+    warehouse.Set(col::kWStreet1, rng.AlphaString(10, 20));
+    warehouse.Set(col::kWStreet2, rng.AlphaString(10, 20));
+    warehouse.Set(col::kWCity, rng.AlphaString(10, 20));
+    warehouse.Set(col::kWState, rng.AlphaString(2, 2));
+    warehouse.Set(col::kWZip, ZipCode(&rng));
+    warehouse.Set(col::kWTax, static_cast<double>(rng.UniformInt(0, 2000)) / 10000.0);
+    warehouse.Set(col::kWYtd, 300000.0);
+    TELL_RETURN_NOT_OK(writer.Insert(tables.warehouse, warehouse));
+
+    // STOCK for every item of this warehouse.
+    for (uint32_t i = 1; i <= scale.items; ++i) {
+      Tuple stock(17);
+      stock.Set(col::kSWId, static_cast<int64_t>(w));
+      stock.Set(col::kSIId, static_cast<int64_t>(i));
+      stock.Set(col::kSQuantity, rng.UniformInt(10, 100));
+      for (uint32_t d = 0; d < 10; ++d) {
+        stock.Set(col::kSDist01 + d, rng.AlphaString(24, 24));
+      }
+      stock.Set(col::kSYtd, 0.0);
+      stock.Set(col::kSOrderCnt, int64_t{0});
+      stock.Set(col::kSRemoteCnt, int64_t{0});
+      stock.Set(col::kSData, DataString(&rng, 26, 50, true));
+      TELL_RETURN_NOT_OK(writer.Insert(tables.stock, stock));
+    }
+
+    for (uint32_t d = 1; d <= scale.districts_per_warehouse; ++d) {
+      Tuple district(11);
+      district.Set(col::kDWId, static_cast<int64_t>(w));
+      district.Set(col::kDId, static_cast<int64_t>(d));
+      district.Set(col::kDName, rng.AlphaString(6, 10));
+      district.Set(col::kDStreet1, rng.AlphaString(10, 20));
+      district.Set(col::kDStreet2, rng.AlphaString(10, 20));
+      district.Set(col::kDCity, rng.AlphaString(10, 20));
+      district.Set(col::kDState, rng.AlphaString(2, 2));
+      district.Set(col::kDZip, ZipCode(&rng));
+      district.Set(col::kDTax, static_cast<double>(rng.UniformInt(0, 2000)) / 10000.0);
+      district.Set(col::kDYtd, 30000.0);
+      district.Set(col::kDNextOId,
+                   static_cast<int64_t>(scale.initial_orders_per_district + 1));
+      TELL_RETURN_NOT_OK(writer.Insert(tables.district, district));
+
+      // CUSTOMERs of this district.
+      for (uint32_t c = 1; c <= scale.customers_per_district; ++c) {
+        Tuple customer(21);
+        customer.Set(col::kCWId, static_cast<int64_t>(w));
+        customer.Set(col::kCDId, static_cast<int64_t>(d));
+        customer.Set(col::kCId, static_cast<int64_t>(c));
+        customer.Set(col::kCFirst, rng.AlphaString(8, 16));
+        customer.Set(col::kCMiddle, std::string("OE"));
+        // First 1000 customers get sequential last names, the rest NURand.
+        int64_t name_number =
+            c <= 1000 ? static_cast<int64_t>(c - 1)
+                      : rng.NonUniform(255, kCLast, 0, 999);
+        customer.Set(col::kCLast, LastName(name_number));
+        customer.Set(col::kCStreet1, rng.AlphaString(10, 20));
+        customer.Set(col::kCStreet2, rng.AlphaString(10, 20));
+        customer.Set(col::kCCity, rng.AlphaString(10, 20));
+        customer.Set(col::kCState, rng.AlphaString(2, 2));
+        customer.Set(col::kCZip, ZipCode(&rng));
+        customer.Set(col::kCPhone, rng.DigitString(16));
+        customer.Set(col::kCSince, now);
+        customer.Set(col::kCCredit,
+                     std::string(rng.Bernoulli(0.1) ? "BC" : "GC"));
+        customer.Set(col::kCCreditLim, 50000.0);
+        customer.Set(col::kCDiscount,
+                     static_cast<double>(rng.UniformInt(0, 5000)) / 10000.0);
+        customer.Set(col::kCBalance, -10.0);
+        customer.Set(col::kCYtdPayment, 10.0);
+        customer.Set(col::kCPaymentCnt, int64_t{1});
+        customer.Set(col::kCDeliveryCnt, int64_t{0});
+        customer.Set(col::kCData, rng.AlphaString(300, 500));
+        TELL_RETURN_NOT_OK(writer.Insert(tables.customer, customer));
+
+        Tuple history(9);
+        history.Set(col::kHId, next_history_id++);
+        history.Set(col::kHCId, static_cast<int64_t>(c));
+        history.Set(col::kHCDId, static_cast<int64_t>(d));
+        history.Set(col::kHCWId, static_cast<int64_t>(w));
+        history.Set(col::kHDId, static_cast<int64_t>(d));
+        history.Set(col::kHWId, static_cast<int64_t>(w));
+        history.Set(col::kHDate, now);
+        history.Set(col::kHAmount, 10.0);
+        history.Set(col::kHData, rng.AlphaString(12, 24));
+        TELL_RETURN_NOT_OK(writer.Insert(tables.history, history));
+      }
+
+      // ORDERS: one per customer, customers in random permutation.
+      uint32_t num_orders = std::min(scale.initial_orders_per_district,
+                                     scale.customers_per_district);
+      std::vector<int64_t> customer_permutation(
+          scale.customers_per_district);
+      std::iota(customer_permutation.begin(), customer_permutation.end(), 1);
+      for (size_t i = customer_permutation.size(); i > 1; --i) {
+        std::swap(customer_permutation[i - 1],
+                  customer_permutation[rng.Uniform(i)]);
+      }
+      uint32_t first_undelivered = num_orders - num_orders / 3 + 1;
+      for (uint32_t o = 1; o <= num_orders; ++o) {
+        int64_t ol_cnt = rng.UniformInt(5, 15);
+        bool delivered = o < first_undelivered;
+        Tuple order(8);
+        order.Set(col::kOWId, static_cast<int64_t>(w));
+        order.Set(col::kODId, static_cast<int64_t>(d));
+        order.Set(col::kOId, static_cast<int64_t>(o));
+        order.Set(col::kOCId, customer_permutation[o - 1]);
+        order.Set(col::kOEntryD, now);
+        if (delivered) {
+          order.Set(col::kOCarrierId, rng.UniformInt(1, 10));
+        } else {
+          order.Set(col::kOCarrierId, std::monostate{});
+        }
+        order.Set(col::kOOlCnt, ol_cnt);
+        order.Set(col::kOAllLocal, int64_t{1});
+        TELL_RETURN_NOT_OK(writer.Insert(tables.orders, order));
+
+        for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+          Tuple line(10);
+          line.Set(col::kOlWId, static_cast<int64_t>(w));
+          line.Set(col::kOlDId, static_cast<int64_t>(d));
+          line.Set(col::kOlOId, static_cast<int64_t>(o));
+          line.Set(col::kOlNumber, ol);
+          line.Set(col::kOlIId,
+                   rng.UniformInt(1, static_cast<int64_t>(scale.items)));
+          line.Set(col::kOlSupplyWId, static_cast<int64_t>(w));
+          if (delivered) {
+            line.Set(col::kOlDeliveryD, now);
+            line.Set(col::kOlAmount, 0.0);
+          } else {
+            line.Set(col::kOlDeliveryD, std::monostate{});
+            line.Set(col::kOlAmount,
+                     static_cast<double>(rng.UniformInt(1, 999999)) / 100.0);
+          }
+          line.Set(col::kOlQuantity, int64_t{5});
+          line.Set(col::kOlDistInfo, rng.AlphaString(24, 24));
+          TELL_RETURN_NOT_OK(writer.Insert(tables.order_line, line));
+        }
+
+        if (!delivered) {
+          Tuple new_order(3);
+          new_order.Set(col::kNoWId, static_cast<int64_t>(w));
+          new_order.Set(col::kNoDId, static_cast<int64_t>(d));
+          new_order.Set(col::kNoOId, static_cast<int64_t>(o));
+          TELL_RETURN_NOT_OK(writer.Insert(tables.new_order, new_order));
+        }
+      }
+    }
+  }
+  return writer.Flush();
+}
+
+}  // namespace tell::tpcc

@@ -1,0 +1,30 @@
+#ifndef TELL_WORKLOAD_TPCC_TPCC_LOADER_H_
+#define TELL_WORKLOAD_TPCC_TPCC_LOADER_H_
+
+#include "common/status.h"
+#include "common/random.h"
+#include "db/tell_db.h"
+#include "workload/tpcc/tpcc_schema.h"
+
+namespace tell::tpcc {
+
+/// Populates the TPC-C tables per clause 4.3 of the spec (sized by `scale`):
+/// items; per warehouse stock and 10 districts; per district customers (10%
+/// bad credit), one order per customer in random permutation (the newest
+/// third undelivered, with NEW-ORDER rows), 5-15 order lines each, and one
+/// history row per customer. Deterministic for a given seed.
+Status LoadTpcc(db::TellDb* db, const TpccScale& scale, uint64_t seed = 42);
+
+/// C-Load constants for NURand (clause 2.1.6.1); fixed so runs are
+/// reproducible. Exposed for the input generator.
+inline constexpr int64_t kCLast = 123;
+inline constexpr int64_t kCId = 987;
+inline constexpr int64_t kOlIId = 4321;
+
+/// Customer last names per clause 4.3.2.3: concatenation of three syllables
+/// indexed by the digits of `number` (0-999).
+std::string LastName(int64_t number);
+
+}  // namespace tell::tpcc
+
+#endif  // TELL_WORKLOAD_TPCC_TPCC_LOADER_H_

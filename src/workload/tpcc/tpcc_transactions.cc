@@ -1,0 +1,555 @@
+#include "workload/tpcc/tpcc_transactions.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workload/tpcc/tpcc_loader.h"
+
+namespace tell::tpcc {
+
+using schema::Tuple;
+using schema::Value;
+
+// ---------------------------------------------------------------------------
+// InputGenerator
+
+int64_t InputGenerator::NURandCustomer() {
+  int64_t max_c = static_cast<int64_t>(scale_.customers_per_district);
+  return rng_.NonUniform(1023, kCId, 1, max_c);
+}
+
+std::string InputGenerator::NURandLastName() {
+  int64_t max_name =
+      std::min<int64_t>(999, scale_.customers_per_district - 1);
+  return LastName(rng_.NonUniform(255, kCLast, 0, max_name));
+}
+
+NewOrderInput InputGenerator::MakeNewOrder() {
+  NewOrderInput input;
+  input.warehouse = home_;
+  input.district = rng_.UniformInt(1, scale_.districts_per_warehouse);
+  input.customer = NURandCustomer();
+  int64_t ol_cnt = rng_.UniformInt(5, 15);
+  bool allow_remote = mix_ != Mix::kShardable && scale_.warehouses > 1;
+  for (int64_t i = 0; i < ol_cnt; ++i) {
+    NewOrderLine line;
+    line.item_id = rng_.NonUniform(8191, kOlIId, 1,
+                                   static_cast<int64_t>(scale_.items));
+    line.supply_warehouse = input.warehouse;
+    // Clause 2.4.1.5.2: 1% of items come from a remote warehouse.
+    if (allow_remote && rng_.Bernoulli(0.01)) {
+      do {
+        line.supply_warehouse = rng_.UniformInt(1, scale_.warehouses);
+      } while (line.supply_warehouse == input.warehouse);
+      input.remote = true;
+    }
+    line.quantity = rng_.UniformInt(1, 10);
+    input.lines.push_back(line);
+  }
+  // Clause 2.4.1.4: 1% of new-orders use an invalid item and roll back.
+  if (rng_.Bernoulli(0.01)) {
+    input.lines.back().item_id = static_cast<int64_t>(scale_.items) + 1;
+    input.rollback = true;
+  }
+  return input;
+}
+
+PaymentInput InputGenerator::MakePayment() {
+  PaymentInput input;
+  input.warehouse = home_;
+  input.district = rng_.UniformInt(1, scale_.districts_per_warehouse);
+  bool allow_remote = mix_ != Mix::kShardable && scale_.warehouses > 1;
+  // Clause 2.5.1.2: 85% pay through the home warehouse, 15% remote.
+  if (allow_remote && rng_.Bernoulli(0.15)) {
+    do {
+      input.customer_warehouse = rng_.UniformInt(1, scale_.warehouses);
+    } while (input.customer_warehouse == input.warehouse);
+    input.customer_district =
+        rng_.UniformInt(1, scale_.districts_per_warehouse);
+    input.remote = true;
+  } else {
+    input.customer_warehouse = input.warehouse;
+    input.customer_district = input.district;
+  }
+  // 60% select the customer by last name.
+  if (rng_.Bernoulli(0.6)) {
+    input.by_last_name = true;
+    input.customer_last = NURandLastName();
+  } else {
+    input.customer_id = NURandCustomer();
+  }
+  input.amount = static_cast<double>(rng_.UniformInt(100, 500000)) / 100.0;
+  return input;
+}
+
+DeliveryInput InputGenerator::MakeDelivery() {
+  return DeliveryInput{home_, rng_.UniformInt(1, 10)};
+}
+
+OrderStatusInput InputGenerator::MakeOrderStatus() {
+  OrderStatusInput input;
+  input.warehouse = home_;
+  input.district = rng_.UniformInt(1, scale_.districts_per_warehouse);
+  if (rng_.Bernoulli(0.6)) {
+    input.by_last_name = true;
+    input.customer_last = NURandLastName();
+  } else {
+    input.customer_id = NURandCustomer();
+  }
+  return input;
+}
+
+StockLevelInput InputGenerator::MakeStockLevel() {
+  StockLevelInput input;
+  input.warehouse = home_;
+  input.district = rng_.UniformInt(1, scale_.districts_per_warehouse);
+  input.threshold = rng_.UniformInt(10, 20);
+  return input;
+}
+
+TxnInput InputGenerator::Next() {
+  TxnInput input;
+  uint64_t roll = rng_.Uniform(100);
+  if (mix_ == Mix::kReadIntensive) {
+    // Paper Table 2: 9% new-order, 84% order-status, 7% stock-level.
+    if (roll < 9) {
+      input.type = TxnType::kNewOrder;
+      input.new_order = MakeNewOrder();
+    } else if (roll < 93) {
+      input.type = TxnType::kOrderStatus;
+      input.order_status = MakeOrderStatus();
+    } else {
+      input.type = TxnType::kStockLevel;
+      input.stock_level = MakeStockLevel();
+    }
+    return input;
+  }
+  // Standard mix: 45/43/4/4/4.
+  if (roll < 45) {
+    input.type = TxnType::kNewOrder;
+    input.new_order = MakeNewOrder();
+  } else if (roll < 88) {
+    input.type = TxnType::kPayment;
+    input.payment = MakePayment();
+  } else if (roll < 92) {
+    input.type = TxnType::kDelivery;
+    input.delivery = MakeDelivery();
+  } else if (roll < 96) {
+    input.type = TxnType::kOrderStatus;
+    input.order_status = MakeOrderStatus();
+  } else {
+    input.type = TxnType::kStockLevel;
+    input.stock_level = MakeStockLevel();
+  }
+  return input;
+}
+
+// ---------------------------------------------------------------------------
+// TpccExecutor
+
+namespace {
+
+/// Commit helper: maps a write-write conflict abort to outcome, propagates
+/// real errors.
+Result<TxnOutcome> FinishCommit(tx::Transaction* txn) {
+  Status st = txn->Commit();
+  TxnOutcome outcome;
+  if (st.ok()) {
+    outcome.committed = true;
+    return outcome;
+  }
+  if (st.IsAborted()) return outcome;  // conflict; counted in metrics
+  return st;
+}
+
+}  // namespace
+
+Result<std::optional<std::pair<uint64_t, Tuple>>> TpccExecutor::FindCustomer(
+    tx::Transaction* txn, int64_t w, int64_t d, bool by_last_name,
+    int64_t c_id, const std::string& c_last) {
+  if (!by_last_name) {
+    return txn->ReadByKeyWithRid(tables_.customer,
+                                 {Value(w), Value(d), Value(c_id)});
+  }
+  // Clause 2.5.2.2 case 2: all customers with the last name, sorted by
+  // first name ascending; take the row at position ceil(n/2).
+  TELL_ASSIGN_OR_RETURN(
+      std::string lo,
+      schema::EncodeIndexKeyValues({Value(w), Value(d), Value(c_last)}));
+  std::string hi = lo + '\xFF';
+  TELL_ASSIGN_OR_RETURN(
+      auto matches,
+      txn->ScanIndexEncoded(tables_.customer, kCustomerByNameIndex, lo, hi,
+                            /*limit=*/0));
+  if (matches.empty()) {
+    return std::optional<std::pair<uint64_t, Tuple>>{};
+  }
+  size_t idx = (matches.size() - 1) / 2;  // ceil(n/2) as 1-based position
+  return std::optional<std::pair<uint64_t, Tuple>>(std::move(matches[idx]));
+}
+
+Result<TxnOutcome> TpccExecutor::NewOrder(const NewOrderInput& input) {
+  tx::Transaction txn(session_, txn_options_);
+  TELL_RETURN_NOT_OK(txn.Begin());
+  int64_t w = input.warehouse;
+  int64_t d = input.district;
+  int64_t now = static_cast<int64_t>(session_->clock()->now_ns());
+
+  TELL_ASSIGN_OR_RETURN(std::optional<Tuple> warehouse,
+                        txn.ReadByKey(tables_.warehouse, {Value(w)}));
+  if (!warehouse.has_value()) return Status::NotFound("warehouse missing");
+  double w_tax = warehouse->GetDouble(col::kWTax);
+  (void)w_tax;
+
+  TELL_ASSIGN_OR_RETURN(
+      auto district,
+      txn.ReadByKeyWithRid(tables_.district, {Value(w), Value(d)}));
+  if (!district.has_value()) return Status::NotFound("district missing");
+  int64_t o_id = district->second.GetInt(col::kDNextOId);
+  Tuple district_updated = district->second;
+  district_updated.Set(col::kDNextOId, o_id + 1);
+  TELL_RETURN_NOT_OK(
+      txn.Update(tables_.district, district->first, district_updated));
+
+  TELL_ASSIGN_OR_RETURN(
+      std::optional<Tuple> customer,
+      txn.ReadByKey(tables_.customer,
+                    {Value(w), Value(d), Value(input.customer)}));
+  if (!customer.has_value()) return Status::NotFound("customer missing");
+  double c_discount = customer->GetDouble(col::kCDiscount);
+  (void)c_discount;
+
+  // Look up all items and stocks first, then fetch the records in two
+  // batched requests (paper §5.1: aggressive batching).
+  std::vector<uint64_t> item_rids;
+  std::vector<uint64_t> stock_rids;
+  bool bad_item = false;
+  for (const NewOrderLine& line : input.lines) {
+    TELL_ASSIGN_OR_RETURN(
+        std::optional<uint64_t> item_rid,
+        txn.LookupPrimary(tables_.item, {Value(line.item_id)}));
+    if (!item_rid.has_value()) {
+      bad_item = true;
+      break;
+    }
+    item_rids.push_back(*item_rid);
+    TELL_ASSIGN_OR_RETURN(
+        std::optional<uint64_t> stock_rid,
+        txn.LookupPrimary(tables_.stock,
+                          {Value(line.supply_warehouse), Value(line.item_id)}));
+    if (!stock_rid.has_value()) {
+      return Status::NotFound("stock row missing");
+    }
+    stock_rids.push_back(*stock_rid);
+  }
+  if (bad_item) {
+    // Clause 2.4.2.3: unused item id -> the transaction rolls back.
+    TELL_RETURN_NOT_OK(txn.Abort());
+    TxnOutcome outcome;
+    outcome.user_abort = true;
+    return outcome;
+  }
+  TELL_ASSIGN_OR_RETURN(auto items, txn.BatchRead(tables_.item, item_rids));
+  TELL_ASSIGN_OR_RETURN(auto stocks, txn.BatchRead(tables_.stock, stock_rids));
+
+  int64_t all_local = input.remote ? 0 : 1;
+  Tuple order(8);
+  order.Set(col::kOWId, w);
+  order.Set(col::kODId, d);
+  order.Set(col::kOId, o_id);
+  order.Set(col::kOCId, input.customer);
+  order.Set(col::kOEntryD, now);
+  order.Set(col::kOCarrierId, std::monostate{});
+  order.Set(col::kOOlCnt, static_cast<int64_t>(input.lines.size()));
+  order.Set(col::kOAllLocal, all_local);
+  TELL_RETURN_NOT_OK(
+      txn.Insert(tables_.orders, order, /*check_unique=*/false).status());
+
+  Tuple new_order(3);
+  new_order.Set(col::kNoWId, w);
+  new_order.Set(col::kNoDId, d);
+  new_order.Set(col::kNoOId, o_id);
+  TELL_RETURN_NOT_OK(
+      txn.Insert(tables_.new_order, new_order, /*check_unique=*/false)
+          .status());
+
+  for (size_t i = 0; i < input.lines.size(); ++i) {
+    const NewOrderLine& line = input.lines[i];
+    if (!items[i].has_value() || !stocks[i].has_value()) {
+      return Status::NotFound("item/stock row vanished");
+    }
+    double price = items[i]->GetDouble(col::kIPrice);
+    Tuple stock = std::move(*stocks[i]);
+    int64_t quantity = stock.GetInt(col::kSQuantity);
+    if (quantity >= line.quantity + 10) {
+      quantity -= line.quantity;
+    } else {
+      quantity = quantity - line.quantity + 91;
+    }
+    stock.Set(col::kSQuantity, quantity);
+    stock.Set(col::kSYtd,
+              stock.GetDouble(col::kSYtd) + static_cast<double>(line.quantity));
+    stock.Set(col::kSOrderCnt, stock.GetInt(col::kSOrderCnt) + 1);
+    if (line.supply_warehouse != w) {
+      stock.Set(col::kSRemoteCnt, stock.GetInt(col::kSRemoteCnt) + 1);
+    }
+    TELL_RETURN_NOT_OK(txn.Update(tables_.stock, stock_rids[i], stock));
+
+    Tuple order_line(10);
+    order_line.Set(col::kOlWId, w);
+    order_line.Set(col::kOlDId, d);
+    order_line.Set(col::kOlOId, o_id);
+    order_line.Set(col::kOlNumber, static_cast<int64_t>(i + 1));
+    order_line.Set(col::kOlIId, line.item_id);
+    order_line.Set(col::kOlSupplyWId, line.supply_warehouse);
+    order_line.Set(col::kOlDeliveryD, std::monostate{});
+    order_line.Set(col::kOlQuantity, line.quantity);
+    order_line.Set(col::kOlAmount,
+                   static_cast<double>(line.quantity) * price);
+    order_line.Set(col::kOlDistInfo,
+                   stock.GetString(col::kSDist01 +
+                                   static_cast<size_t>(d - 1)));
+    TELL_RETURN_NOT_OK(
+        txn.Insert(tables_.order_line, order_line, /*check_unique=*/false)
+            .status());
+  }
+  return FinishCommit(&txn);
+}
+
+Result<TxnOutcome> TpccExecutor::Payment(const PaymentInput& input) {
+  tx::Transaction txn(session_, txn_options_);
+  TELL_RETURN_NOT_OK(txn.Begin());
+  int64_t now = static_cast<int64_t>(session_->clock()->now_ns());
+
+  TELL_ASSIGN_OR_RETURN(
+      auto warehouse,
+      txn.ReadByKeyWithRid(tables_.warehouse, {Value(input.warehouse)}));
+  if (!warehouse.has_value()) return Status::NotFound("warehouse missing");
+  Tuple w_row = warehouse->second;
+  w_row.Set(col::kWYtd, w_row.GetDouble(col::kWYtd) + input.amount);
+  TELL_RETURN_NOT_OK(txn.Update(tables_.warehouse, warehouse->first, w_row));
+
+  TELL_ASSIGN_OR_RETURN(
+      auto district,
+      txn.ReadByKeyWithRid(tables_.district,
+                           {Value(input.warehouse), Value(input.district)}));
+  if (!district.has_value()) return Status::NotFound("district missing");
+  Tuple d_row = district->second;
+  d_row.Set(col::kDYtd, d_row.GetDouble(col::kDYtd) + input.amount);
+  TELL_RETURN_NOT_OK(txn.Update(tables_.district, district->first, d_row));
+
+  TELL_ASSIGN_OR_RETURN(
+      auto customer,
+      FindCustomer(&txn, input.customer_warehouse, input.customer_district,
+                   input.by_last_name, input.customer_id,
+                   input.customer_last));
+  if (!customer.has_value()) return Status::NotFound("customer missing");
+  Tuple c_row = customer->second;
+  c_row.Set(col::kCBalance, c_row.GetDouble(col::kCBalance) - input.amount);
+  c_row.Set(col::kCYtdPayment,
+            c_row.GetDouble(col::kCYtdPayment) + input.amount);
+  c_row.Set(col::kCPaymentCnt, c_row.GetInt(col::kCPaymentCnt) + 1);
+  if (c_row.GetString(col::kCCredit) == "BC") {
+    // Clause 2.5.2.2: bad-credit customers get the payment prepended to
+    // c_data, truncated to 500 characters.
+    std::string data = std::to_string(c_row.GetInt(col::kCId)) + " " +
+                       std::to_string(input.customer_district) + " " +
+                       std::to_string(input.customer_warehouse) + " " +
+                       std::to_string(input.district) + " " +
+                       std::to_string(input.warehouse) + " " +
+                       std::to_string(input.amount) + "|" +
+                       c_row.GetString(col::kCData);
+    if (data.size() > 500) data.resize(500);
+    c_row.Set(col::kCData, std::move(data));
+  }
+  TELL_RETURN_NOT_OK(txn.Update(tables_.customer, customer->first, c_row));
+
+  Tuple history(9);
+  int64_t h_id =
+      (static_cast<int64_t>(session_->worker_id()) + 1) * (int64_t{1} << 40) +
+      next_history_seq_++;
+  history.Set(col::kHId, h_id);
+  history.Set(col::kHCId, c_row.GetInt(col::kCId));
+  history.Set(col::kHCDId, input.customer_district);
+  history.Set(col::kHCWId, input.customer_warehouse);
+  history.Set(col::kHDId, input.district);
+  history.Set(col::kHWId, input.warehouse);
+  history.Set(col::kHDate, now);
+  history.Set(col::kHAmount, input.amount);
+  history.Set(col::kHData, w_row.GetString(col::kWName) + "    " +
+                               d_row.GetString(col::kDName));
+  TELL_RETURN_NOT_OK(
+      txn.Insert(tables_.history, history, /*check_unique=*/false).status());
+  return FinishCommit(&txn);
+}
+
+Result<TxnOutcome> TpccExecutor::Delivery(const DeliveryInput& input) {
+  tx::Transaction txn(session_, txn_options_);
+  TELL_RETURN_NOT_OK(txn.Begin());
+  int64_t w = input.warehouse;
+  int64_t now = static_cast<int64_t>(session_->clock()->now_ns());
+
+  // Clause 2.7.4: process each district in turn; skip districts with no
+  // undelivered orders.
+  for (int64_t d = 1; d <= 10; ++d) {
+    TELL_ASSIGN_OR_RETURN(
+        auto oldest,
+        txn.ScanIndex(tables_.new_order, /*index=*/-1, {Value(w), Value(d)},
+                      {Value(w), Value(d + 1)}, /*limit=*/1));
+    if (oldest.empty()) continue;
+    int64_t o_id = oldest[0].second.GetInt(col::kNoOId);
+    TELL_RETURN_NOT_OK(txn.Delete(tables_.new_order, oldest[0].first));
+
+    TELL_ASSIGN_OR_RETURN(
+        auto order,
+        txn.ReadByKeyWithRid(tables_.orders,
+                             {Value(w), Value(d), Value(o_id)}));
+    if (!order.has_value()) continue;  // should not happen
+    Tuple o_row = order->second;
+    int64_t c_id = o_row.GetInt(col::kOCId);
+    int64_t ol_cnt = o_row.GetInt(col::kOOlCnt);
+    o_row.Set(col::kOCarrierId, input.carrier);
+    TELL_RETURN_NOT_OK(txn.Update(tables_.orders, order->first, o_row));
+
+    double total = 0;
+    for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+      TELL_ASSIGN_OR_RETURN(
+          auto line,
+          txn.ReadByKeyWithRid(tables_.order_line,
+                               {Value(w), Value(d), Value(o_id), Value(ol)}));
+      if (!line.has_value()) continue;
+      Tuple l_row = line->second;
+      total += l_row.GetDouble(col::kOlAmount);
+      l_row.Set(col::kOlDeliveryD, now);
+      TELL_RETURN_NOT_OK(txn.Update(tables_.order_line, line->first, l_row));
+    }
+
+    TELL_ASSIGN_OR_RETURN(
+        auto customer,
+        txn.ReadByKeyWithRid(tables_.customer,
+                             {Value(w), Value(d), Value(c_id)}));
+    if (!customer.has_value()) continue;
+    Tuple c_row = customer->second;
+    c_row.Set(col::kCBalance, c_row.GetDouble(col::kCBalance) + total);
+    c_row.Set(col::kCDeliveryCnt, c_row.GetInt(col::kCDeliveryCnt) + 1);
+    TELL_RETURN_NOT_OK(txn.Update(tables_.customer, customer->first, c_row));
+  }
+  return FinishCommit(&txn);
+}
+
+Result<TxnOutcome> TpccExecutor::OrderStatus(const OrderStatusInput& input) {
+  tx::Transaction txn(session_, txn_options_);
+  TELL_RETURN_NOT_OK(txn.Begin());
+  int64_t w = input.warehouse;
+  int64_t d = input.district;
+
+  TELL_ASSIGN_OR_RETURN(
+      auto customer,
+      FindCustomer(&txn, w, d, input.by_last_name, input.customer_id,
+                   input.customer_last));
+  if (!customer.has_value()) {
+    // A NURand last name can miss under scaled-down population; that is a
+    // completed (empty) read.
+    return FinishCommit(&txn);
+  }
+  int64_t c_id = customer->second.GetInt(col::kCId);
+
+  // Most recent order of this customer (orders-by-customer index).
+  TELL_ASSIGN_OR_RETURN(
+      auto orders,
+      txn.ScanIndex(tables_.orders, kOrdersByCustomerIndex,
+                    {Value(w), Value(d), Value(c_id)},
+                    {Value(w), Value(d), Value(c_id + 1)}, /*limit=*/0));
+  if (orders.empty()) return FinishCommit(&txn);
+  const Tuple& o_row = orders.back().second;
+  int64_t o_id = o_row.GetInt(col::kOId);
+  int64_t ol_cnt = o_row.GetInt(col::kOOlCnt);
+
+  for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+    TELL_ASSIGN_OR_RETURN(
+        std::optional<Tuple> line,
+        txn.ReadByKey(tables_.order_line,
+                      {Value(w), Value(d), Value(o_id), Value(ol)}));
+    (void)line;
+  }
+  return FinishCommit(&txn);
+}
+
+Result<TxnOutcome> TpccExecutor::StockLevel(const StockLevelInput& input) {
+  tx::Transaction txn(session_, txn_options_);
+  TELL_RETURN_NOT_OK(txn.Begin());
+  int64_t w = input.warehouse;
+  int64_t d = input.district;
+
+  TELL_ASSIGN_OR_RETURN(std::optional<Tuple> district,
+                        txn.ReadByKey(tables_.district, {Value(w), Value(d)}));
+  if (!district.has_value()) return Status::NotFound("district missing");
+  int64_t next_o_id = district->GetInt(col::kDNextOId);
+
+  // Clause 2.8.2.2: distinct items of the last 20 orders.
+  int64_t from = std::max<int64_t>(1, next_o_id - 20);
+  TELL_ASSIGN_OR_RETURN(
+      auto lines,
+      txn.ScanIndex(tables_.order_line, /*index=*/-1,
+                    {Value(w), Value(d), Value(from)},
+                    {Value(w), Value(d), Value(next_o_id)}, /*limit=*/0));
+  std::vector<int64_t> item_ids;
+  for (const auto& [rid, line] : lines) {
+    item_ids.push_back(line.GetInt(col::kOlIId));
+  }
+  std::sort(item_ids.begin(), item_ids.end());
+  item_ids.erase(std::unique(item_ids.begin(), item_ids.end()),
+                 item_ids.end());
+
+  std::vector<uint64_t> stock_rids;
+  for (int64_t item : item_ids) {
+    TELL_ASSIGN_OR_RETURN(
+        std::optional<uint64_t> rid,
+        txn.LookupPrimary(tables_.stock, {Value(w), Value(item)}));
+    if (rid.has_value()) stock_rids.push_back(*rid);
+  }
+  TELL_ASSIGN_OR_RETURN(auto stocks, txn.BatchRead(tables_.stock, stock_rids));
+  int64_t low_stock = 0;
+  for (const auto& stock : stocks) {
+    if (stock.has_value() &&
+        stock->GetInt(col::kSQuantity) < input.threshold) {
+      ++low_stock;
+    }
+  }
+  (void)low_stock;
+  return FinishCommit(&txn);
+}
+
+Result<TxnOutcome> TpccExecutor::Execute(const TxnInput& input) {
+  Result<TxnOutcome> result = Status::InvalidArgument("unknown type");
+  switch (input.type) {
+    case TxnType::kNewOrder:
+      result = NewOrder(input.new_order);
+      break;
+    case TxnType::kPayment:
+      result = Payment(input.payment);
+      break;
+    case TxnType::kDelivery:
+      result = Delivery(input.delivery);
+      break;
+    case TxnType::kOrderStatus:
+      result = OrderStatus(input.order_status);
+      break;
+    case TxnType::kStockLevel:
+      result = StockLevel(input.stock_level);
+      break;
+  }
+  if (!result.ok() && (result.status().IsAborted() ||
+                       result.status().IsNotFound())) {
+    // Aborted: conflict detected mid-transaction (a newer invisible
+    // version). NotFound: the snapshot is stale enough (multi-manager sync
+    // delay, §4.2) that rows committed through another commit manager are
+    // not visible yet — a legitimate consequence of delayed snapshots; the
+    // terminal simply retries. The Transaction destructor notified the
+    // commit manager either way.
+    return TxnOutcome{};
+  }
+  return result;
+}
+
+}  // namespace tell::tpcc

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baselines/central_validation_db.h"
+#include "baselines/partitioned_serial_db.h"
+#include "baselines/two_pc_partitioned_db.h"
+#include "baselines/virtual_queue.h"
+#include "tests/test_util.h"
+
+namespace tell::baselines {
+namespace {
+
+tpcc::TpccScale SmallScale() {
+  tpcc::TpccScale scale;
+  scale.warehouses = 4;
+  scale.districts_per_warehouse = 4;
+  scale.customers_per_district = 20;
+  scale.items = 100;
+  scale.initial_orders_per_district = 10;
+  return scale;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualQueue
+
+TEST(VirtualQueueTest, NoWaitUnderLowLoad) {
+  VirtualQueue queue;
+  // Arrivals far apart in virtual time never wait.
+  EXPECT_EQ(queue.Enqueue(0, 100), 100u);
+  EXPECT_EQ(queue.Enqueue(1000, 100), 1100u);
+  EXPECT_EQ(queue.Enqueue(5000, 100), 5100u);
+}
+
+TEST(VirtualQueueTest, SaturationConvergesToCapacity) {
+  VirtualQueue queue;
+  // All arrivals at t=0: the k-th finishes at k*service.
+  for (uint64_t k = 1; k <= 10; ++k) {
+    EXPECT_EQ(queue.Enqueue(0, 50), k * 50);
+  }
+}
+
+TEST(VirtualQueueTest, LaggardDoesNotPayPhantomWait) {
+  VirtualQueue queue;
+  // A worker far ahead reserves...
+  (void)queue.Enqueue(1'000'000, 100);
+  // ...a laggard arriving "in the past" only waits for reserved WORK (100),
+  // not for the leader's wall-clock position.
+  EXPECT_EQ(queue.Enqueue(10, 100), 200u);
+}
+
+TEST(VirtualQueueTest, EnqueueAllBlocksEveryQueue) {
+  VirtualQueue a, b;
+  (void)a.Enqueue(0, 300);  // backlog on a
+  std::vector<VirtualQueue*> queues{&a, &b};
+  uint64_t finish = EnqueueAll(queues, 0, 100);
+  EXPECT_EQ(finish, 400u);  // starts after a's backlog
+  // Both queues now carry the reservation.
+  EXPECT_GE(a.backlog_until(), 400u);
+  EXPECT_GE(b.backlog_until(), 100u);
+}
+
+TEST(VirtualQueueTest, ThreadSafeTotalWork) {
+  VirtualQueue queue;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) (void)queue.Enqueue(0, 7);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(queue.backlog_until(), static_cast<uint64_t>(kThreads) * kOps * 7);
+}
+
+// ---------------------------------------------------------------------------
+// TpccData
+
+TEST(TpccDataTest, NewOrderAdvancesDistrictAndStock) {
+  TpccData data(SmallScale());
+  tpcc::TxnInput input;
+  input.type = tpcc::TxnType::kNewOrder;
+  input.new_order.warehouse = 1;
+  input.new_order.district = 1;
+  input.new_order.customer = 1;
+  input.new_order.lines = {{1, 1, 5}};
+  int64_t next_before = data.warehouse(1)->districts[0].next_o_id;
+  int64_t qty_before = data.warehouse(1)->stock[0].quantity;
+  ASSERT_OK_AND_ASSIGN(ExecStats stats, data.Apply(input));
+  EXPECT_FALSE(stats.user_abort);
+  EXPECT_EQ(stats.warehouses, std::vector<int64_t>{1});
+  EXPECT_EQ(data.warehouse(1)->districts[0].next_o_id, next_before + 1);
+  EXPECT_NE(data.warehouse(1)->stock[0].quantity, qty_before);
+}
+
+TEST(TpccDataTest, RemoteNewOrderTouchesBothWarehouses) {
+  TpccData data(SmallScale());
+  tpcc::TxnInput input;
+  input.type = tpcc::TxnType::kNewOrder;
+  input.new_order.warehouse = 1;
+  input.new_order.district = 1;
+  input.new_order.customer = 1;
+  input.new_order.lines = {{1, 2, 5}};  // supplied from warehouse 2
+  input.new_order.remote = true;
+  ASSERT_OK_AND_ASSIGN(ExecStats stats, data.Apply(input));
+  EXPECT_EQ(stats.warehouses.size(), 2u);
+}
+
+TEST(TpccDataTest, RollbackNewOrderChangesNothing) {
+  TpccData data(SmallScale());
+  tpcc::TxnInput input;
+  input.type = tpcc::TxnType::kNewOrder;
+  input.new_order.warehouse = 1;
+  input.new_order.district = 1;
+  input.new_order.customer = 1;
+  input.new_order.lines = {{101, 1, 1}};  // invalid item
+  input.new_order.rollback = true;
+  int64_t next_before = data.warehouse(1)->districts[0].next_o_id;
+  ASSERT_OK_AND_ASSIGN(ExecStats stats, data.Apply(input));
+  EXPECT_TRUE(stats.user_abort);
+  EXPECT_EQ(data.warehouse(1)->districts[0].next_o_id, next_before);
+}
+
+TEST(TpccDataTest, DeliveryDrainsNewOrders) {
+  TpccData data(SmallScale());
+  size_t pending_before = data.warehouse(1)->new_orders[0].size();
+  ASSERT_GT(pending_before, 0u);
+  tpcc::TxnInput input;
+  input.type = tpcc::TxnType::kDelivery;
+  input.delivery = {1, 5};
+  ASSERT_OK_AND_ASSIGN(ExecStats stats, data.Apply(input));
+  (void)stats;
+  EXPECT_EQ(data.warehouse(1)->new_orders[0].size(), pending_before - 1);
+}
+
+TEST(TpccDataTest, ConcurrentApplyIsSafe) {
+  TpccData data(SmallScale());
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      tpcc::InputGenerator generator(SmallScale(),
+                                     tpcc::Mix::kWriteIntensive,
+                                     static_cast<uint64_t>(t) + 1,
+                                     t % 4 + 1);
+      for (int i = 0; i < kTxns; ++i) {
+        ASSERT_TRUE(data.Apply(generator.Next()).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Districts stayed internally consistent: next_o_id == orders + 1.
+  for (int64_t w = 1; w <= 4; ++w) {
+    WarehousePartition* part = data.warehouse(w);
+    for (size_t d = 0; d < part->districts.size(); ++d) {
+      int64_t max_order =
+          part->orders[d].empty() ? 0 : part->orders[d].rbegin()->first;
+      EXPECT_EQ(part->districts[d].next_o_id, max_order + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engines through the shared driver
+
+template <typename Engine, typename Options>
+tpcc::DriverResult RunEngine(Options options, tpcc::Mix mix,
+                             uint32_t workers) {
+  Engine engine(SmallScale(), options);
+  tpcc::DriverOptions driver;
+  driver.scale = SmallScale();
+  driver.mix = mix;
+  driver.num_workers = workers;
+  driver.duration_virtual_ms = 100;
+  auto result = tpcc::RunTpcc(&engine, driver);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : tpcc::DriverResult{};
+}
+
+TEST(PartitionedSerialDbTest, RunsTheWorkload) {
+  auto result = RunEngine<PartitionedSerialDb>(PartitionedSerialOptions{},
+                                               tpcc::Mix::kWriteIntensive, 4);
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_GT(result.tpmc, 0.0);
+}
+
+TEST(PartitionedSerialDbTest, ShardableFasterThanStandard) {
+  // The defining VoltDB behaviour: multi-partition transactions stall
+  // every partition, so the standard mix is far slower than shardable.
+  auto standard = RunEngine<PartitionedSerialDb>(
+      PartitionedSerialOptions{}, tpcc::Mix::kWriteIntensive, 8);
+  auto shardable = RunEngine<PartitionedSerialDb>(
+      PartitionedSerialOptions{}, tpcc::Mix::kShardable, 8);
+  EXPECT_GT(shardable.tps, standard.tps * 2);
+}
+
+TEST(PartitionedSerialDbTest, ReplicationSlowsItDown) {
+  PartitionedSerialOptions rf1;
+  PartitionedSerialOptions rf3;
+  rf3.replication_factor = 3;
+  auto fast = RunEngine<PartitionedSerialDb>(rf1, tpcc::Mix::kShardable, 4);
+  auto slow = RunEngine<PartitionedSerialDb>(rf3, tpcc::Mix::kShardable, 4);
+  EXPECT_GT(fast.tps, slow.tps);
+}
+
+TEST(TwoPcPartitionedDbTest, RunsTheWorkload) {
+  auto result = RunEngine<TwoPcPartitionedDb>(TwoPcOptions{},
+                                              tpcc::Mix::kWriteIntensive, 4);
+  EXPECT_GT(result.committed, 0u);
+}
+
+TEST(TwoPcPartitionedDbTest, StandardMixTolerable) {
+  // Unlike VoltDB, distributed transactions only slow down their own
+  // participants — the standard mix costs far less than 2x.
+  auto standard = RunEngine<TwoPcPartitionedDb>(
+      TwoPcOptions{}, tpcc::Mix::kWriteIntensive, 8);
+  auto shardable =
+      RunEngine<TwoPcPartitionedDb>(TwoPcOptions{}, tpcc::Mix::kShardable, 8);
+  EXPECT_LT(shardable.tps, standard.tps * 2);
+}
+
+TEST(CentralValidationDbTest, RunsTheWorkload) {
+  auto result = RunEngine<CentralValidationDb>(
+      CentralValidationOptions{}, tpcc::Mix::kWriteIntensive, 4);
+  EXPECT_GT(result.committed, 0u);
+}
+
+TEST(CentralValidationDbTest, ResolverCapsScaling) {
+  // Doubling workers past the resolver's capacity must not double
+  // throughput.
+  CentralValidationOptions options;
+  options.per_read_ns = 50'000;        // fast client...
+  options.resolver_base_ns = 2'000'000;  // ...but a slow central resolver
+  auto few = RunEngine<CentralValidationDb>(options,
+                                            tpcc::Mix::kWriteIntensive, 4);
+  auto many = RunEngine<CentralValidationDb>(options,
+                                             tpcc::Mix::kWriteIntensive, 16);
+  EXPECT_LT(many.tps, few.tps * 3);
+}
+
+}  // namespace
+}  // namespace tell::baselines

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "buffer/shared_record_buffer.h"
+#include "buffer/version_sync_buffer.h"
+#include "db/tell_db.h"
+#include "tests/test_util.h"
+
+namespace tell::buffer {
+namespace {
+
+using schema::Tuple;
+using schema::Value;
+
+/// Fixture exercising the buffer strategies through the full database with
+/// two PNs, so cross-PN invalidation behaviour is real.
+class BufferStrategyTest : public ::testing::TestWithParam<db::BufferStrategy> {
+ protected:
+  BufferStrategyTest() {
+    db::TellDbOptions options;
+    options.num_processing_nodes = 2;
+    options.network = sim::NetworkModel::Instant();
+    options.buffer_strategy = GetParam();
+    options.buffer_unit_size = 4;
+    db_ = std::make_unique<db::TellDb>(options);
+    EXPECT_OK(db_->CreateTable("t",
+                               schema::SchemaBuilder()
+                                   .AddInt64("id")
+                                   .AddDouble("v")
+                                   .SetPrimaryKey({"id"})
+                                   .Build(),
+                               {}));
+    table0_ = *db_->GetTable(0, "t");
+    table1_ = *db_->GetTable(1, "t");
+    session0_ = db_->OpenSession(0, 0);
+    session1_ = db_->OpenSession(1, 1);
+  }
+
+  Tuple Row(int64_t id, double v) {
+    Tuple t(2);
+    t.Set(0, id);
+    t.Set(1, v);
+    return t;
+  }
+
+  uint64_t InsertRow(int64_t id, double v) {
+    tx::Transaction txn(session0_.get());
+    EXPECT_TRUE(txn.Begin().ok());
+    auto rid = txn.Insert(table0_, Row(id, v));
+    EXPECT_TRUE(rid.ok());
+    EXPECT_TRUE(txn.Commit().ok());
+    return *rid;
+  }
+
+  double ReadOn(tx::Session* session, tx::TableHandle* table, uint64_t rid) {
+    tx::Transaction txn(session);
+    EXPECT_TRUE(txn.Begin().ok());
+    auto row = txn.Read(table, rid);
+    EXPECT_TRUE(row.ok() && row->has_value());
+    double v = (*row)->GetDouble(1);
+    EXPECT_TRUE(txn.Commit().ok());
+    return v;
+  }
+
+  std::unique_ptr<db::TellDb> db_;
+  tx::TableHandle* table0_;
+  tx::TableHandle* table1_;
+  std::unique_ptr<tx::Session> session0_;
+  std::unique_ptr<tx::Session> session1_;
+};
+
+TEST_P(BufferStrategyTest, CrossPnUpdatesAlwaysVisible) {
+  uint64_t rid = InsertRow(1, 10.0);
+  // Warm both PNs' buffers.
+  EXPECT_EQ(ReadOn(session0_.get(), table0_, rid), 10.0);
+  EXPECT_EQ(ReadOn(session1_.get(), table1_, rid), 10.0);
+  // PN 1 updates; PN 0 must see it (no stale buffer serving).
+  {
+    tx::Transaction txn(session1_.get());
+    ASSERT_OK(txn.Begin());
+    ASSERT_OK(txn.Update(table1_, rid, Row(1, 20.0)));
+    ASSERT_OK(txn.Commit());
+  }
+  EXPECT_EQ(ReadOn(session0_.get(), table0_, rid), 20.0);
+  EXPECT_EQ(ReadOn(session1_.get(), table1_, rid), 20.0);
+}
+
+TEST_P(BufferStrategyTest, RepeatedUpdatesStayCoherent) {
+  uint64_t rid = InsertRow(1, 0.0);
+  for (int i = 1; i <= 10; ++i) {
+    tx::Session* writer = (i % 2 == 0) ? session0_.get() : session1_.get();
+    tx::TableHandle* table = (i % 2 == 0) ? table0_ : table1_;
+    tx::Transaction txn(writer);
+    ASSERT_OK(txn.Begin());
+    ASSERT_OK(txn.Update(table, rid, Row(1, i)));
+    ASSERT_OK(txn.Commit());
+    EXPECT_EQ(ReadOn(session0_.get(), table0_, rid), i);
+    EXPECT_EQ(ReadOn(session1_.get(), table1_, rid), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, BufferStrategyTest,
+    ::testing::Values(db::BufferStrategy::kTransactionOnly,
+                      db::BufferStrategy::kSharedRecord,
+                      db::BufferStrategy::kVersionSync),
+    [](const ::testing::TestParamInfo<db::BufferStrategy>& info) {
+      switch (info.param) {
+        case db::BufferStrategy::kTransactionOnly: return "TB";
+        case db::BufferStrategy::kSharedRecord: return "SB";
+        case db::BufferStrategy::kVersionSync: return "SBVS";
+      }
+      return "?";
+    });
+
+// ---------------------------------------------------------------------------
+// Strategy-specific behaviour
+
+class SharedBufferUnitTest : public ::testing::Test {
+ protected:
+  SharedBufferUnitTest() {
+    db::TellDbOptions options;
+    options.num_processing_nodes = 1;
+    options.network = sim::NetworkModel::Instant();
+    options.buffer_strategy = db::BufferStrategy::kSharedRecord;
+    db_ = std::make_unique<db::TellDb>(options);
+    EXPECT_OK(db_->CreateTable("t",
+                               schema::SchemaBuilder()
+                                   .AddInt64("id")
+                                   .AddDouble("v")
+                                   .SetPrimaryKey({"id"})
+                                   .Build(),
+                               {}));
+    table_ = *db_->GetTable(0, "t");
+  }
+  std::unique_ptr<db::TellDb> db_;
+  tx::TableHandle* table_;
+};
+
+TEST_F(SharedBufferUnitTest, OlderOverlappingTransactionHitsBuffer) {
+  // Paper §5.5.2's own example: "if a transaction retrieves a record, the
+  // same record can be reused by a transaction that has started before the
+  // first one (i.e., a transaction with an older snapshot)".
+  auto s1 = db_->OpenSession(0, 0);
+  auto s2 = db_->OpenSession(0, 1);
+  uint64_t rid;
+  {
+    tx::Transaction txn(s1.get());
+    ASSERT_OK(txn.Begin());
+    schema::Tuple row(2);
+    row.Set(0, int64_t{1});
+    row.Set(1, 5.0);
+    ASSERT_OK_AND_ASSIGN(rid, txn.Insert(table_, row));
+    ASSERT_OK(txn.Commit());
+  }
+  // Older transaction begins FIRST...
+  tx::Transaction older(s2.get());
+  ASSERT_OK(older.Begin());
+  // ...then a newer one begins and reads the record (fetch, B = V_max =
+  // the newer snapshot).
+  tx::Transaction newer(s1.get());
+  ASSERT_OK(newer.Begin());
+  ASSERT_OK(newer.Read(table_, rid).status());
+  uint64_t misses_before = s2->metrics()->buffer_misses;
+  uint64_t hits_before = s2->metrics()->buffer_hits;
+  // The older transaction's V_tx ⊆ B: served from the shared buffer.
+  ASSERT_OK(older.Read(table_, rid).status());
+  EXPECT_EQ(s2->metrics()->buffer_misses, misses_before);
+  EXPECT_GT(s2->metrics()->buffer_hits, hits_before);
+  ASSERT_OK(older.Commit());
+  ASSERT_OK(newer.Commit());
+}
+
+TEST(SnapshotSubsetTest, BufferValidityRule) {
+  // The SB validity condition V_tx ⊆ B from §5.5.2 in isolation.
+  tx::SnapshotDescriptor b(10);
+  b.MarkCompleted(12);
+  tx::SnapshotDescriptor v_old(8);
+  EXPECT_TRUE(v_old.IsSubsetOf(b));  // older txn can use the buffer
+  tx::SnapshotDescriptor v_new(13);
+  EXPECT_FALSE(v_new.IsSubsetOf(b));  // newer txn must refetch
+}
+
+}  // namespace
+}  // namespace tell::buffer

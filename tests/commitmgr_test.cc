@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "commitmgr/commit_manager.h"
+#include "commitmgr/snapshot_descriptor.h"
+#include "store/cluster.h"
+#include "tests/test_util.h"
+
+namespace tell::commitmgr {
+namespace {
+
+TEST(SnapshotDescriptorTest, BaseCoversLowTids) {
+  SnapshotDescriptor snapshot(10);
+  EXPECT_TRUE(snapshot.CanRead(1));
+  EXPECT_TRUE(snapshot.CanRead(10));
+  EXPECT_FALSE(snapshot.CanRead(11));
+}
+
+TEST(SnapshotDescriptorTest, MarkCompletedAdvancesBaseContiguously) {
+  SnapshotDescriptor snapshot(0);
+  snapshot.MarkCompleted(1);
+  EXPECT_EQ(snapshot.base(), 1u);
+  snapshot.MarkCompleted(3);  // hole at 2
+  EXPECT_EQ(snapshot.base(), 1u);
+  EXPECT_TRUE(snapshot.CanRead(3));
+  EXPECT_FALSE(snapshot.CanRead(2));
+  snapshot.MarkCompleted(2);
+  EXPECT_EQ(snapshot.base(), 3u);
+}
+
+TEST(SnapshotDescriptorTest, HighestCompleted) {
+  SnapshotDescriptor snapshot(5);
+  EXPECT_EQ(snapshot.HighestCompleted(), 5u);
+  snapshot.MarkCompleted(9);
+  EXPECT_EQ(snapshot.HighestCompleted(), 9u);
+}
+
+TEST(SnapshotDescriptorTest, SerializationRoundTrip) {
+  SnapshotDescriptor snapshot(100);
+  snapshot.MarkCompleted(105);
+  snapshot.MarkCompleted(170);
+  ASSERT_OK_AND_ASSIGN(SnapshotDescriptor copy,
+                       SnapshotDescriptor::Deserialize(snapshot.Serialize()));
+  EXPECT_TRUE(copy == snapshot);
+  EXPECT_TRUE(copy.CanRead(105));
+  EXPECT_FALSE(copy.CanRead(106));
+}
+
+TEST(SnapshotDescriptorTest, MergeTakesUnion) {
+  SnapshotDescriptor a(5);
+  a.MarkCompleted(8);
+  SnapshotDescriptor b(6);
+  b.MarkCompleted(10);
+  a.MergeFrom(b);
+  EXPECT_GE(a.base(), 6u);
+  EXPECT_TRUE(a.CanRead(8));
+  EXPECT_TRUE(a.CanRead(10));
+  EXPECT_FALSE(a.CanRead(9));
+}
+
+TEST(SnapshotDescriptorTest, MergeAdvancesOverCombinedPrefix) {
+  SnapshotDescriptor a(0);
+  a.MarkCompleted(2);  // knows 2
+  SnapshotDescriptor b(1);  // knows 1 (via base)
+  a.MergeFrom(b);
+  EXPECT_EQ(a.base(), 2u);
+}
+
+TEST(SnapshotDescriptorTest, SubsetReflexive) {
+  SnapshotDescriptor a(7);
+  a.MarkCompleted(12);
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(SnapshotDescriptorTest, SubsetDetectsMissingTid) {
+  SnapshotDescriptor small(5);
+  SnapshotDescriptor big(5);
+  big.MarkCompleted(7);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+}
+
+TEST(SnapshotDescriptorTest, SubsetAcrossDifferentBases) {
+  SnapshotDescriptor newer(10);
+  SnapshotDescriptor older(5);
+  older.MarkCompleted(7);
+  // newer covers 1..10; older covers 1..5 and 7.
+  EXPECT_TRUE(older.IsSubsetOf(newer));
+  EXPECT_FALSE(newer.IsSubsetOf(older));  // 6 not visible in older
+}
+
+TEST(SnapshotDescriptorTest, BitsetSizeStaysSmall) {
+  // Paper §4.2: N is ~13 KB with 100,000 newly committed transactions.
+  SnapshotDescriptor snapshot(0);
+  // Leave tid 1 incomplete so the base cannot advance, then complete 100k.
+  for (Tid tid = 2; tid <= 100'000; ++tid) snapshot.MarkCompleted(tid);
+  EXPECT_LE(snapshot.BitsetBytes(), 14'000u);
+  EXPECT_GE(snapshot.BitsetBytes(), 12'000u);
+}
+
+// ---------------------------------------------------------------------------
+// CommitManager
+
+class CommitManagerTest : public ::testing::Test {
+ protected:
+  CommitManagerTest() {
+    store::ClusterOptions options;
+    options.num_storage_nodes = 2;
+    cluster_ = std::make_unique<store::Cluster>(options);
+  }
+
+  std::unique_ptr<CommitManagerGroup> MakeGroup(uint32_t n,
+                                                uint32_t range = 16) {
+    CommitManagerOptions options;
+    options.tid_range_size = range;
+    return std::make_unique<CommitManagerGroup>(cluster_.get(), n, options,
+                                                /*sync_interval_ms=*/0);
+  }
+
+  std::unique_ptr<store::Cluster> cluster_;
+};
+
+TEST_F(CommitManagerTest, StartAssignsUniqueMonotonicTids) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin t1, cm->Start(0));
+  ASSERT_OK_AND_ASSIGN(TxnBegin t2, cm->Start(0));
+  EXPECT_LT(t1.tid, t2.tid);
+}
+
+TEST_F(CommitManagerTest, SnapshotExcludesActiveTransactions) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin t1, cm->Start(0));
+  ASSERT_OK_AND_ASSIGN(TxnBegin t2, cm->Start(0));
+  // t2's snapshot must not see t1 (still active).
+  EXPECT_FALSE(t2.snapshot.CanRead(t1.tid));
+  ASSERT_OK(cm->SetCommitted(t1.tid));
+  ASSERT_OK_AND_ASSIGN(TxnBegin t3, cm->Start(0));
+  EXPECT_TRUE(t3.snapshot.CanRead(t1.tid));
+  EXPECT_FALSE(t3.snapshot.CanRead(t2.tid));
+}
+
+TEST_F(CommitManagerTest, AbortedCountsAsCompleted) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin t1, cm->Start(0));
+  ASSERT_OK(cm->SetAborted(t1.tid));
+  ASSERT_OK_AND_ASSIGN(TxnBegin t2, cm->Start(0));
+  EXPECT_TRUE(t2.snapshot.CanRead(t1.tid));
+}
+
+TEST_F(CommitManagerTest, LavTracksOldestActive) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin t1, cm->Start(0));
+  ASSERT_OK_AND_ASSIGN(TxnBegin t2, cm->Start(0));
+  (void)t2;
+  // While t1 runs, the lav stays at t1's snapshot base.
+  EXPECT_EQ(cm->Lav(), t1.snapshot.base());
+  ASSERT_OK(cm->SetCommitted(t1.tid));
+  ASSERT_OK(cm->SetCommitted(t2.tid));
+  ASSERT_OK_AND_ASSIGN(TxnBegin t3, cm->Start(0));
+  EXPECT_GE(t3.lav, t1.tid);
+}
+
+TEST_F(CommitManagerTest, TidRangesAvoidCounterRoundTrips) {
+  auto group = MakeGroup(1, /*range=*/256);
+  CommitManager* cm = group->manager(0);
+  // All tids of the first range are continuous.
+  Tid previous = 0;
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_OK_AND_ASSIGN(TxnBegin begin, cm->Start(0));
+    if (previous != 0) EXPECT_EQ(begin.tid, previous + 1);
+    previous = begin.tid;
+    ASSERT_OK(cm->SetCommitted(begin.tid));
+  }
+}
+
+TEST_F(CommitManagerTest, TwoManagersGetDisjointRanges) {
+  auto group = MakeGroup(2, /*range=*/8);
+  ASSERT_OK_AND_ASSIGN(TxnBegin a, group->manager(0)->Start(0));
+  ASSERT_OK_AND_ASSIGN(TxnBegin b, group->manager(1)->Start(0));
+  EXPECT_NE(a.tid, b.tid);
+  // Ranges of 8: manager 0 got [1,8], manager 1 [9,16].
+  EXPECT_EQ(a.tid, 1u);
+  EXPECT_EQ(b.tid, 9u);
+}
+
+TEST_F(CommitManagerTest, PeersLearnCommitsViaSync) {
+  auto group = MakeGroup(2, /*range=*/8);
+  CommitManager* cm0 = group->manager(0);
+  CommitManager* cm1 = group->manager(1);
+  ASSERT_OK_AND_ASSIGN(TxnBegin t0, cm0->Start(0));
+  ASSERT_OK(cm0->SetCommitted(t0.tid));
+  // Before sync, manager 1 does not know about t0.
+  ASSERT_OK_AND_ASSIGN(TxnBegin before, cm1->Start(1));
+  EXPECT_FALSE(before.snapshot.CanRead(t0.tid));
+  ASSERT_OK(cm1->SetCommitted(before.tid));
+  // One sync round propagates the state.
+  ASSERT_OK(group->SyncAll());
+  ASSERT_OK(group->SyncAll());  // second round: read-back of peer states
+  ASSERT_OK_AND_ASSIGN(TxnBegin after, cm1->Start(1));
+  EXPECT_TRUE(after.snapshot.CanRead(t0.tid));
+}
+
+TEST_F(CommitManagerTest, ManagerForSkipsDeadManagers) {
+  auto group = MakeGroup(3);
+  group->manager(1)->Kill();
+  CommitManager* cm = group->ManagerFor(1);
+  ASSERT_NE(cm, nullptr);
+  EXPECT_NE(cm->manager_id(), 1u);
+}
+
+TEST_F(CommitManagerTest, RecoverFromStoreRestoresState) {
+  auto group = MakeGroup(2, /*range=*/8);
+  CommitManager* cm0 = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin t0, cm0->Start(0));
+  ASSERT_OK(cm0->SetCommitted(t0.tid));
+  ASSERT_OK(group->SyncAll());
+  // Manager 1 "fails" and a replacement rebuilds from the store.
+  CommitManager* cm1 = group->manager(1);
+  cm1->Kill();
+  cm1->Revive();
+  ASSERT_OK(cm1->RecoverFromStore(group->size()));
+  ASSERT_OK_AND_ASSIGN(TxnBegin begin, cm1->Start(1));
+  EXPECT_TRUE(begin.snapshot.CanRead(t0.tid));
+  EXPECT_GT(begin.tid, t0.tid);
+}
+
+TEST_F(CommitManagerTest, AbortActiveOfCompletesPnTids) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin pn0_txn, cm->Start(/*pn_id=*/0));
+  ASSERT_OK_AND_ASSIGN(TxnBegin pn1_txn, cm->Start(/*pn_id=*/1));
+  std::vector<Tid> aborted = cm->AbortActiveOf(0);
+  ASSERT_EQ(aborted.size(), 1u);
+  EXPECT_EQ(aborted[0], pn0_txn.tid);
+  // pn1's transaction is still active.
+  ASSERT_OK(cm->SetCommitted(pn1_txn.tid));
+  ASSERT_OK_AND_ASSIGN(TxnBegin after, cm->Start(0));
+  EXPECT_TRUE(after.snapshot.CanRead(pn0_txn.tid));
+  EXPECT_TRUE(after.snapshot.CanRead(pn1_txn.tid));
+}
+
+TEST_F(CommitManagerTest, InterleavedTidsAreDisjointStrides) {
+  CommitManagerOptions options;
+  options.interleaved_tids = true;
+  auto group = std::make_unique<CommitManagerGroup>(cluster_.get(), 3,
+                                                    options, 0.0);
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t m = 0; m < 3; ++m) {
+      ASSERT_OK_AND_ASSIGN(TxnBegin begin, group->manager(m)->Start(0));
+      // Manager m hands out m+1, m+1+3, m+1+6, ...
+      EXPECT_EQ(begin.tid, m + 1 + static_cast<Tid>(round) * 3);
+      ASSERT_OK(group->manager(m)->SetCommitted(begin.tid));
+    }
+  }
+}
+
+TEST_F(CommitManagerTest, InterleavedBaseAdvancesAfterSync) {
+  CommitManagerOptions options;
+  options.interleaved_tids = true;
+  auto group = std::make_unique<CommitManagerGroup>(cluster_.get(), 2,
+                                                    options, 0.0);
+  // Both managers complete one transaction each (tids 1 and 2).
+  ASSERT_OK_AND_ASSIGN(TxnBegin a, group->manager(0)->Start(0));
+  ASSERT_OK_AND_ASSIGN(TxnBegin b, group->manager(1)->Start(0));
+  ASSERT_OK(group->manager(0)->SetCommitted(a.tid));
+  ASSERT_OK(group->manager(1)->SetCommitted(b.tid));
+  ASSERT_OK(group->SyncAll());
+  ASSERT_OK(group->SyncAll());
+  // After merging, both managers' bases cover tids 1 and 2.
+  EXPECT_GE(group->manager(0)->CurrentSnapshot().base(), 2u);
+  EXPECT_GE(group->manager(1)->CurrentSnapshot().base(), 2u);
+}
+
+TEST_F(CommitManagerTest, InterleavedWorksEndToEnd) {
+  CommitManagerOptions options;
+  options.interleaved_tids = true;
+  auto group = std::make_unique<CommitManagerGroup>(cluster_.get(), 2,
+                                                    options, 0.0);
+  // Interleaved tids stay unique and monotone per manager under load.
+  std::set<Tid> seen;
+  for (int i = 0; i < 50; ++i) {
+    for (uint32_t m = 0; m < 2; ++m) {
+      ASSERT_OK_AND_ASSIGN(TxnBegin begin, group->manager(m)->Start(0));
+      EXPECT_TRUE(seen.insert(begin.tid).second) << "duplicate " << begin.tid;
+      ASSERT_OK(group->manager(m)->SetCommitted(begin.tid));
+    }
+  }
+}
+
+TEST_F(CommitManagerTest, ConcurrentStartsUniqueTids) {
+  auto group = MakeGroup(2, /*range=*/32);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<Tid>> tids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      CommitManager* cm = group->ManagerFor(static_cast<uint32_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        auto begin = cm->Start(0);
+        ASSERT_TRUE(begin.ok());
+        tids[t].push_back(begin->tid);
+        ASSERT_TRUE(cm->SetCommitted(begin->tid).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<Tid> all;
+  for (const auto& list : tids) {
+    for (Tid tid : list) {
+      EXPECT_TRUE(all.insert(tid).second) << "duplicate tid " << tid;
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace tell::commitmgr

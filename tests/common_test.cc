@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitset.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "sim/histogram.h"
+#include "tests/test_util.h"
+
+namespace tell {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::ConditionFailed().IsConditionFailed());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_FALSE(Status::NotFound().IsAborted());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto fn = [](bool fail) -> Result<int> {
+    auto inner = [&]() -> Result<int> {
+      if (fail) return Status::InvalidArgument("bad");
+      return 7;
+    };
+    TELL_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_EQ(*fn(false), 8);
+  EXPECT_TRUE(fn(true).status().code() == StatusCode::kInvalidArgument);
+}
+
+TEST(BitsetTest, SetTestClear) {
+  DenseBitset bits;
+  EXPECT_TRUE(bits.empty());
+  bits.Set(5);
+  EXPECT_TRUE(bits.Test(5));
+  EXPECT_FALSE(bits.Test(4));
+  EXPECT_EQ(bits.size(), 6u);
+  bits.Clear(5);
+  EXPECT_FALSE(bits.Test(5));
+}
+
+TEST(BitsetTest, FirstZeroFindsHole) {
+  DenseBitset bits;
+  bits.Set(0);
+  bits.Set(1);
+  bits.Set(3);
+  EXPECT_EQ(bits.FirstZero(), 2u);
+  bits.Set(2);
+  EXPECT_EQ(bits.FirstZero(), 4u);
+}
+
+TEST(BitsetTest, FirstZeroAllSet) {
+  DenseBitset bits;
+  for (size_t i = 0; i < 130; ++i) bits.Set(i);
+  EXPECT_EQ(bits.FirstZero(), 130u);
+}
+
+TEST(BitsetTest, DropFrontShifts) {
+  DenseBitset bits;
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(100);
+  bits.DropFront(64);
+  EXPECT_TRUE(bits.Test(0));    // old 64
+  EXPECT_TRUE(bits.Test(36));   // old 100
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitsetTest, DropFrontPastEndClears) {
+  DenseBitset bits;
+  bits.Set(3);
+  bits.DropFront(10);
+  EXPECT_TRUE(bits.empty());
+}
+
+TEST(BitsetTest, CountAcrossWords) {
+  DenseBitset bits;
+  std::set<size_t> positions = {0, 1, 63, 64, 65, 127, 128, 200};
+  for (size_t p : positions) bits.Set(p);
+  EXPECT_EQ(bits.Count(), positions.size());
+}
+
+TEST(SerdeTest, RoundTripScalars) {
+  BufferWriter writer;
+  writer.PutU8(7);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(1ULL << 60);
+  writer.PutI64(-12345);
+  writer.PutDouble(3.25);
+  writer.PutString("hello");
+  BufferReader reader(writer.data());
+  ASSERT_OK_AND_ASSIGN(uint8_t a, reader.GetU8());
+  ASSERT_OK_AND_ASSIGN(uint32_t b, reader.GetU32());
+  ASSERT_OK_AND_ASSIGN(uint64_t c, reader.GetU64());
+  ASSERT_OK_AND_ASSIGN(int64_t d, reader.GetI64());
+  ASSERT_OK_AND_ASSIGN(double e, reader.GetDouble());
+  ASSERT_OK_AND_ASSIGN(std::string_view f, reader.GetString());
+  EXPECT_EQ(a, 7);
+  EXPECT_EQ(b, 0xDEADBEEF);
+  EXPECT_EQ(c, 1ULL << 60);
+  EXPECT_EQ(d, -12345);
+  EXPECT_EQ(e, 3.25);
+  EXPECT_EQ(f, "hello");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedReadFails) {
+  BufferWriter writer;
+  writer.PutU32(99);
+  BufferReader reader(writer.data());
+  EXPECT_FALSE(reader.GetU64().ok());
+}
+
+TEST(SerdeTest, OrderedU64PreservesOrder) {
+  uint64_t values[] = {0, 1, 255, 256, 1ULL << 32, UINT64_MAX};
+  for (uint64_t a : values) {
+    for (uint64_t b : values) {
+      EXPECT_EQ(a < b, EncodeOrderedU64(a) < EncodeOrderedU64(b));
+      EXPECT_EQ(DecodeOrderedU64(EncodeOrderedU64(a)), a);
+    }
+  }
+}
+
+TEST(SerdeTest, OrderedI64PreservesOrder) {
+  int64_t values[] = {INT64_MIN, -1000, -1, 0, 1, 1000, INT64_MAX};
+  for (int64_t a : values) {
+    for (int64_t b : values) {
+      EXPECT_EQ(a < b, EncodeOrderedI64(a) < EncodeOrderedI64(b));
+      EXPECT_EQ(DecodeOrderedI64(EncodeOrderedI64(a)), a);
+    }
+  }
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, UniformIntWithinBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(5, 15);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 15);
+  }
+}
+
+TEST(RandomTest, NonUniformWithinBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NonUniform(255, 123, 0, 999);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(99);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(RandomTest, AlphaStringLengthInRange) {
+  Random rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = rng.AlphaString(8, 16);
+    EXPECT_GE(s.size(), 8u);
+    EXPECT_LE(s.size(), 16u);
+  }
+}
+
+TEST(HistogramTest, MeanAndCount) {
+  sim::Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+}
+
+TEST(HistogramTest, PercentileApproximation) {
+  sim::Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.Record(i * 1000);
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p99 = h.Percentile(99);
+  // Log buckets: ~19% relative error budget.
+  EXPECT_NEAR(static_cast<double>(p50), 500000.0, 500000.0 * 0.25);
+  EXPECT_NEAR(static_cast<double>(p99), 990000.0, 990000.0 * 0.25);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  sim::Histogram a, b;
+  a.Record(10);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(HistogramTest, StdDev) {
+  sim::Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_NEAR(h.StdDev(), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tell

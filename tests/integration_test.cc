@@ -1,0 +1,197 @@
+// Cross-module integration tests: full TPC-C under concurrency with
+// consistency audits, elasticity during load, mixed SQL/native access, and
+// failures injected mid-workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tests/test_util.h"
+#include "workload/tpcc/tpcc_driver.h"
+#include "workload/tpcc/tpcc_loader.h"
+
+namespace tell {
+namespace {
+
+using schema::Tuple;
+using schema::Value;
+
+tpcc::TpccScale SmallScale() {
+  tpcc::TpccScale scale;
+  scale.warehouses = 4;
+  scale.districts_per_warehouse = 4;
+  scale.customers_per_district = 16;
+  scale.items = 80;
+  scale.initial_orders_per_district = 8;
+  return scale;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() {
+    db::TellDbOptions options;
+    options.num_processing_nodes = 2;
+    options.num_storage_nodes = 3;
+    options.replication_factor = 2;
+    options.network = sim::NetworkModel::Instant();
+    db_ = std::make_unique<db::TellDb>(options);
+    scale_ = SmallScale();
+    EXPECT_OK(tpcc::CreateTpccTables(db_.get()));
+    EXPECT_OK(tpcc::LoadTpcc(db_.get(), scale_));
+  }
+
+  /// TPC-C consistency conditions over all warehouses/districts:
+  ///  (1) d_next_o_id - 1 == max(o_id) == max(no_o_id where present),
+  ///  (2) every order has exactly o_ol_cnt order lines.
+  void AuditConsistency() {
+    auto session = db_->OpenSession(0, 900);
+    auto tables = *tpcc::OpenTpccTables(db_.get(), 0);
+    tx::Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    for (int64_t w = 1; w <= scale_.warehouses; ++w) {
+      for (int64_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
+        ASSERT_OK_AND_ASSIGN(
+            std::optional<Tuple> district,
+            txn.ReadByKey(tables.district, {Value(w), Value(d)}));
+        ASSERT_TRUE(district.has_value());
+        int64_t next_o_id = district->GetInt(tpcc::col::kDNextOId);
+        ASSERT_OK_AND_ASSIGN(
+            auto orders,
+            txn.ScanIndex(tables.orders, -1, {Value(w), Value(d)},
+                          {Value(w), Value(d + 1)}, 0));
+        int64_t max_o_id = 0;
+        for (const auto& [rid, order] : orders) {
+          max_o_id = std::max(max_o_id, order.GetInt(tpcc::col::kOId));
+        }
+        EXPECT_EQ(next_o_id, max_o_id + 1) << "w=" << w << " d=" << d;
+        // Condition 2 on a sample of orders (first / last).
+        for (const auto& [rid, order] : orders) {
+          int64_t o_id = order.GetInt(tpcc::col::kOId);
+          if (o_id != max_o_id && o_id != 1) continue;
+          int64_t ol_cnt = order.GetInt(tpcc::col::kOOlCnt);
+          ASSERT_OK_AND_ASSIGN(
+              auto lines,
+              txn.ScanIndex(tables.order_line, -1,
+                            {Value(w), Value(d), Value(o_id)},
+                            {Value(w), Value(d), Value(o_id + 1)}, 0));
+          EXPECT_EQ(static_cast<int64_t>(lines.size()), ol_cnt)
+              << "w=" << w << " d=" << d << " o=" << o_id;
+        }
+      }
+    }
+    ASSERT_OK(txn.Commit());
+  }
+
+  std::unique_ptr<db::TellDb> db_;
+  tpcc::TpccScale scale_;
+};
+
+TEST_F(IntegrationTest, ConcurrentTpccKeepsInvariants) {
+  tpcc::TellBackend backend(db_.get());
+  tpcc::DriverOptions options;
+  options.scale = scale_;
+  options.mix = tpcc::Mix::kWriteIntensive;
+  options.num_workers = 6;
+  options.duration_virtual_ms = 40;
+  ASSERT_OK_AND_ASSIGN(tpcc::DriverResult result,
+                       tpcc::RunTpcc(&backend, options));
+  EXPECT_GT(result.committed, 100u);
+  AuditConsistency();
+}
+
+TEST_F(IntegrationTest, ElasticityMidWorkload) {
+  // Run a short workload, grow the cluster by two PNs, run again with more
+  // workers — the new PNs serve immediately and invariants hold.
+  tpcc::TellBackend backend(db_.get());
+  tpcc::DriverOptions options;
+  options.scale = scale_;
+  options.num_workers = 4;
+  options.duration_virtual_ms = 20;
+  ASSERT_OK(tpcc::RunTpcc(&backend, options).status());
+
+  db_->AddProcessingNode();
+  db_->AddProcessingNode();
+  ASSERT_EQ(db_->num_processing_nodes(), 4u);
+
+  tpcc::TellBackend grown(db_.get());
+  options.num_workers = 8;
+  ASSERT_OK_AND_ASSIGN(tpcc::DriverResult result,
+                       tpcc::RunTpcc(&grown, options));
+  EXPECT_GT(result.committed, 0u);
+  AuditConsistency();
+}
+
+TEST_F(IntegrationTest, StorageFailoverMidWorkload) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::thread worker([&] {
+    auto session = db_->OpenSession(0, 1);
+    auto tables = *tpcc::OpenTpccTables(db_.get(), 0);
+    tpcc::TpccExecutor executor(session.get(), tables);
+    tpcc::InputGenerator generator(scale_, tpcc::Mix::kWriteIntensive, 5, 1);
+    while (!stop.load()) {
+      auto outcome = executor.Execute(generator.Next());
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      if (outcome->committed) committed.fetch_add(1);
+    }
+  });
+  // Let it run a moment, then kill a storage node under it.
+  while (committed.load() < 20) std::this_thread::yield();
+  ASSERT_OK(db_->KillStorageNode(2));
+  uint64_t at_failure = committed.load();
+  while (committed.load() < at_failure + 20) std::this_thread::yield();
+  stop.store(true);
+  worker.join();
+  EXPECT_GT(committed.load(), at_failure) << "no progress after fail-over";
+  AuditConsistency();
+}
+
+TEST_F(IntegrationTest, SqlOverTpccData) {
+  // The SQL front-end works on the TPC-C tables the native loader built.
+  auto session = db_->OpenSession(0, 7);
+  auto count = db_->AutoCommitSql(session.get(),
+                                  "SELECT COUNT(*) FROM warehouse");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(std::get<int64_t>(count->rows[0].at(0)),
+            static_cast<int64_t>(scale_.warehouses));
+
+  auto join_free = db_->AutoCommitSql(
+      session.get(),
+      "SELECT d_id, d_next_o_id FROM district WHERE d_w_id = 1 ORDER BY "
+      "d_id");
+  ASSERT_TRUE(join_free.ok());
+  EXPECT_EQ(join_free->rows.size(), scale_.districts_per_warehouse);
+
+  auto aggregate = db_->AutoCommitSql(
+      session.get(),
+      "SELECT s_w_id, COUNT(*), AVG(s_quantity) FROM stock GROUP BY s_w_id");
+  ASSERT_TRUE(aggregate.ok());
+  EXPECT_EQ(aggregate->rows.size(), scale_.warehouses);
+}
+
+TEST_F(IntegrationTest, GcAfterWorkloadKeepsDataCorrect) {
+  tpcc::TellBackend backend(db_.get());
+  tpcc::DriverOptions options;
+  options.scale = scale_;
+  options.num_workers = 4;
+  options.duration_virtual_ms = 30;
+  ASSERT_OK(tpcc::RunTpcc(&backend, options).status());
+  ASSERT_OK_AND_ASSIGN(tx::GcStats stats, db_->RunGarbageCollection());
+  EXPECT_GT(stats.log_entries_truncated, 0u);
+  AuditConsistency();
+}
+
+TEST_F(IntegrationTest, ReadIntensiveMixLowAborts) {
+  tpcc::TellBackend backend(db_.get());
+  tpcc::DriverOptions options;
+  options.scale = scale_;
+  options.mix = tpcc::Mix::kReadIntensive;
+  options.num_workers = 4;
+  options.duration_virtual_ms = 30;
+  ASSERT_OK_AND_ASSIGN(tpcc::DriverResult result,
+                       tpcc::RunTpcc(&backend, options));
+  EXPECT_LT(result.abort_rate, 0.05);
+}
+
+}  // namespace
+}  // namespace tell

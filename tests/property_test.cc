@@ -1,0 +1,323 @@
+// Property-style parameterized sweeps over the core invariants:
+// snapshot-descriptor algebra, ordered key encodings, versioned-record GC,
+// B+tree equivalence under random workloads, and serializable-history
+// checks for concurrent counter increments.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "commitmgr/snapshot_descriptor.h"
+#include "db/tell_db.h"
+#include "index/btree.h"
+#include "schema/versioned_record.h"
+#include "tests/test_util.h"
+
+namespace tell {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SnapshotDescriptor algebra under random completion orders
+
+class SnapshotPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotPropertyTest, BaseEqualsContiguousPrefixForAnyOrder) {
+  Random rng(GetParam());
+  constexpr commitmgr::Tid kMax = 200;
+  std::vector<commitmgr::Tid> tids;
+  for (commitmgr::Tid t = 1; t <= kMax; ++t) tids.push_back(t);
+  for (size_t i = tids.size(); i > 1; --i) {
+    std::swap(tids[i - 1], tids[rng.Uniform(i)]);
+  }
+  commitmgr::SnapshotDescriptor snapshot;
+  std::set<commitmgr::Tid> completed;
+  for (commitmgr::Tid tid : tids) {
+    snapshot.MarkCompleted(tid);
+    completed.insert(tid);
+    // Invariant: base = length of the contiguous completed prefix.
+    commitmgr::Tid expected_base = 0;
+    while (completed.count(expected_base + 1)) ++expected_base;
+    ASSERT_EQ(snapshot.base(), expected_base);
+    // Invariant: CanRead(t) == t completed, for every t.
+    for (commitmgr::Tid t = 1; t <= kMax; ++t) {
+      ASSERT_EQ(snapshot.CanRead(t), completed.count(t) > 0) << "tid " << t;
+    }
+  }
+  EXPECT_EQ(snapshot.base(), kMax);
+}
+
+TEST_P(SnapshotPropertyTest, SerializeRoundTripAnyState) {
+  Random rng(GetParam() * 31 + 7);
+  commitmgr::SnapshotDescriptor snapshot;
+  for (int i = 0; i < 300; ++i) {
+    snapshot.MarkCompleted(1 + rng.Uniform(500));
+  }
+  ASSERT_OK_AND_ASSIGN(commitmgr::SnapshotDescriptor copy,
+                       commitmgr::SnapshotDescriptor::Deserialize(
+                           snapshot.Serialize()));
+  EXPECT_TRUE(copy == snapshot);
+}
+
+TEST_P(SnapshotPropertyTest, MergeIsUnionAndMonotone) {
+  Random rng(GetParam() * 97 + 3);
+  commitmgr::SnapshotDescriptor a, b;
+  std::set<commitmgr::Tid> set_a, set_b;
+  for (int i = 0; i < 150; ++i) {
+    commitmgr::Tid tid = 1 + rng.Uniform(300);
+    if (rng.Bernoulli(0.5)) {
+      a.MarkCompleted(tid);
+      set_a.insert(tid);
+    } else {
+      b.MarkCompleted(tid);
+      set_b.insert(tid);
+    }
+  }
+  // Record what each side can read pre-merge.
+  commitmgr::SnapshotDescriptor merged = a;
+  merged.MergeFrom(b);
+  for (commitmgr::Tid t = 1; t <= 300; ++t) {
+    bool expected = a.CanRead(t) || b.CanRead(t);
+    ASSERT_EQ(merged.CanRead(t), expected) << "tid " << t;
+  }
+  // Both inputs are subsets of the merge.
+  EXPECT_TRUE(a.IsSubsetOf(merged));
+  EXPECT_TRUE(b.IsSubsetOf(merged));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Ordered key encoding: byte order == value order, for random tuples
+
+class KeyOrderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeyOrderPropertyTest, CompositeKeyOrderMatchesValueOrder) {
+  Random rng(GetParam());
+  auto random_values = [&]() {
+    std::vector<schema::Value> values;
+    values.push_back(schema::Value(rng.UniformInt(-1000, 1000)));
+    values.push_back(schema::Value(rng.AlphaString(0, 6)));
+    values.push_back(
+        schema::Value(static_cast<double>(rng.UniformInt(-500, 500)) / 7.0));
+    return values;
+  };
+  auto compare_values = [](const std::vector<schema::Value>& a,
+                           const std::vector<schema::Value>& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = schema::CompareValues(a[i], b[i]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    auto a = random_values();
+    auto b = random_values();
+    ASSERT_OK_AND_ASSIGN(std::string ka, schema::EncodeIndexKeyValues(a));
+    ASSERT_OK_AND_ASSIGN(std::string kb, schema::EncodeIndexKeyValues(b));
+    int value_order = compare_values(a, b);
+    int key_order = ka.compare(kb);
+    ASSERT_EQ(value_order < 0, key_order < 0);
+    ASSERT_EQ(value_order == 0, key_order == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyOrderPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// VersionedRecord GC safety: GC never removes a version some snapshot with
+// base >= lav could need.
+
+class GcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcPropertyTest, GcPreservesVisibilityForAllFutureSnapshots) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    schema::VersionedRecord record;
+    std::vector<commitmgr::Tid> versions;
+    commitmgr::Tid v = 0;
+    int count = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < count; ++i) {
+      v += 1 + rng.Uniform(20);
+      record.PutVersion(v, "v" + std::to_string(v));
+      versions.push_back(v);
+    }
+    commitmgr::Tid lav = rng.Uniform(v + 10);
+    schema::VersionedRecord collected = record;
+    collected.CollectGarbage(lav);
+    // Any transaction alive now has snapshot base >= lav; for every such
+    // base the visible version must be identical before and after GC.
+    for (commitmgr::Tid base = lav; base <= v + 5; ++base) {
+      commitmgr::SnapshotDescriptor snapshot(base);
+      const schema::RecordVersion* before = record.VisibleVersion(snapshot);
+      const schema::RecordVersion* after = collected.VisibleVersion(snapshot);
+      if (before == nullptr) {
+        ASSERT_EQ(after, nullptr);
+      } else {
+        ASSERT_NE(after, nullptr) << "GC lost a visible version";
+        ASSERT_EQ(before->version, after->version);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ---------------------------------------------------------------------------
+// B+tree equals std::multimap under random op sequences, across fanouts
+
+class BTreePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreePropertyTest, MatchesModelUnderRandomOps) {
+  store::ClusterOptions cluster_options;
+  cluster_options.num_storage_nodes = 2;
+  store::Cluster cluster(cluster_options);
+  auto table = *cluster.CreateTable("idx");
+  sim::VirtualClock clock;
+  sim::WorkerMetrics metrics;
+  store::ClientOptions client_options;
+  client_options.network = sim::NetworkModel::Instant();
+  client_options.cpu.per_op_ns = 0;
+  store::StorageClient client(&cluster, nullptr, client_options, &clock,
+                              &metrics);
+  ASSERT_OK(index::BTree::Create(&client, table));
+  index::NodeCache cache;
+  index::BTreeOptions tree_options;
+  tree_options.fanout = GetParam();
+  index::BTree tree(table, tree_options, &cache);
+
+  std::multimap<std::string, uint64_t> model;
+  Random rng(GetParam() * 1000 + 1);
+  for (int op = 0; op < 1500; ++op) {
+    std::string key = EncodeOrderedU64(rng.Uniform(120));
+    uint64_t rid = rng.Uniform(6) + 1;
+    if (rng.Bernoulli(0.65)) {
+      bool model_has = false;
+      for (auto [it, end] = model.equal_range(key); it != end; ++it) {
+        if (it->second == rid) model_has = true;
+      }
+      ASSERT_OK(tree.Insert(&client, key, rid, false));
+      if (!model_has) model.emplace(key, rid);
+    } else {
+      ASSERT_OK(tree.Remove(&client, key, rid));
+      for (auto [it, end] = model.equal_range(key); it != end; ++it) {
+        if (it->second == rid) {
+          model.erase(it);
+          break;
+        }
+      }
+    }
+    if (op % 300 == 0) {
+      // Spot-check lookups against the model.
+      for (uint64_t probe = 0; probe < 120; probe += 17) {
+        std::string probe_key = EncodeOrderedU64(probe);
+        ASSERT_OK_AND_ASSIGN(std::vector<uint64_t> rids,
+                             tree.Lookup(&client, probe_key));
+        ASSERT_EQ(rids.size(), model.count(probe_key));
+      }
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<index::IndexEntry> entries,
+                       tree.RangeScan(&client, "", "", 0));
+  ASSERT_EQ(entries.size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreePropertyTest,
+                         ::testing::Values(4, 8, 16, 64));
+
+// ---------------------------------------------------------------------------
+// End-to-end SI invariant: concurrent increments never lose updates,
+// across PN counts and buffer strategies.
+
+struct SiSweepParam {
+  uint32_t pns;
+  db::BufferStrategy buffer;
+};
+
+class SiInvariantTest : public ::testing::TestWithParam<SiSweepParam> {};
+
+TEST_P(SiInvariantTest, CommittedIncrementsAllVisible) {
+  db::TellDbOptions options;
+  options.num_processing_nodes = GetParam().pns;
+  options.num_storage_nodes = 3;
+  options.network = sim::NetworkModel::Instant();
+  options.buffer_strategy = GetParam().buffer;
+  db::TellDb db(options);
+  ASSERT_OK(db.CreateTable("c",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddInt64("n")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {}));
+  uint64_t rid;
+  {
+    auto session = db.OpenSession(0, 0);
+    auto table = *db.GetTable(0, "c");
+    tx::Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    schema::Tuple row(2);
+    row.Set(0, int64_t{1});
+    row.Set(1, int64_t{0});
+    ASSERT_OK_AND_ASSIGN(rid, txn.Insert(table, row));
+    ASSERT_OK(txn.Commit());
+  }
+  constexpr int kPerWorker = 40;
+  const uint32_t workers = GetParam().pns * 2;
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto session = db.OpenSession(w % GetParam().pns, w + 1);
+      tx::TableHandle* table = *db.GetTable(w % GetParam().pns, "c");
+      int committed = 0;
+      while (committed < kPerWorker) {
+        tx::Transaction txn(session.get());
+        ASSERT_TRUE(txn.Begin().ok());
+        auto row = txn.Read(table, rid);
+        ASSERT_TRUE(row.ok() && row->has_value());
+        schema::Tuple updated = **row;
+        updated.Set(1, updated.GetInt(1) + 1);
+        Status st = txn.Update(table, rid, updated);
+        if (st.ok()) st = txn.Commit();
+        if (st.ok()) {
+          ++committed;
+        } else {
+          ASSERT_TRUE(st.IsAborted()) << st.ToString();
+          if (txn.state() == tx::TxnState::kRunning) (void)txn.Abort();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto session = db.OpenSession(0, 999);
+  tx::TableHandle* table = *db.GetTable(0, "c");
+  tx::Transaction check(session.get());
+  ASSERT_OK(check.Begin());
+  ASSERT_OK_AND_ASSIGN(auto row, check.Read(table, rid));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->GetInt(1), static_cast<int64_t>(workers) * kPerWorker);
+  ASSERT_OK(check.Commit());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SiInvariantTest,
+    ::testing::Values(SiSweepParam{1, db::BufferStrategy::kTransactionOnly},
+                      SiSweepParam{2, db::BufferStrategy::kTransactionOnly},
+                      SiSweepParam{2, db::BufferStrategy::kSharedRecord},
+                      SiSweepParam{2, db::BufferStrategy::kVersionSync}),
+    [](const ::testing::TestParamInfo<SiSweepParam>& info) {
+      std::string name = "pns" + std::to_string(info.param.pns);
+      switch (info.param.buffer) {
+        case db::BufferStrategy::kTransactionOnly: name += "_TB"; break;
+        case db::BufferStrategy::kSharedRecord: name += "_SB"; break;
+        case db::BufferStrategy::kVersionSync: name += "_SBVS"; break;
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tell

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "db/tell_db.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace tell::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(LexerTest, TokenizesKeywordsIdentifiersLiterals) {
+  ASSERT_OK_AND_ASSIGN(auto tokens,
+                       Tokenize("SELECT name FROM users WHERE id = 42"));
+  ASSERT_EQ(tokens.size(), 9u);  // incl. end token
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "name");
+  EXPECT_EQ(tokens[7].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[7].text, "42");
+}
+
+TEST(LexerTest, CaseInsensitiveKeywordsLowercaseIdentifiers) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("select FOO from Bar"));
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[3].text, "bar");
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("'it''s'"));
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("a <= b >= c <> d != e"));
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[3].text, ">=");
+  EXPECT_EQ(tokens[5].text, "<>");
+  EXPECT_EQ(tokens[7].text, "<>");  // != normalizes
+}
+
+TEST(LexerTest, NegativeNumbersAndFloats) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("WHERE x = -5 AND y = 2.75"));
+  EXPECT_EQ(tokens[3].text, "-5");
+  EXPECT_EQ(tokens[3].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[7].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(ParserTest, SelectStarWithWhere) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt,
+                       Parse("SELECT * FROM t WHERE a = 1 AND b < 'x'"));
+  EXPECT_EQ(stmt.kind, Statement::Kind::kSelect);
+  EXPECT_TRUE(stmt.select.select_star);
+  EXPECT_EQ(stmt.select.table, "t");
+  ASSERT_NE(stmt.select.where, nullptr);
+  EXPECT_EQ(stmt.select.where->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, SelectWithAggregatesGroupOrderLimit) {
+  ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      Parse("SELECT dept, COUNT(*), AVG(salary) AS avg_sal FROM emp "
+            "GROUP BY dept ORDER BY dept DESC LIMIT 10"));
+  ASSERT_EQ(stmt.select.items.size(), 3u);
+  EXPECT_EQ(stmt.select.items[1].aggregate, AggregateFunc::kCount);
+  EXPECT_TRUE(stmt.select.items[1].count_star);
+  EXPECT_EQ(stmt.select.items[2].aggregate, AggregateFunc::kAvg);
+  EXPECT_EQ(stmt.select.items[2].alias, "avg_sal");
+  ASSERT_EQ(stmt.select.group_by.size(), 1u);
+  ASSERT_EQ(stmt.select.order_by.size(), 1u);
+  EXPECT_TRUE(stmt.select.order_by[0].descending);
+  EXPECT_EQ(stmt.select.limit, 10u);
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"));
+  EXPECT_EQ(stmt.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt.insert.columns.size(), 2u);
+  EXPECT_EQ(stmt.insert.rows.size(), 2u);
+}
+
+TEST(ParserTest, UpdateWithArithmetic) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt,
+                       Parse("UPDATE t SET a = a + 1, b = 2 WHERE id = 3"));
+  EXPECT_EQ(stmt.kind, Statement::Kind::kUpdate);
+  ASSERT_EQ(stmt.update.assignments.size(), 2u);
+  EXPECT_EQ(stmt.update.assignments[0].second->op, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, DeleteAndCreate) {
+  ASSERT_OK_AND_ASSIGN(Statement del, Parse("DELETE FROM t WHERE a = 1"));
+  EXPECT_EQ(del.kind, Statement::Kind::kDelete);
+
+  ASSERT_OK_AND_ASSIGN(
+      Statement create,
+      Parse("CREATE TABLE t (id INT, name VARCHAR(20), bal DOUBLE, "
+            "PRIMARY KEY (id))"));
+  EXPECT_EQ(create.kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(create.create_table.columns.size(), 3u);
+  ASSERT_EQ(create.create_table.primary_key.size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(Statement index,
+                       Parse("CREATE UNIQUE INDEX idx ON t (name, bal)"));
+  EXPECT_EQ(index.kind, Statement::Kind::kCreateIndex);
+  EXPECT_TRUE(index.create_index.unique);
+  EXPECT_EQ(index.create_index.columns.size(), 2u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // a = 1 OR b = 2 AND c = 3  parses as  a = 1 OR (b = 2 AND c = 3)
+  ASSERT_OK_AND_ASSIGN(Statement stmt,
+                       Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3"));
+  EXPECT_EQ(stmt.select.where->op, BinaryOp::kOr);
+  EXPECT_EQ(stmt.select.where->right->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, SyntaxErrorsRejected) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT * FORM t").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t (id INT)").ok());  // missing PK
+  EXPECT_FALSE(Parse("SELECT * FROM t extra garbage").ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end on TellDb
+
+class SqlEndToEndTest : public ::testing::Test {
+ protected:
+  SqlEndToEndTest() {
+    db::TellDbOptions options;
+    options.network = sim::NetworkModel::Instant();
+    db_ = std::make_unique<db::TellDb>(options);
+    EXPECT_OK(db_->ExecuteDdl(
+        "CREATE TABLE emp (id INT, name VARCHAR(30), dept VARCHAR(10), "
+        "salary DOUBLE, PRIMARY KEY (id))"));
+    EXPECT_OK(db_->ExecuteDdl("CREATE INDEX by_dept ON emp (dept)"));
+    session_ = db_->OpenSession(0, 0);
+    Exec("INSERT INTO emp VALUES (1, 'alice', 'eng', 120.0)");
+    Exec("INSERT INTO emp VALUES (2, 'bob', 'eng', 100.0)");
+    Exec("INSERT INTO emp VALUES (3, 'carol', 'sales', 90.0)");
+    Exec("INSERT INTO emp VALUES (4, 'dave', 'sales', 80.0)");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    auto result = db_->AutoCommitSql(session_.get(), sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    if (!result.ok()) return {};
+    return std::move(*result);
+  }
+
+  std::unique_ptr<db::TellDb> db_;
+  std::unique_ptr<tx::Session> session_;
+};
+
+TEST_F(SqlEndToEndTest, SelectStarAll) {
+  ResultSet rs = Exec("SELECT * FROM emp");
+  EXPECT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.columns.size(), 4u);
+}
+
+TEST_F(SqlEndToEndTest, PointLookupUsesPrimaryIndex) {
+  ResultSet rs = Exec("SELECT name FROM emp WHERE id = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0].at(0)), "bob");
+}
+
+TEST_F(SqlEndToEndTest, SecondaryIndexEquality) {
+  ResultSet rs = Exec("SELECT name FROM emp WHERE dept = 'eng'");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlEndToEndTest, RangePredicate) {
+  ResultSet rs = Exec("SELECT name FROM emp WHERE id > 1 AND id <= 3");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlEndToEndTest, ResidualFilterOnNonIndexedColumn) {
+  ResultSet rs = Exec("SELECT name FROM emp WHERE salary > 95.0");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlEndToEndTest, OrderByAndLimit) {
+  ResultSet rs = Exec("SELECT name, salary FROM emp ORDER BY salary DESC "
+                      "LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0].at(0)), "alice");
+  EXPECT_EQ(std::get<std::string>(rs.rows[1].at(0)), "bob");
+}
+
+TEST_F(SqlEndToEndTest, AggregatesWithoutGroup) {
+  ResultSet rs = Exec("SELECT COUNT(*), SUM(salary), MIN(salary), "
+                      "MAX(salary) FROM emp");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(rs.rows[0].at(0)), 4);
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0].at(1)), 390.0);
+  EXPECT_EQ(schema::CompareValues(rs.rows[0].at(2), schema::Value(80.0)), 0);
+  EXPECT_EQ(schema::CompareValues(rs.rows[0].at(3), schema::Value(120.0)), 0);
+}
+
+TEST_F(SqlEndToEndTest, GroupByAggregates) {
+  ResultSet rs = Exec("SELECT dept, COUNT(*), AVG(salary) FROM emp "
+                      "GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0].at(0)), "eng");
+  EXPECT_EQ(std::get<int64_t>(rs.rows[0].at(1)), 2);
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0].at(2)), 110.0);
+}
+
+TEST_F(SqlEndToEndTest, UpdateChangesRows) {
+  ResultSet rs = Exec("UPDATE emp SET salary = salary + 10.0 "
+                      "WHERE dept = 'sales'");
+  EXPECT_EQ(rs.affected_rows, 2u);
+  ResultSet check = Exec("SELECT salary FROM emp WHERE id = 4");
+  EXPECT_DOUBLE_EQ(std::get<double>(check.rows[0].at(0)), 90.0);
+}
+
+TEST_F(SqlEndToEndTest, DeleteRemovesRows) {
+  ResultSet rs = Exec("DELETE FROM emp WHERE dept = 'sales'");
+  EXPECT_EQ(rs.affected_rows, 2u);
+  ResultSet check = Exec("SELECT COUNT(*) FROM emp");
+  EXPECT_EQ(std::get<int64_t>(check.rows[0].at(0)), 2);
+}
+
+TEST_F(SqlEndToEndTest, DuplicatePkInsertFails) {
+  auto result = db_->AutoCommitSql(session_.get(),
+                                   "INSERT INTO emp VALUES (1, 'dup', 'x', 0.0)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsAlreadyExists());
+}
+
+TEST_F(SqlEndToEndTest, MultiStatementTransaction) {
+  tx::Transaction txn(session_.get());
+  ASSERT_OK(txn.Begin());
+  ASSERT_OK(db_->ExecuteSql(&txn, 0,
+                            "INSERT INTO emp VALUES (5, 'erin', 'eng', 70.0)")
+                .status());
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet mid,
+      db_->ExecuteSql(&txn, 0, "SELECT COUNT(*) FROM emp WHERE dept = 'eng'"));
+  EXPECT_EQ(std::get<int64_t>(mid.rows[0].at(0)), 3);  // own insert visible
+  ASSERT_OK(txn.Commit());
+  ResultSet after = Exec("SELECT COUNT(*) FROM emp WHERE dept = 'eng'");
+  EXPECT_EQ(std::get<int64_t>(after.rows[0].at(0)), 3);
+}
+
+TEST_F(SqlEndToEndTest, AbortedSqlTransactionRollsBack) {
+  tx::Transaction txn(session_.get());
+  ASSERT_OK(txn.Begin());
+  ASSERT_OK(db_->ExecuteSql(&txn, 0,
+                            "UPDATE emp SET salary = 0.0 WHERE id = 1")
+                .status());
+  ASSERT_OK(txn.Abort());
+  ResultSet check = Exec("SELECT salary FROM emp WHERE id = 1");
+  EXPECT_DOUBLE_EQ(std::get<double>(check.rows[0].at(0)), 120.0);
+}
+
+TEST_F(SqlEndToEndTest, IsNullPredicate) {
+  Exec("INSERT INTO emp (id, name) VALUES (9, 'ghost')");
+  ResultSet rs = Exec("SELECT name FROM emp WHERE dept IS NULL");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0].at(0)), "ghost");
+  ResultSet rs2 = Exec("SELECT COUNT(*) FROM emp WHERE dept IS NOT NULL");
+  EXPECT_EQ(std::get<int64_t>(rs2.rows[0].at(0)), 4);
+}
+
+}  // namespace
+}  // namespace tell::sql

@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/metrics.h"
+#include "sim/virtual_clock.h"
+#include "store/cluster.h"
+#include "store/management_node.h"
+#include "store/storage_client.h"
+#include "store/storage_node.h"
+#include "tests/test_util.h"
+
+namespace tell::store {
+namespace {
+
+class StorageNodeTest : public ::testing::Test {
+ protected:
+  StorageNodeTest() : node_(0, 64 << 20) { node_.CreatePartition(1, 0); }
+  StorageNode node_;
+};
+
+TEST_F(StorageNodeTest, PutGetRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(uint64_t stamp, node_.Put(1, 0, "k", "v"));
+  EXPECT_GT(stamp, kStampAbsent);
+  ASSERT_OK_AND_ASSIGN(VersionedCell cell, node_.Get(1, 0, "k"));
+  EXPECT_EQ(cell.value, "v");
+  EXPECT_EQ(cell.stamp, stamp);
+}
+
+TEST_F(StorageNodeTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(node_.Get(1, 0, "nope").status().IsNotFound());
+}
+
+TEST_F(StorageNodeTest, ConditionalPutInsertSemantics) {
+  // kStampAbsent means "must not exist".
+  ASSERT_OK_AND_ASSIGN(uint64_t stamp,
+                       node_.ConditionalPut(1, 0, "k", kStampAbsent, "v1"));
+  EXPECT_GT(stamp, 0u);
+  // Second insert fails.
+  EXPECT_TRUE(node_.ConditionalPut(1, 0, "k", kStampAbsent, "v2")
+                  .status()
+                  .IsConditionFailed());
+}
+
+TEST_F(StorageNodeTest, LlScDetectsIntermediateWrite) {
+  ASSERT_OK_AND_ASSIGN(uint64_t s1, node_.Put(1, 0, "k", "v1"));
+  // Another writer changes the cell...
+  ASSERT_OK_AND_ASSIGN(uint64_t s2, node_.Put(1, 0, "k", "v2"));
+  // ...and even changes it *back* to the original value (ABA):
+  ASSERT_OK_AND_ASSIGN(uint64_t s3, node_.Put(1, 0, "k", "v1"));
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s3);
+  // Store-conditional against the first stamp still fails: LL/SC is
+  // ABA-safe, unlike value-compare-and-swap.
+  EXPECT_TRUE(node_.ConditionalPut(1, 0, "k", s1, "v3")
+                  .status()
+                  .IsConditionFailed());
+  // Against the current stamp it succeeds.
+  EXPECT_OK(node_.ConditionalPut(1, 0, "k", s3, "v3").status());
+}
+
+TEST_F(StorageNodeTest, ConditionalEraseChecksStamp) {
+  ASSERT_OK_AND_ASSIGN(uint64_t stamp, node_.Put(1, 0, "k", "v"));
+  EXPECT_TRUE(node_.ConditionalErase(1, 0, "k", stamp + 1).IsConditionFailed());
+  EXPECT_OK(node_.ConditionalErase(1, 0, "k", stamp));
+  EXPECT_TRUE(node_.Get(1, 0, "k").status().IsNotFound());
+}
+
+TEST_F(StorageNodeTest, ScanOrderedAndBounded) {
+  for (char c = 'a'; c <= 'e'; ++c) {
+    ASSERT_OK(node_.Put(1, 0, std::string(1, c), "v").status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> cells,
+                       node_.Scan(1, 0, "b", "e", 0));
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].key, "b");
+  EXPECT_EQ(cells[2].key, "d");
+}
+
+TEST_F(StorageNodeTest, ReverseScan) {
+  for (char c = 'a'; c <= 'e'; ++c) {
+    ASSERT_OK(node_.Put(1, 0, std::string(1, c), "v").status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> cells,
+                       node_.Scan(1, 0, "", "", 2, /*reverse=*/true));
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].key, "e");
+  EXPECT_EQ(cells[1].key, "d");
+}
+
+TEST_F(StorageNodeTest, AtomicIncrementCreatesAndAdds) {
+  ASSERT_OK_AND_ASSIGN(int64_t v1, node_.AtomicIncrement(1, 0, "ctr", 10));
+  EXPECT_EQ(v1, 10);
+  ASSERT_OK_AND_ASSIGN(int64_t v2, node_.AtomicIncrement(1, 0, "ctr", 5));
+  EXPECT_EQ(v2, 15);
+}
+
+TEST_F(StorageNodeTest, AtomicIncrementIsAtomicUnderThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        ASSERT_TRUE(node_.AtomicIncrement(1, 0, "ctr", 1).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_OK_AND_ASSIGN(int64_t total, node_.AtomicIncrement(1, 0, "ctr", 0));
+  EXPECT_EQ(total, kThreads * kIncrements);
+}
+
+TEST_F(StorageNodeTest, ConcurrentLlScExactlyOneWinner) {
+  ASSERT_OK_AND_ASSIGN(uint64_t stamp, node_.Put(1, 0, "k", "v0"));
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto result = node_.ConditionalPut(1, 0, "k", stamp,
+                                         "v" + std::to_string(t + 1));
+      if (result.ok()) winners.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST_F(StorageNodeTest, DeadNodeRejectsRequests) {
+  node_.Kill();
+  EXPECT_TRUE(node_.Get(1, 0, "k").status().IsUnavailable());
+  EXPECT_TRUE(node_.Put(1, 0, "k", "v").status().IsUnavailable());
+  node_.Revive();
+  EXPECT_OK(node_.Put(1, 0, "k", "v").status());
+}
+
+TEST_F(StorageNodeTest, CapacityLimitEnforced) {
+  StorageNode tiny(1, 256);
+  tiny.CreatePartition(1, 0);
+  std::string big(300, 'x');
+  EXPECT_TRUE(tiny.Put(1, 0, "k", big).status().IsCapacityExceeded());
+}
+
+TEST_F(StorageNodeTest, MemoryAccountingTracksPutsAndErases) {
+  uint64_t before = node_.memory_used();
+  ASSERT_OK(node_.Put(1, 0, "key1", std::string(100, 'a')).status());
+  EXPECT_GT(node_.memory_used(), before);
+  ASSERT_OK(node_.Erase(1, 0, "key1"));
+  EXPECT_EQ(node_.memory_used(), before);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionMap
+
+TEST(PartitionMapTest, DeterministicPlacement) {
+  PartitionMap map;
+  ASSERT_OK(map.AddTable(1, 8, {0, 1, 2}, 1));
+  ASSERT_OK_AND_ASSIGN(uint32_t p1, map.PartitionFor(1, "somekey"));
+  ASSERT_OK_AND_ASSIGN(uint32_t p2, map.PartitionFor(1, "somekey"));
+  EXPECT_EQ(p1, p2);
+  EXPECT_LT(p1, 8u);
+}
+
+TEST(PartitionMapTest, ReplicasOnDistinctNodes) {
+  PartitionMap map;
+  ASSERT_OK(map.AddTable(1, 6, {0, 1, 2}, 3));
+  for (uint32_t p = 0; p < 6; ++p) {
+    ASSERT_OK_AND_ASSIGN(PartitionPlacement placement, map.PlacementOf(1, p));
+    EXPECT_EQ(placement.replicas.size(), 2u);
+    for (uint32_t r : placement.replicas) {
+      EXPECT_NE(r, placement.master);
+    }
+  }
+}
+
+TEST(PartitionMapTest, RfLargerThanNodesRejected) {
+  PartitionMap map;
+  EXPECT_FALSE(map.AddTable(1, 4, {0, 1}, 3).ok());
+}
+
+TEST(PartitionMapTest, RemoveNodeReturnsOrphanedMasters) {
+  PartitionMap map;
+  ASSERT_OK(map.AddTable(1, 3, {0, 1, 2}, 2));
+  auto orphaned = map.RemoveNode(0);
+  // Node 0 was master of partition 0 (round robin).
+  ASSERT_EQ(orphaned.size(), 1u);
+  EXPECT_EQ(orphaned[0].second, 0u);
+}
+
+TEST(PartitionMapTest, PromoteReplicaChangesMaster) {
+  PartitionMap map;
+  ASSERT_OK(map.AddTable(1, 3, {0, 1, 2}, 2));
+  map.RemoveNode(0);
+  ASSERT_OK_AND_ASSIGN(PartitionPlacement placement, map.PlacementOf(1, 0));
+  ASSERT_EQ(placement.replicas.size(), 1u);
+  ASSERT_OK(map.PromoteReplica(1, 0, placement.replicas[0]));
+  ASSERT_OK_AND_ASSIGN(PartitionPlacement after, map.PlacementOf(1, 0));
+  EXPECT_EQ(after.master, placement.replicas[0]);
+  EXPECT_TRUE(after.replicas.empty());
+}
+
+TEST(PartitionMapTest, VersionBumpsOnChange) {
+  PartitionMap map;
+  uint64_t v0 = map.version();
+  ASSERT_OK(map.AddTable(1, 2, {0, 1}, 1));
+  EXPECT_GT(map.version(), v0);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster + replication + fail-over
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() {
+    ClusterOptions options;
+    options.num_storage_nodes = 3;
+    options.replication_factor = 2;
+    options.partitions_per_node = 2;
+    cluster_ = std::make_unique<Cluster>(options);
+    management_ = std::make_unique<ManagementNode>(cluster_.get());
+    auto table = cluster_->CreateTable("t");
+    EXPECT_TRUE(table.ok());
+    table_ = *table;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<ManagementNode> management_;
+  TableId table_;
+};
+
+TEST_F(ClusterTest, WritesAreReplicated) {
+  ASSERT_OK(cluster_->Put(table_, "key", "value").status());
+  // The cell must exist on RF=2 nodes in total.
+  int copies = 0;
+  ASSERT_OK_AND_ASSIGN(uint32_t partition,
+                       cluster_->partition_map().PartitionFor(table_, "key"));
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    auto cell = cluster_->node(n)->Get(table_, partition, "key");
+    if (cell.ok()) ++copies;
+  }
+  EXPECT_EQ(copies, 2);
+}
+
+TEST_F(ClusterTest, FailoverServesDataFromReplica) {
+  ASSERT_OK(cluster_->Put(table_, "key", "value").status());
+  ASSERT_OK_AND_ASSIGN(uint32_t master, cluster_->MasterOf(table_, "key"));
+  cluster_->node(master)->Kill();
+  // Before fail-over the read fails...
+  EXPECT_TRUE(cluster_->Get(table_, "key").status().IsUnavailable());
+  // ...the management node recovers...
+  ASSERT_OK_AND_ASSIGN(uint32_t recovered, management_->DetectAndRecover());
+  EXPECT_EQ(recovered, 1u);
+  // ...and the replica serves the value with the same LL/SC stamp.
+  ASSERT_OK_AND_ASSIGN(VersionedCell cell, cluster_->Get(table_, "key"));
+  EXPECT_EQ(cell.value, "value");
+  ASSERT_OK_AND_ASSIGN(uint32_t new_master, cluster_->MasterOf(table_, "key"));
+  EXPECT_NE(new_master, master);
+}
+
+TEST_F(ClusterTest, FailoverRestoresReplicationLevel) {
+  ASSERT_OK(cluster_->Put(table_, "key", "value").status());
+  ASSERT_OK_AND_ASSIGN(uint32_t master, cluster_->MasterOf(table_, "key"));
+  cluster_->node(master)->Kill();
+  ASSERT_TRUE(management_->DetectAndRecover().ok());
+  EXPECT_TRUE(management_->ReplicationLevelRestored());
+}
+
+TEST_F(ClusterTest, StampsSurviveFailover) {
+  ASSERT_OK_AND_ASSIGN(uint64_t stamp, cluster_->Put(table_, "key", "v1"));
+  ASSERT_OK_AND_ASSIGN(uint32_t master, cluster_->MasterOf(table_, "key"));
+  cluster_->node(master)->Kill();
+  ASSERT_TRUE(management_->DetectAndRecover().ok());
+  // LL/SC tokens held by clients remain valid against the promoted replica.
+  EXPECT_OK(cluster_->ConditionalPut(table_, "key", stamp, "v2").status());
+}
+
+TEST_F(ClusterTest, ScanMergesPartitions) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(cluster_->Put(table_, "k" + std::to_string(i), "v").status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> cells,
+                       cluster_->Scan(table_, "", "", 0));
+  EXPECT_EQ(cells.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end(),
+                             [](const KeyCell& a, const KeyCell& b) {
+                               return a.key < b.key;
+                             }));
+}
+
+// ---------------------------------------------------------------------------
+// StorageClient cost accounting
+
+class StorageClientTest : public ::testing::Test {
+ protected:
+  StorageClientTest() {
+    ClusterOptions options;
+    options.num_storage_nodes = 4;
+    cluster_ = std::make_unique<Cluster>(options);
+    auto table = cluster_->CreateTable("t");
+    table_ = *table;
+  }
+
+  std::unique_ptr<StorageClient> MakeClient(const ClientOptions& options) {
+    return std::make_unique<StorageClient>(cluster_.get(), nullptr, options,
+                                           &clock_, &metrics_);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  sim::VirtualClock clock_;
+  sim::WorkerMetrics metrics_;
+  TableId table_;
+};
+
+TEST_F(StorageClientTest, GetChargesOneRoundTrip) {
+  ClientOptions options;
+  options.network = sim::NetworkModel::InfiniBand();
+  options.cpu.per_op_ns = 0;
+  auto client = MakeClient(options);
+  ASSERT_OK(client->Put(table_, "k", "v").status());
+  uint64_t before = clock_.now_ns();
+  ASSERT_OK(client->Get(table_, "k").status());
+  uint64_t cost = clock_.now_ns() - before;
+  EXPECT_GE(cost, options.network.base_rtt_ns);
+  EXPECT_LT(cost, options.network.base_rtt_ns + 1000);
+  EXPECT_EQ(metrics_.storage_requests, 2u);
+}
+
+TEST_F(StorageClientTest, BatchingChargesMaxNotSum) {
+  ClientOptions options;
+  options.cpu.per_op_ns = 0;
+  auto client = MakeClient(options);
+  std::vector<GetOp> ops;
+  for (int i = 0; i < 32; ++i) {
+    std::string key = "key" + std::to_string(i);
+    ASSERT_OK(client->Put(table_, key, "v").status());
+    ops.push_back({table_, key});
+  }
+  uint64_t before = clock_.now_ns();
+  auto results = client->BatchGet(ops);
+  uint64_t cost = clock_.now_ns() - before;
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+  // 32 ops over 4 storage nodes: max 4 parallel requests — far below 32
+  // sequential round trips.
+  EXPECT_LT(cost, 4 * options.network.base_rtt_ns);
+}
+
+TEST_F(StorageClientTest, UnbatchedChargesSum) {
+  ClientOptions batched;
+  batched.cpu.per_op_ns = 0;
+  ClientOptions unbatched = batched;
+  unbatched.batching = false;
+
+  std::vector<GetOp> ops;
+  {
+    auto client = MakeClient(batched);
+    for (int i = 0; i < 16; ++i) {
+      std::string key = "key" + std::to_string(i);
+      ASSERT_OK(client->Put(table_, key, "v").status());
+      ops.push_back({table_, key});
+    }
+  }
+  sim::VirtualClock clock_batched, clock_unbatched;
+  sim::WorkerMetrics m1, m2;
+  StorageClient c1(cluster_.get(), nullptr, batched, &clock_batched, &m1);
+  StorageClient c2(cluster_.get(), nullptr, unbatched, &clock_unbatched, &m2);
+  c1.BatchGet(ops);
+  c2.BatchGet(ops);
+  EXPECT_GT(clock_unbatched.now_ns(), 3 * clock_batched.now_ns());
+}
+
+TEST_F(StorageClientTest, ReplicationChargesExtraHops) {
+  ClientOptions rf1;
+  rf1.cpu.per_op_ns = 0;
+  ClientOptions rf3 = rf1;
+  rf3.replication_extra_hops = 2;
+  sim::VirtualClock clock1, clock3;
+  sim::WorkerMetrics m1, m3;
+  StorageClient c1(cluster_.get(), nullptr, rf1, &clock1, &m1);
+  StorageClient c3(cluster_.get(), nullptr, rf3, &clock3, &m3);
+  ASSERT_OK(c1.Put(table_, "a", "v").status());
+  ASSERT_OK(c3.Put(table_, "b", "v").status());
+  // 2 extra hops, each costing the backup write path (2 rtt-equivalents).
+  EXPECT_EQ(clock3.now_ns() - clock1.now_ns(),
+            2 * 2 * (rf1.network.base_rtt_ns +
+                     rf1.network.software_overhead_ns));
+}
+
+TEST_F(StorageClientTest, EthernetCostsMoreThanInfiniBand) {
+  ClientOptions ib;
+  ib.cpu.per_op_ns = 0;
+  ClientOptions eth = ib;
+  eth.network = sim::NetworkModel::TenGbEthernet();
+  sim::VirtualClock clock_ib, clock_eth;
+  sim::WorkerMetrics m1, m2;
+  StorageClient c1(cluster_.get(), nullptr, ib, &clock_ib, &m1);
+  StorageClient c2(cluster_.get(), nullptr, eth, &clock_eth, &m2);
+  ASSERT_OK(c1.Put(table_, "a", "v").status());
+  ASSERT_OK(c2.Put(table_, "b", "v").status());
+  EXPECT_GT(clock_eth.now_ns(), 5 * clock_ib.now_ns());
+}
+
+TEST_F(StorageClientTest, MetricsCountBytes) {
+  ClientOptions options;
+  auto client = MakeClient(options);
+  ASSERT_OK(client->Put(table_, "key", std::string(1000, 'x')).status());
+  EXPECT_GT(metrics_.bytes_sent, 1000u);
+}
+
+}  // namespace
+}  // namespace tell::store

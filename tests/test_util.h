@@ -1,0 +1,31 @@
+#ifndef TELL_TESTS_TEST_UTIL_H_
+#define TELL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+#define ASSERT_OK(expr)                                   \
+  do {                                                    \
+    ::tell::Status _st = (expr);                          \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();              \
+  } while (false)
+
+#define EXPECT_OK(expr)                                   \
+  do {                                                    \
+    ::tell::Status _st = (expr);                          \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();              \
+  } while (false)
+
+/// Asserts a Result is OK and assigns its value.
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                   \
+  ASSERT_OK_AND_ASSIGN_IMPL(                              \
+      TELL_ASSIGN_OR_RETURN_CONCAT(_test_tmp_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)         \
+  auto tmp = (expr);                                      \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();       \
+  lhs = std::move(tmp).value()
+
+#endif  // TELL_TESTS_TEST_UTIL_H_
