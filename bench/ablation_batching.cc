@@ -12,6 +12,11 @@ int main() {
               "issuing requests to distinct SNs in parallel) is a key "
               "technique for minimizing network requests");
 
+  BenchJson json("ablation_batching");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("replication_factor", uint64_t{1});
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-10s %12s %16s %14s\n", "batching", "TpmC", "requests/txn",
               "resp(ms)");
   double with = 0, without = 0;
@@ -28,9 +33,12 @@ int main() {
         static_cast<double>(result->committed + result->aborted);
     std::printf("%-10s %12.0f %16.1f %14.3f\n", batching ? "on" : "off",
                 result->tpmc, requests_per_txn, result->mean_response_ms);
+    json.Add(batching ? "batching_on" : "batching_off", *result,
+             fixture.db());
     (batching ? with : without) = result->tpmc;
   }
   std::printf("\nshape checks: batching on / off = %.2fx\n", with / without);
+  json.Write();
   PrintFooter();
   return 0;
 }

@@ -62,14 +62,24 @@ int main() {
     }
   }
 
+  bench::BenchJson json("ablation_granularity");
+  json.AddConfig("records", uint64_t{kRecords});
+  json.AddConfig("record_bytes", uint64_t{kRecordBytes});
+  json.AddConfig("page_size", uint64_t{kPageSize});
+  json.AddConfig("versions_per_record", uint64_t{kVersionsPerRecord});
+  json.AddConfig("accesses", uint64_t{kAccesses});
+
   std::printf("%-10s %12s %14s %16s\n", "layout", "requests",
               "MB transferred", "virtual time ms");
-  auto report = [](const char* name, const sim::WorkerMetrics& metrics,
-                   const sim::VirtualClock& clock) {
+  auto report = [&json](const char* name, const sim::WorkerMetrics& metrics,
+                        const sim::VirtualClock& clock) {
+    double mb = static_cast<double>(metrics.bytes_received) / (1 << 20);
+    double virtual_ms = static_cast<double>(clock.now_ns()) / 1e6;
     std::printf("%-10s %12llu %14.2f %16.2f\n", name,
                 static_cast<unsigned long long>(metrics.storage_requests),
-                static_cast<double>(metrics.bytes_received) / (1 << 20),
-                static_cast<double>(clock.now_ns()) / 1e6);
+                mb, virtual_ms);
+    json.AddMetrics(name, metrics,
+                    {{"mb_received", mb}, {"virtual_ms", virtual_ms}});
   };
 
   {
@@ -119,6 +129,7 @@ int main() {
   std::printf("\nshape checks: record = fewest requests at modest traffic; "
               "page = same requests, ~%dx traffic; version = %dx requests.\n",
               kPageSize, kVersionsPerRecord);
+  json.Write();
   bench::PrintFooter();
   return 0;
 }

@@ -13,6 +13,10 @@ int main() {
               "minimizes storage system requests; leaves are always fetched "
               "fresh");
 
+  BenchJson json("ablation_index_cache");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-10s %12s %16s %14s\n", "cache", "TpmC", "requests/txn",
               "resp(ms)");
   double with = 0, without = 0;
@@ -29,9 +33,11 @@ int main() {
         static_cast<double>(result->committed + result->aborted);
     std::printf("%-10s %12.0f %16.1f %14.3f\n", cache ? "on" : "off",
                 result->tpmc, requests_per_txn, result->mean_response_ms);
+    json.Add(cache ? "cache_on" : "cache_off", *result, fixture.db());
     (cache ? with : without) = result->tpmc;
   }
   std::printf("\nshape checks: caching on / off = %.2fx\n", with / without);
+  json.Write();
   PrintFooter();
   return 0;
 }

@@ -43,6 +43,9 @@ int main() {
               "prerequisite for efficient mixed (OLTP+OLAP) workloads");
 
   constexpr int kRows = 8000;
+  BenchJson json("ablation_pushdown");
+  json.AddConfig("rows", uint64_t{kRows});
+  json.AddConfig("queries", uint64_t{5});
   std::printf("%-10s %14s %14s %16s\n", "pushdown", "MB received",
               "requests", "virtual ms/query");
   for (bool pushdown : {false, true}) {
@@ -72,17 +75,26 @@ int main() {
         return 1;
       }
     }
+    double mb_received =
+        static_cast<double>(session->metrics()->bytes_received -
+                            bytes_before) /
+        (1 << 20);
+    uint64_t requests =
+        session->metrics()->storage_requests - requests_before;
+    double virtual_ms_per_query =
+        static_cast<double>(session->clock()->now_ns() - t0) / 1e6 / kQueries;
     std::printf("%-10s %14.2f %14llu %16.2f\n", pushdown ? "on" : "off",
-                static_cast<double>(session->metrics()->bytes_received -
-                                    bytes_before) /
-                    (1 << 20),
-                static_cast<unsigned long long>(
-                    session->metrics()->storage_requests - requests_before),
-                static_cast<double>(session->clock()->now_ns() - t0) / 1e6 /
-                    kQueries);
+                mb_received, static_cast<unsigned long long>(requests),
+                virtual_ms_per_query);
+    json.AddMetrics(pushdown ? "pushdown_on" : "pushdown_off",
+                    *session->metrics(),
+                    {{"mb_received", mb_received},
+                     {"query_requests", static_cast<double>(requests)},
+                     {"virtual_ms_per_query", virtual_ms_per_query}});
   }
   std::printf("\nshape checks: push-down cuts transferred bytes by roughly "
               "the query's selectivity and shortens the query.\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

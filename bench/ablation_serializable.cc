@@ -14,6 +14,10 @@ int main() {
               "overhead under TPC-C (whose transactions are mostly "
               "read-modify-write on the records they lock anyway)");
 
+  BenchJson json("ablation_serializable");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-14s %12s %10s %12s\n", "isolation", "TpmC", "abort%",
               "resp(ms)");
   for (bool serializable : {false, true}) {
@@ -40,9 +44,12 @@ int main() {
     std::printf("%-14s %12.0f %9.2f%% %12.3f\n",
                 serializable ? "serializable" : "snapshot", result->tpmc,
                 result->abort_rate * 100, result->mean_response_ms);
+    json.Add(serializable ? "serializable" : "snapshot", *result,
+             fixture.db());
   }
   std::printf("\nshape checks: serializable costs one validation round per "
               "read-write commit and some additional aborts.\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

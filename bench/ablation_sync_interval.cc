@@ -13,6 +13,11 @@ int main() {
               "impact on throughput or abort rate; only much longer delays "
               "should hurt");
 
+  BenchJson json("ablation_sync_interval");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("commit_managers", uint64_t{2});
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-14s %12s %10s\n", "interval(ms)", "TpmC", "abort%");
   for (double interval : {0.1, 1.0, 10.0, 50.0}) {
     db::TellDbOptions options;
@@ -29,9 +34,13 @@ int main() {
     }
     std::printf("%-14.1f %12.0f %9.2f%%\n", interval, result->tpmc,
                 result->abort_rate * 100);
+    char label[32];
+    std::snprintf(label, sizeof(label), "interval_%.1fms", interval);
+    json.Add(label, *result, fixture.db());
   }
   std::printf("\nshape checks: throughput and abort rate flat at ~1 ms, "
               "degradation only at much longer intervals.\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

@@ -13,6 +13,12 @@ int main() {
               "larger ranges can raise the abort rate (the paper chose 256; "
               "interleaved ranges are its future work)");
 
+  BenchJson json("ablation_tid_ranges");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("commit_managers", uint64_t{2});
+  json.AddConfig("commit_manager_sync_ms", 1.0);
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-12s %12s %10s\n", "range size", "TpmC", "abort%");
   for (uint32_t range : {1u, 16u, 256u, 4096u}) {
     db::TellDbOptions options;
@@ -30,6 +36,7 @@ int main() {
     }
     std::printf("%-12u %12.0f %9.2f%%\n", range, result->tpmc,
                 result->abort_rate * 100);
+    json.Add("range_" + std::to_string(range), *result, fixture.db());
   }
   {
     // Future-work variant: interleaved tids (§4.2, after Tu et al. [58]).
@@ -44,6 +51,7 @@ int main() {
     if (result.ok()) {
       std::printf("%-12s %12.0f %9.2f%%\n", "interleaved", result->tpmc,
                   result->abort_rate * 100);
+      json.Add("interleaved", *result, fixture.db());
     }
   }
   std::printf(
@@ -54,6 +62,7 @@ int main() {
       "that measurably raises staleness aborts. The paper expected\n"
       "interleaving to help; in this reproduction its benefit is contingent\n"
       "on a much shorter sync interval (documented in EXPERIMENTS.md).\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

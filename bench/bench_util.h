@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/bench_export.h"
 #include "workload/tpcc/tpcc_driver.h"
 #include "workload/tpcc/tpcc_loader.h"
 
@@ -76,6 +79,126 @@ class TellFixture {
   tpcc::TpccScale scale_;
   std::unique_ptr<db::TellDb> db_;
 };
+
+/// Derived key/value rows for one DriverResult (rates in the JSON "derived"
+/// object; the counters/histograms come from the registry snapshot).
+inline std::vector<std::pair<std::string, double>> DerivedOf(
+    const tpcc::DriverResult& r) {
+  return {
+      {"tpmc", r.tpmc},
+      {"tps", r.tps},
+      {"abort_rate", r.abort_rate},
+      {"buffer_hit_rate", r.buffer_hit_rate},
+      {"mean_response_ms", r.mean_response_ms},
+      {"std_response_ms", r.std_response_ms},
+      {"p50_response_ms", r.p50_response_ms},
+      {"p95_response_ms", r.p95_response_ms},
+      {"p99_response_ms", r.p99_response_ms},
+      {"p999_response_ms", r.p999_response_ms},
+      {"virtual_seconds", r.virtual_seconds},
+  };
+}
+
+/// Collects every run of a bench binary into the BENCH_<name>.json artifact
+/// (obs::BenchReport). Each Add() builds a fresh registry so runs do not
+/// bleed into each other: the run's merged worker metrics are absorbed, and
+/// — when the TellDb is supplied — the node-side gauges and the per-node
+/// breakdown come from TellDb::ExportStats / PerNodeStats.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : report_(std::move(name)) {}
+
+  void AddConfig(std::string key, std::string value) {
+    report_.AddConfig(std::move(key), std::move(value));
+  }
+  void AddConfig(std::string key, uint64_t value) {
+    report_.AddConfig(std::move(key), std::to_string(value));
+  }
+  void AddConfig(std::string key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    report_.AddConfig(std::move(key), buf);
+  }
+
+  /// One sweep point backed by a full DriverResult (+ node stats if `db`).
+  /// Returns the run's snapshot so callers can print FROM the registry data
+  /// (the artifact and the stdout table then share one source of truth).
+  const obs::MetricsSnapshot& Add(const std::string& label,
+                                  const tpcc::DriverResult& result,
+                                  db::TellDb* db = nullptr) {
+    return AddMetrics(label, result.merged, DerivedOf(result), db);
+  }
+
+  /// Lower-level entry for benches that aggregate WorkerMetrics themselves
+  /// (micro benches, baseline engines without a TellDb).
+  const obs::MetricsSnapshot& AddMetrics(
+      const std::string& label, const sim::WorkerMetrics& merged,
+      std::vector<std::pair<std::string, double>> derived = {},
+      db::TellDb* db = nullptr) {
+    obs::MetricsRegistry registry;
+    registry.AbsorbWorker(merged);
+    obs::BenchRun run;
+    run.label = label;
+    run.derived = std::move(derived);
+    if (db != nullptr) {
+      db->ExportStats(&registry);
+      run.nodes = db->PerNodeStats();
+    }
+    run.snapshot = registry.Snapshot();
+    report_.AddRun(std::move(run));
+    return report_.last_run().snapshot;
+  }
+
+  /// Writes BENCH_<name>.json into the working directory and reports the
+  /// path (or the error) on stdout.
+  void Write() {
+    auto path = report_.WriteFile();
+    if (path.ok()) {
+      std::printf("artifact: %s\n", path->c_str());
+    } else {
+      std::fprintf(stderr, "artifact write failed: %s\n",
+                   path.status().ToString().c_str());
+    }
+  }
+
+ private:
+  obs::BenchReport report_;
+};
+
+/// Table-4-style per-phase response-time breakdown: one line per phase with
+/// p50/p95/p99 of the virtual time a transaction spent in that phase.
+inline void PrintPhaseLine(const char* name, const sim::Histogram& h) {
+  std::printf("  %-14s %10.1f %10.1f %10.1f %10.1f\n", name, h.Mean() / 1e3,
+              static_cast<double>(h.Percentile(50)) / 1e3,
+              static_cast<double>(h.Percentile(95)) / 1e3,
+              static_cast<double>(h.Percentile(99)) / 1e3);
+}
+
+inline void PrintPhaseHeader() {
+  std::printf("  %-14s %10s %10s %10s %10s\n", "phase", "mean_us", "p50_us",
+              "p95_us", "p99_us");
+}
+
+inline void PrintPhaseBreakdown(const sim::WorkerMetrics& merged) {
+  PrintPhaseHeader();
+  for (size_t p = 0; p < sim::kNumTxnPhases; ++p) {
+    const sim::Histogram& h = merged.phase_ns[p];
+    if (h.count() == 0) continue;
+    PrintPhaseLine(sim::kTxnPhaseNames[p], h);
+  }
+}
+
+/// Snapshot flavour: reads the tx.phase.* histograms back out of the
+/// registry snapshot (exactly what the JSON artifact carries).
+inline void PrintPhaseBreakdown(const obs::MetricsSnapshot& snapshot) {
+  PrintPhaseHeader();
+  for (size_t p = 0; p < sim::kNumTxnPhases; ++p) {
+    std::string name = std::string("tx.phase.") + sim::kTxnPhaseNames[p];
+    const sim::Histogram* h = snapshot.Hist(name);
+    if (h == nullptr || h->count() == 0) continue;
+    PrintPhaseLine(sim::kTxnPhaseNames[p], *h);
+  }
+}
 
 inline void PrintHeader(const char* id, const char* title,
                         const char* paper_claim) {

@@ -12,6 +12,12 @@ int main() {
               "InfiniBand gives >6x the TpmC of 10 GbE at every PN count "
               "(958,187 vs 151,079 at 8 PNs)");
 
+  BenchJson json("fig10_network");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("replication_factor", uint64_t{1});
+  json.AddConfig("storage_nodes", uint64_t{7});
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-12s %-4s %12s %12s\n", "network", "PN", "TpmC", "resp(ms)");
   double ib_at[9] = {0}, eth_at[9] = {0};
   for (bool infiniband : {true, false}) {
@@ -27,6 +33,9 @@ int main() {
       if (!result.ok()) continue;
       std::printf("%-12s %-4u %12.0f %12.3f\n", options.network.name.c_str(),
                   pns, result->tpmc, result->mean_response_ms);
+      json.Add(std::string(infiniband ? "infiniband" : "ethernet") + "_pn" +
+                   std::to_string(pns),
+               *result, fixture.db());
       (infiniband ? ib_at : eth_at)[pns] = result->tpmc;
     }
   }
@@ -37,6 +46,7 @@ int main() {
                   ib_at[pns] / eth_at[pns]);
     }
   }
+  json.Write();
   PrintFooter();
   return 0;
 }

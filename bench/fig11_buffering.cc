@@ -26,6 +26,11 @@ int main() {
       {"SBVS1000", db::BufferStrategy::kVersionSync, 1000},
   };
 
+  BenchJson json("fig11_buffering");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("replication_factor", uint64_t{1});
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-10s %-4s %12s %12s\n", "strategy", "PN", "TpmC",
               "buffer hit%");
   double peak[4] = {0};
@@ -43,6 +48,8 @@ int main() {
       if (!result.ok()) continue;
       std::printf("%-10s %-4u %12.0f %11.2f%%\n", config.name, pns,
                   result->tpmc, result->buffer_hit_rate * 100);
+      json.Add(std::string(config.name) + "_pn" + std::to_string(pns),
+               *result, fixture.db());
       peak[i] = std::max(peak[i], result->tpmc);
     }
     ++i;
@@ -52,6 +59,7 @@ int main() {
   std::printf("  SB/TB:         %.2f (paper <1)\n", peak[1] / peak[0]);
   std::printf("  SBVS10/TB:     %.2f (paper <1)\n", peak[2] / peak[0]);
   std::printf("  SBVS1000/TB:   %.2f (paper <1)\n", peak[3] / peak[0]);
+  json.Write();
   PrintFooter();
   return 0;
 }

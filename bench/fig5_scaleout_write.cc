@@ -11,6 +11,12 @@ int main() {
               "(sub-linear: warehouse contention; abort rate 2.91%->14.72%); "
               "RF3 costs ~63% of throughput under the write-heavy mix");
 
+  BenchJson json("fig5_scaleout_write");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("storage_nodes", uint64_t{7});
+  json.AddConfig("workers_per_pn", uint64_t{kWorkersPerPn});
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-4s %-4s %12s %10s %12s\n", "RF", "PN", "TpmC", "abort%",
               "resp(ms)");
   double rf1_at[9] = {0};
@@ -31,6 +37,8 @@ int main() {
       }
       std::printf("%-4u %-4u %12.0f %9.2f%% %12.3f\n", rf, pns, result->tpmc,
                   result->abort_rate * 100, result->mean_response_ms);
+      json.Add("rf" + std::to_string(rf) + "_pn" + std::to_string(pns),
+               *result, fixture.db());
       if (rf == 1) {
         rf1_at[pns] = result->tpmc;
         rf1_peak = std::max(rf1_peak, result->tpmc);
@@ -43,6 +51,7 @@ int main() {
               rf1_at[8] / rf1_at[1]);
   std::printf("  RF3 peak vs RF1 peak: -%.0f%%  (paper: -63.2%%)\n",
               (1.0 - rf3_peak / rf1_peak) * 100);
+  json.Write();
   PrintFooter();
   return 0;
 }

@@ -10,6 +10,12 @@ int main() {
               "under the 95% read mix RF3 costs only ~25.7% vs RF1 (reads "
               "are not replicated; only the rare writes pay)");
 
+  BenchJson json("fig6_scaleout_read");
+  json.AddConfig("mix", "read_intensive");
+  json.AddConfig("storage_nodes", uint64_t{7});
+  json.AddConfig("workers_per_pn", uint64_t{kWorkersPerPn});
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-4s %-4s %12s %10s %12s\n", "RF", "PN", "Tps", "abort%",
               "resp(ms)");
   double rf1_peak = 0, rf3_peak = 0;
@@ -28,6 +34,8 @@ int main() {
       }
       std::printf("%-4u %-4u %12.0f %9.2f%% %12.3f\n", rf, pns, result->tps,
                   result->abort_rate * 100, result->mean_response_ms);
+      json.Add("rf" + std::to_string(rf) + "_pn" + std::to_string(pns),
+               *result, fixture.db());
       if (rf == 1) rf1_peak = std::max(rf1_peak, result->tps);
       if (rf == 3) rf3_peak = std::max(rf3_peak, result->tps);
     }
@@ -36,6 +44,7 @@ int main() {
   std::printf("  RF3 peak vs RF1 peak: -%.0f%%  (paper: -25.7%%; "
               "write-heavy mix in Fig 5 loses far more)\n",
               (1.0 - rf3_peak / rf1_peak) * 100);
+  json.Write();
   PrintFooter();
   return 0;
 }

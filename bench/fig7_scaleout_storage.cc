@@ -12,6 +12,12 @@ int main() {
               "3/5/7 SNs: near-identical TpmC; 3-SN configuration cannot run "
               "beyond 5 PNs — the TPC-C inserts outgrow its memory");
 
+  BenchJson json("fig7_scaleout_storage");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("replication_factor", uint64_t{3});
+  json.AddConfig("memory_per_sn_mb", uint64_t{36});
+  json.AddConfig("virtual_ms", uint64_t{250});
+
   std::printf("%-4s %-4s %12s %14s\n", "SN", "PN", "TpmC", "memory used");
   for (uint32_t sns : {3u, 5u, 7u}) {
     db::TellDbOptions options;
@@ -36,10 +42,13 @@ int main() {
       std::printf("%-4u %-4u %12.0f %11.1f MB\n", sns, pns, result->tpmc,
                   static_cast<double>(fixture.db()->cluster()->TotalMemoryUsed()) /
                       (1 << 20));
+      json.Add("sn" + std::to_string(sns) + "_pn" + std::to_string(pns),
+               *result, fixture.db());
     }
   }
   std::printf("\nshape checks: SN count barely moves TpmC until the memory "
               "wall; capacity, not CPU, sizes the storage layer.\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

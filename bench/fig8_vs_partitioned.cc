@@ -35,6 +35,11 @@ int main() {
               "FoundationDB scales but lands ~30x below Tell "
               "(2,706 @ 24 -> 10,047 @ 72 cores)");
 
+  BenchJson json("fig8_vs_partitioned");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("replication_factor", uint64_t{3});
+  json.AddConfig("virtual_ms", uint64_t{400});
+
   std::printf("%-22s %6s %12s\n", "system", "cores", "TpmC");
   double tell_peak = 0, volt_peak = 0, mysql_peak = 0, fdb_peak = 0;
   double volt_first = 0, volt_last = 0;
@@ -50,6 +55,7 @@ int main() {
       if (!result.ok()) continue;
       // Paper core accounting: PN=4 cores each + 7 SN / CM / MN overheads.
       Row("Tell", 22 + (pns - 1) * 8, result->tpmc);
+      json.Add("tell_pn" + std::to_string(pns), *result, fixture.db());
       tell_peak = std::max(tell_peak, result->tpmc);
     }
   }
@@ -63,6 +69,7 @@ int main() {
     auto result = RunBaseline(&voltdb, nodes * 4);
     if (!result.ok()) continue;
     Row("VoltDB-style", nodes * 8, result->tpmc);
+    json.Add("voltdb_n" + std::to_string(nodes), *result);
     volt_peak = std::max(volt_peak, result->tpmc);
     if (nodes == 3) volt_first = result->tpmc;
     if (nodes == 11) volt_last = result->tpmc;
@@ -75,6 +82,7 @@ int main() {
     auto result = RunBaseline(&mysql, dns * 4);
     if (!result.ok()) continue;
     Row("MySQL-Cluster-style", dns * 8, result->tpmc);
+    json.Add("mysql_dn" + std::to_string(dns), *result);
     mysql_peak = std::max(mysql_peak, result->tpmc);
   }
   for (uint32_t nodes : {3u, 6u, 9u}) {
@@ -84,6 +92,7 @@ int main() {
     auto result = RunBaseline(&fdb, nodes * 8);
     if (!result.ok()) continue;
     Row("FoundationDB-style", nodes * 8, result->tpmc);
+    json.Add("fdb_n" + std::to_string(nodes), *result);
     fdb_peak = std::max(fdb_peak, result->tpmc);
   }
 
@@ -94,6 +103,7 @@ int main() {
   std::printf("  Tell peak / FDB peak:    %5.1fx\n", tell_peak / fdb_peak);
   std::printf("  VoltDB 11-node vs 3-node: %+.0f%% (should be negative)\n",
               (volt_last / volt_first - 1.0) * 100);
+  json.Write();
   PrintFooter();
   return 0;
 }

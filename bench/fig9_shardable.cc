@@ -14,6 +14,10 @@ int main() {
               "scalability promise (1.43M TpmC RF1); Tell reaches 1.32M — "
               "11.7% less, 'the same ballpark'; MySQL barely improves");
 
+  BenchJson json("fig9_shardable");
+  json.AddConfig("mix", "shardable");
+  json.AddConfig("virtual_ms", uint64_t{400});
+
   std::printf("%-22s %-4s %6s %12s\n", "system", "RF", "cores", "TpmC");
   double tell_peak[4] = {0}, volt_peak[4] = {0};
   for (uint32_t rf : {1u, 3u}) {
@@ -27,6 +31,8 @@ int main() {
       if (!result.ok()) continue;
       std::printf("%-22s %-4u %6u %12.0f\n", "Tell", rf, 22 + (pns - 1) * 8,
                   result->tpmc);
+      json.Add("tell_rf" + std::to_string(rf) + "_pn" + std::to_string(pns),
+               *result, fixture.db());
       tell_peak[rf] = std::max(tell_peak[rf], result->tpmc);
     }
   }
@@ -44,6 +50,8 @@ int main() {
       if (!result.ok()) continue;
       std::printf("%-22s %-4u %6u %12.0f\n", "VoltDB-style", rf, nodes * 8,
                   result->tpmc);
+      json.Add("voltdb_rf" + std::to_string(rf) + "_n" + std::to_string(nodes),
+               *result);
       volt_peak[rf] = std::max(volt_peak[rf], result->tpmc);
     }
   }
@@ -62,6 +70,8 @@ int main() {
       if (!result.ok()) continue;
       std::printf("%-22s %-4u %6u %12.0f\n", "MySQL-Cluster-style", rf,
                   dns * 8, result->tpmc);
+      json.Add("mysql_rf" + std::to_string(rf) + "_dn" + std::to_string(dns),
+               *result);
     }
   }
   std::printf("\nshape checks (paper: VoltDB wins on its home turf, Tell "
@@ -70,6 +80,7 @@ int main() {
               tell_peak[1] / volt_peak[1]);
   std::printf("  Tell RF3 peak / VoltDB RF3 peak: %.2f\n",
               tell_peak[3] / volt_peak[3]);
+  json.Write();
   PrintFooter();
   return 0;
 }

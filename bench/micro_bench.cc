@@ -1,6 +1,14 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives: storage node
 // operations, LL/SC, B+tree, serialization and snapshot bookkeeping.
+// In addition to the google-benchmark console output, main() runs a short
+// deterministic storage workload in virtual time and exports its metrics to
+// BENCH_micro_bench.json like every other bench binary.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "obs/bench_export.h"
+#include "obs/metrics_registry.h"
 
 #include "common/random.h"
 #include "common/serde.h"
@@ -163,7 +171,49 @@ BENCHMARK_F(BTreeFixture, RangeScan100)(benchmark::State& state) {
   }
 }
 
+// A deterministic virtual-time storage workload whose metrics feed the JSON
+// artifact: 1000 Puts then 4000 Gets through the StorageClient.
+void ExportJsonArtifact() {
+  store::ClusterOptions cluster_options;
+  cluster_options.num_storage_nodes = 3;
+  store::Cluster cluster(cluster_options);
+  auto table = *cluster.CreateTable("micro");
+  sim::VirtualClock clock;
+  sim::WorkerMetrics metrics;
+  store::ClientOptions client_options;
+  store::StorageClient client(&cluster, nullptr, client_options, &clock,
+                              &metrics);
+  std::string value(128, 'x');
+  for (uint64_t i = 0; i < 1000; ++i) {
+    (void)client.Put(table, EncodeOrderedU64(i), value);
+  }
+  Random rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    (void)client.Get(table, EncodeOrderedU64(rng.Uniform(1000)));
+  }
+
+  obs::MetricsRegistry registry;
+  registry.AbsorbWorker(metrics);
+  obs::BenchReport report("micro_bench");
+  report.AddConfig("workload", "1000 puts + 4000 gets, 3 SNs");
+  obs::BenchRun run;
+  run.label = "storage_client";
+  run.derived.emplace_back(
+      "virtual_ms", static_cast<double>(clock.now_ns()) / 1e6);
+  run.snapshot = registry.Snapshot();
+  report.AddRun(std::move(run));
+  auto path = report.WriteFile();
+  if (path.ok()) std::printf("artifact: %s\n", path->c_str());
+}
+
 }  // namespace
 }  // namespace tell
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tell::ExportJsonArtifact();
+  return 0;
+}

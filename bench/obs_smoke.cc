@@ -1,0 +1,48 @@
+// Observability smoke bench: the smallest TPC-C run that exercises the full
+// metrics pipeline — worker metrics, phase tracing, node-side stats, JSON
+// export. Fast enough to run under ctest, where
+// tools/check_bench_json.py validates the BENCH_obs_smoke.json it writes.
+#include "bench/bench_util.h"
+
+using namespace tell;
+using namespace tell::bench;
+
+int main() {
+  PrintHeader("Smoke", "Observability pipeline (tiny TPC-C run)",
+              "not a paper figure — emits BENCH_obs_smoke.json so the JSON "
+              "schema checker has a fast artifact to validate");
+
+  tpcc::TpccScale scale;
+  scale.warehouses = 2;
+  scale.districts_per_warehouse = 10;
+  scale.customers_per_district = 8;
+  scale.items = 64;
+  scale.initial_orders_per_district = 4;
+
+  BenchJson json("obs_smoke");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("warehouses", uint64_t{2});
+  json.AddConfig("virtual_ms", uint64_t{20});
+
+  db::TellDbOptions options;
+  options.num_processing_nodes = 1;
+  options.num_storage_nodes = 3;
+  TellFixture fixture(options, scale);
+  auto result = fixture.Run(1, tpcc::Mix::kWriteIntensive,
+                            /*workers_per_pn=*/2, /*virtual_ms=*/20);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("committed %llu, aborted %llu, TpmC %.0f\n",
+              static_cast<unsigned long long>(result->committed),
+              static_cast<unsigned long long>(result->aborted),
+              result->tpmc);
+  const obs::MetricsSnapshot& snap =
+      json.Add("smoke", *result, fixture.db());
+  PrintPhaseBreakdown(snap);
+  json.Write();
+  PrintFooter();
+  return 0;
+}

@@ -11,6 +11,12 @@ int main() {
               "14.72/14.75/14.73/14.74% — flat; the 1 ms sync interval does "
               "not raise the abort rate");
 
+  BenchJson json("table3_commit_managers");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("replication_factor", uint64_t{1});
+  json.AddConfig("commit_manager_sync_ms", 1.0);
+  json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
+
   std::printf("%-16s %12s %10s\n", "Commit Managers", "TpmC", "abort%");
   for (uint32_t cms : {1u, 2u, 3u, 4u}) {
     db::TellDbOptions options;
@@ -28,9 +34,11 @@ int main() {
     }
     std::printf("%-16u %12.0f %9.2f%%\n", cms, result->tpmc,
                 result->abort_rate * 100);
+    json.Add("cm" + std::to_string(cms), *result, fixture.db());
   }
   std::printf("\nshape checks: TpmC and abort rate stay flat across manager "
               "counts — the commit manager component is not a bottleneck.\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

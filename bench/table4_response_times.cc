@@ -1,5 +1,9 @@
 // Table 4: TPC-C transaction response times (mean ± σ) on a small and a
 // large cluster, standard and shardable mixes, across the four systems.
+//
+// Single source of truth: every number printed below is read back from the
+// obs::MetricsSnapshot that BenchJson::Add recorded — the stdout table and
+// BENCH_table4_response_times.json can never disagree.
 #include "baselines/central_validation_db.h"
 #include "baselines/partitioned_serial_db.h"
 #include "baselines/two_pc_partitioned_db.h"
@@ -11,9 +15,11 @@ using namespace tell::bench;
 namespace {
 
 void Row(const char* mix, const char* system, const char* size,
-         const tpcc::DriverResult& result) {
+         const obs::MetricsSnapshot& snap) {
+  const sim::Histogram* resp = snap.Hist("tx.response_time");
+  if (resp == nullptr || resp->count() == 0) return;
   std::printf("%-10s %-22s %-7s %10.3f ± %-8.3f\n", mix, system, size,
-              result.mean_response_ms, result.std_response_ms);
+              resp->Mean() / 1e6, resp->StdDev() / 1e6);
 }
 
 Result<tpcc::DriverResult> RunBackend(tpcc::TpccBackend* backend,
@@ -37,11 +43,16 @@ int main() {
       "Absolute values differ (scaled population & modelled cluster); the "
       "ORDER of the systems is the claim.");
 
+  BenchJson json("table4_response_times");
+  json.AddConfig("replication_factor", uint64_t{3});
+  json.AddConfig("virtual_ms", uint64_t{400});
+
   std::printf("%-10s %-22s %-7s %12s\n", "mix", "system", "size",
               "resp ms (mean±σ)");
   for (bool large : {false, true}) {
     const char* size = large ? "large" : "small";
-    // Tell — standard.
+    const std::string suffix = std::string("_") + size;
+    // Tell — standard and shardable.
     {
       db::TellDbOptions options;
       options.num_processing_nodes = large ? 8 : 2;
@@ -51,12 +62,20 @@ int main() {
         TellFixture fixture(options, BenchScale());
         auto standard =
             fixture.Run(large ? 8 : 2, tpcc::Mix::kWriteIntensive);
-        if (standard.ok()) Row("standard", "Tell", size, *standard);
+        if (standard.ok()) {
+          const obs::MetricsSnapshot& snap = json.Add(
+              "tell_standard" + suffix, *standard, fixture.db());
+          Row("standard", "Tell", size, snap);
+          PrintPhaseBreakdown(snap);
+        }
       }
       {
         TellFixture fixture(options, BenchScale());
         auto shard = fixture.Run(large ? 8 : 2, tpcc::Mix::kShardable);
-        if (shard.ok()) Row("shardable", "Tell", size, *shard);
+        if (shard.ok()) {
+          Row("shardable", "Tell", size,
+              json.Add("tell_shardable" + suffix, *shard, fixture.db()));
+        }
       }
     }
     // VoltDB-style.
@@ -68,10 +87,16 @@ int main() {
       baselines::PartitionedSerialDb voltdb(BenchScale(), options);
       auto standard =
           RunBackend(&voltdb, tpcc::Mix::kWriteIntensive, nodes * 4);
-      if (standard.ok()) Row("standard", "VoltDB-style", size, *standard);
+      if (standard.ok()) {
+        Row("standard", "VoltDB-style", size,
+            json.Add("voltdb_standard" + suffix, *standard));
+      }
       baselines::PartitionedSerialDb voltdb2(BenchScale(), options);
       auto shard = RunBackend(&voltdb2, tpcc::Mix::kShardable, nodes * 4);
-      if (shard.ok()) Row("shardable", "VoltDB-style", size, *shard);
+      if (shard.ok()) {
+        Row("shardable", "VoltDB-style", size,
+            json.Add("voltdb_shardable" + suffix, *shard));
+      }
     }
     // MySQL-Cluster-style.
     {
@@ -82,7 +107,8 @@ int main() {
       auto standard = RunBackend(&mysql, tpcc::Mix::kWriteIntensive,
                                  options.num_data_nodes * 4);
       if (standard.ok()) {
-        Row("standard", "MySQL-Cluster-style", size, *standard);
+        Row("standard", "MySQL-Cluster-style", size,
+            json.Add("mysql_standard" + suffix, *standard));
       }
     }
     // FoundationDB-style.
@@ -93,13 +119,15 @@ int main() {
       auto standard = RunBackend(&fdb, tpcc::Mix::kWriteIntensive,
                                  (large ? 9 : 3) * 8);
       if (standard.ok()) {
-        Row("standard", "FoundationDB-style", size, *standard);
+        Row("standard", "FoundationDB-style", size,
+            json.Add("fdb_standard" + suffix, *standard));
       }
     }
   }
   std::printf("\nshape checks: Tell fastest; VoltDB's standard-mix latency "
               "explodes vs its shardable latency; FDB an order of magnitude "
               "above Tell.\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

@@ -11,6 +11,12 @@ int main() {
               "Ethernet: 151,079 TpmC, 91.1±9.4 ms, TP99 102 / TP999 103 — "
               "few outliers on either network (not congested)");
 
+  BenchJson json("table5_network_latency");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("replication_factor", uint64_t{1});
+  json.AddConfig("processing_nodes", uint64_t{8});
+  json.AddConfig("virtual_ms", uint64_t{300});
+
   std::printf("%-12s %12s %16s %10s %10s\n", "network", "TpmC",
               "resp ms (±σ)", "TP99", "TP999");
   for (bool infiniband : {true, false}) {
@@ -32,10 +38,14 @@ int main() {
                 options.network.name.c_str(), result->tpmc,
                 result->mean_response_ms, result->std_response_ms,
                 result->p99_response_ms, result->p999_response_ms);
+    const obs::MetricsSnapshot& snap = json.Add(
+        infiniband ? "infiniband" : "ethernet", *result, fixture.db());
+    PrintPhaseBreakdown(snap);
   }
   std::printf("\nshape checks: Ethernet mean ~6-10x InfiniBand; tail "
               "percentiles close to the mean on both networks (low outlier "
               "count = no congestion).\n");
+  json.Write();
   PrintFooter();
   return 0;
 }

@@ -37,6 +37,7 @@ void SharedRecordBuffer::InsertLocked(const Key& key, std::string bytes,
   while (entries_.size() >= capacity_ && !lru_.empty()) {
     entries_.erase(lru_.back());
     lru_.pop_back();
+    stats_.evictions += 1;
   }
   lru_.push_front(key);
   Entry entry;
@@ -61,6 +62,7 @@ Result<tx::FetchedRecord> SharedRecordBuffer::Read(
     if (it != entries_.end() && snapshot.IsSubsetOf(it->second.valid_for)) {
       // Condition 1: V_tx ⊆ B — serve from the buffer, no storage trip.
       client->metrics()->buffer_hits += 1;
+      stats_.hits += 1;
       TELL_ASSIGN_OR_RETURN(
           schema::VersionedRecord record,
           schema::VersionedRecord::Deserialize(it->second.record_bytes));
@@ -78,6 +80,7 @@ Result<tx::FetchedRecord> SharedRecordBuffer::Read(
                         schema::VersionedRecord::Deserialize(cell->value));
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    stats_.misses += 1;
     InsertLocked(key, cell->value, cell->stamp, v_max_);
   }
   return tx::FetchedRecord{std::move(record), cell->stamp};
@@ -94,9 +97,15 @@ void SharedRecordBuffer::OnApply(store::StorageClient* client,
   // because any V_max transaction that had changed this record would have
   // made our LL/SC apply fail.
   std::lock_guard<std::mutex> lock(mutex_);
+  stats_.write_throughs += 1;
   tx::SnapshotDescriptor valid_for = v_max_;
   valid_for.MarkCompleted(tid);
   InsertLocked({table, rid}, record.Serialize(), stamp, std::move(valid_for));
+}
+
+void SharedRecordBuffer::AccumulateStats(tx::BufferStats* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out->Accumulate(stats_);
 }
 
 size_t SharedRecordBuffer::size() const {

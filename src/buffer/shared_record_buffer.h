@@ -40,6 +40,8 @@ class SharedRecordBuffer final : public tx::RecordBuffer {
 
   void OnTransactionStart(const tx::SnapshotDescriptor& snapshot) override;
 
+  void AccumulateStats(tx::BufferStats* out) const override;
+
   size_t size() const;
 
  private:
@@ -58,6 +60,7 @@ class SharedRecordBuffer final : public tx::RecordBuffer {
 
   const size_t capacity_;
   mutable std::mutex mutex_;
+  tx::BufferStats stats_;  // guarded by mutex_
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  // front = most recent
   /// V_max: snapshot of the most recently started transaction on this PN.

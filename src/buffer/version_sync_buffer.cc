@@ -21,6 +21,7 @@ Result<tx::FetchedRecord> VersionSyncBuffer::FetchAndCache(
     store::StorageClient* client, store::TableId table, uint64_t rid,
     Unit* unit) {
   client->metrics()->buffer_misses += 1;
+  stats_.misses += 1;
   auto cell = client->Get(table, EncodeOrderedU64(rid));
   if (!cell.ok()) return cell.status();
   TELL_ASSIGN_OR_RETURN(schema::VersionedRecord record,
@@ -44,6 +45,7 @@ Result<tx::FetchedRecord> VersionSyncBuffer::Read(
   auto serve_cached = [&](const CachedRecord& cached)
       -> Result<tx::FetchedRecord> {
     client->metrics()->buffer_hits += 1;
+    stats_.hits += 1;
     TELL_ASSIGN_OR_RETURN(
         schema::VersionedRecord record,
         schema::VersionedRecord::Deserialize(cached.record_bytes));
@@ -71,6 +73,7 @@ Result<tx::FetchedRecord> VersionSyncBuffer::Read(
       // 2(b): the unit changed (or we never had its version set):
       // invalidate every buffered record of the unit and adopt B'.
       cached_records_ -= unit.records.size();
+      stats_.evictions += unit.records.size();
       unit.records.clear();
       unit.valid_for = std::move(*remote);
       unit.has_version_set = true;
@@ -80,6 +83,7 @@ Result<tx::FetchedRecord> VersionSyncBuffer::Read(
   // No version set cell yet (unit never written through SBVS): fall back to
   // labelling with V_max, like the plain shared buffer.
   cached_records_ -= unit.records.size();
+  stats_.evictions += unit.records.size();
   unit.records.clear();
   unit.valid_for = v_max_;
   unit.has_version_set = true;
@@ -103,7 +107,9 @@ void VersionSyncBuffer::OnApply(store::StorageClient* client,
                     updated.Serialize());
   // Updating the version set invalidates every buffered record of the unit;
   // the freshly written record is re-inserted with the new B.
+  stats_.write_throughs += 1;
   cached_records_ -= unit.records.size();
+  stats_.evictions += unit.records.size();
   unit.records.clear();
   unit.valid_for = std::move(updated);
   unit.has_version_set = true;
@@ -111,6 +117,11 @@ void VersionSyncBuffer::OnApply(store::StorageClient* client,
     unit.records.emplace(rid, CachedRecord{record.Serialize(), stamp});
     ++cached_records_;
   }
+}
+
+void VersionSyncBuffer::AccumulateStats(tx::BufferStats* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out->Accumulate(stats_);
 }
 
 }  // namespace tell::buffer

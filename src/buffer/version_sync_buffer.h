@@ -50,6 +50,8 @@ class VersionSyncBuffer final : public tx::RecordBuffer {
 
   void OnTransactionStart(const tx::SnapshotDescriptor& snapshot) override;
 
+  void AccumulateStats(tx::BufferStats* out) const override;
+
   uint64_t unit_size() const { return unit_size_; }
 
  private:
@@ -79,6 +81,7 @@ class VersionSyncBuffer final : public tx::RecordBuffer {
   const size_t capacity_;  // max cached records across all units
 
   mutable std::mutex mutex_;
+  tx::BufferStats stats_;  // guarded by mutex_
   std::map<UnitKey, Unit> units_;
   size_t cached_records_ = 0;
   tx::SnapshotDescriptor v_max_;

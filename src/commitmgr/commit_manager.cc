@@ -43,6 +43,7 @@ Status CommitManager::RefillTidRangeLocked() {
                                              options_.tid_range_size));
   range_end_ = static_cast<Tid>(end);
   range_next_ = range_end_ - options_.tid_range_size + 1;
+  stats_.tid_range_refills.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -68,6 +69,7 @@ Result<TxnBegin> CommitManager::Start(uint32_t pn_id) {
   for (const auto& [tid, txn] : active_) lav = std::min(lav, txn.snapshot_base);
   if (has_peer_lav_) lav = std::min(lav, peers_lav_);
   begin.lav = lav;
+  stats_.starts.fetch_add(1, std::memory_order_relaxed);
   return begin;
 }
 
@@ -86,7 +88,7 @@ std::vector<Tid> CommitManager::AbortActiveOf(uint32_t pn_id) {
   return aborted;
 }
 
-Status CommitManager::SetCommitted(Tid tid) {
+Status CommitManager::Complete(Tid tid) {
   if (!alive()) return Status::Unavailable("commit manager is down");
   std::lock_guard<std::mutex> lock(mutex_);
   snapshot_.MarkCompleted(tid);
@@ -94,11 +96,19 @@ Status CommitManager::SetCommitted(Tid tid) {
   return Status::OK();
 }
 
+Status CommitManager::SetCommitted(Tid tid) {
+  Status st = Complete(tid);
+  if (st.ok()) stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
 Status CommitManager::SetAborted(Tid tid) {
   // Aborted transactions also count as completed for snapshot purposes:
   // their updates were reverted, so their version number can never be
   // observed, and the base must be able to advance over them.
-  return SetCommitted(tid);
+  Status st = Complete(tid);
+  if (st.ok()) stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  return st;
 }
 
 Tid CommitManager::Lav() const {
@@ -161,6 +171,7 @@ Status CommitManager::SyncWithPeers(uint32_t num_peers) {
     peers_lav_ = min_peer_lav;
     has_peer_lav_ = true;
   }
+  stats_.syncs.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -26,6 +26,24 @@ struct TxnBegin {
   Tid lav = 0;
 };
 
+/// Point-in-time copy of one commit manager's request counters (exported
+/// into the obs::MetricsRegistry gauges `commitmgr.*` by db::TellDb).
+struct CommitManagerStats {
+  uint64_t starts = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t syncs = 0;
+  uint64_t tid_range_refills = 0;
+
+  void Accumulate(const CommitManagerStats& other) {
+    starts += other.starts;
+    commits += other.commits;
+    aborts += other.aborts;
+    syncs += other.syncs;
+    tid_range_refills += other.tid_range_refills;
+  }
+};
+
 struct CommitManagerOptions {
   /// Tids are acquired from the storage system's atomic counter in
   /// continuous ranges of this size, so the counter is not a bottleneck
@@ -113,8 +131,23 @@ class CommitManager {
   /// Serialized size of the state blob written on sync (tests).
   size_t StateBlobBytes() const;
 
+  /// Copy of this manager's request counters. Relaxed atomics, so a snapshot
+  /// racing live traffic is approximate but never torn per-counter.
+  CommitManagerStats stats() const {
+    CommitManagerStats s;
+    s.starts = stats_.starts.load(std::memory_order_relaxed);
+    s.commits = stats_.commits.load(std::memory_order_relaxed);
+    s.aborts = stats_.aborts.load(std::memory_order_relaxed);
+    s.syncs = stats_.syncs.load(std::memory_order_relaxed);
+    s.tid_range_refills =
+        stats_.tid_range_refills.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   Status RefillTidRangeLocked();
+  /// Shared completion path of SetCommitted / SetAborted.
+  Status Complete(Tid tid);
   std::string SerializeStateLocked() const;
 
   const uint32_t manager_id_;
@@ -122,6 +155,15 @@ class CommitManager {
   const store::TableId state_table_;
   const CommitManagerOptions options_;
   std::atomic<bool> alive_{true};
+
+  struct AtomicStats {
+    std::atomic<uint64_t> starts{0};
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> aborts{0};
+    std::atomic<uint64_t> syncs{0};
+    std::atomic<uint64_t> tid_range_refills{0};
+  };
+  mutable AtomicStats stats_;
 
   mutable std::mutex mutex_;
   SnapshotDescriptor snapshot_;

@@ -294,4 +294,100 @@ Result<tx::GcStats> TellDb::RunGarbageCollection() {
   return gc_->Sweep(admin_client(), handles, log_.get());
 }
 
+void TellDb::ExportStats(obs::MetricsRegistry* registry) const {
+  store::StorageNodeStats sn;
+  for (uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+    sn.Accumulate(cluster_->node(i)->stats());
+  }
+  registry->SetGauge("store.node.gets", sn.gets);
+  registry->SetGauge("store.node.puts", sn.puts);
+  registry->SetGauge("store.node.conditional_puts", sn.conditional_puts);
+  registry->SetGauge("store.node.llsc_failures", sn.llsc_failures);
+  registry->SetGauge("store.node.erases", sn.erases);
+  registry->SetGauge("store.node.scans", sn.scans);
+  registry->SetGauge("store.node.cells_scanned", sn.cells_scanned);
+  registry->SetGauge("store.node.atomic_increments", sn.atomic_increments);
+
+  commitmgr::CommitManagerStats cm;
+  for (uint32_t i = 0; i < commit_managers_->size(); ++i) {
+    cm.Accumulate(commit_managers_->manager(i)->stats());
+  }
+  registry->SetGauge("commitmgr.starts", cm.starts);
+  registry->SetGauge("commitmgr.commits", cm.commits);
+  registry->SetGauge("commitmgr.aborts", cm.aborts);
+  registry->SetGauge("commitmgr.syncs", cm.syncs);
+  registry->SetGauge("commitmgr.tid_range_refills", cm.tid_range_refills);
+
+  tx::BufferStats buf;
+  {
+    std::lock_guard<std::mutex> lock(pns_mutex_);
+    for (const std::unique_ptr<ProcessingNode>& pn : pns_) {
+      pn->buffer->AccumulateStats(&buf);
+    }
+  }
+  registry->SetGauge("buffer.shared.hits", buf.hits);
+  registry->SetGauge("buffer.shared.misses", buf.misses);
+  registry->SetGauge("buffer.shared.evictions", buf.evictions);
+  registry->SetGauge("buffer.shared.write_throughs", buf.write_throughs);
+
+  tx::GcStats gc = gc_->totals();
+  registry->SetGauge("gc.records_rewritten", gc.records_rewritten);
+  registry->SetGauge("gc.versions_removed", gc.versions_removed);
+  registry->SetGauge("gc.records_erased", gc.records_erased);
+  registry->SetGauge("gc.index_entries_removed", gc.index_entries_removed);
+  registry->SetGauge("gc.log_entries_truncated", gc.log_entries_truncated);
+}
+
+std::vector<std::pair<std::string,
+                      std::vector<std::pair<std::string, uint64_t>>>>
+TellDb::PerNodeStats() const {
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, uint64_t>>>> rows;
+  for (uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+    store::StorageNodeStats s = cluster_->node(i)->stats();
+    rows.emplace_back(
+        "sn" + std::to_string(i),
+        std::vector<std::pair<std::string, uint64_t>>{
+            {"gets", s.gets},
+            {"puts", s.puts},
+            {"conditional_puts", s.conditional_puts},
+            {"llsc_failures", s.llsc_failures},
+            {"erases", s.erases},
+            {"scans", s.scans},
+            {"cells_scanned", s.cells_scanned},
+            {"atomic_increments", s.atomic_increments},
+        });
+  }
+  for (uint32_t i = 0; i < commit_managers_->size(); ++i) {
+    commitmgr::CommitManagerStats s = commit_managers_->manager(i)->stats();
+    rows.emplace_back("cm" + std::to_string(i),
+                      std::vector<std::pair<std::string, uint64_t>>{
+                          {"starts", s.starts},
+                          {"commits", s.commits},
+                          {"aborts", s.aborts},
+                          {"syncs", s.syncs},
+                          {"tid_range_refills", s.tid_range_refills},
+                      });
+  }
+  {
+    std::lock_guard<std::mutex> lock(pns_mutex_);
+    for (size_t i = 0; i < pns_.size(); ++i) {
+      tx::BufferStats s;
+      pns_[i]->buffer->AccumulateStats(&s);
+      if (s.hits == 0 && s.misses == 0 && s.evictions == 0 &&
+          s.write_throughs == 0) {
+        continue;  // PassthroughBuffer (TB) keeps no PN-level stats
+      }
+      rows.emplace_back("pn" + std::to_string(i) + ".buffer",
+                        std::vector<std::pair<std::string, uint64_t>>{
+                            {"hits", s.hits},
+                            {"misses", s.misses},
+                            {"evictions", s.evictions},
+                            {"write_throughs", s.write_throughs},
+                        });
+    }
+  }
+  return rows;
+}
+
 }  // namespace tell::db

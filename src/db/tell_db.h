@@ -11,6 +11,7 @@
 #include "commitmgr/commit_manager.h"
 #include "common/result.h"
 #include "index/btree.h"
+#include "obs/metrics_registry.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -131,6 +132,21 @@ class TellDb {
 
   /// One lazy-GC sweep over all tables opened on PN 0 plus log truncation.
   Result<tx::GcStats> RunGarbageCollection();
+
+  // --- Observability --------------------------------------------------------
+
+  /// Exports the node-side counters into the registry's gauges: storage-node
+  /// request counts (`store.node.*`, summed over SNs), commit manager calls
+  /// (`commitmgr.*`, summed over the group), shared-buffer stats
+  /// (`buffer.shared.*`, summed over PNs) and lazy-GC sweep totals (`gc.*`).
+  void ExportStats(obs::MetricsRegistry* registry) const;
+
+  /// Per-node breakdown of the same counters, for the JSON artifact's
+  /// "nodes" object: one row per storage node ("sn0", ...), commit manager
+  /// ("cm0", ...) and processing-node buffer ("pn0.buffer", ...).
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, uint64_t>>>>
+  PerNodeStats() const;
 
   // --- Internals exposed for tests and benches ------------------------------
 

@@ -471,6 +471,7 @@ Status BTree::Remove(store::StorageClient* client, std::string_view key,
 
 Result<std::vector<uint64_t>> BTree::Lookup(store::StorageClient* client,
                                             std::string_view key) {
+  client->metrics()->index_lookups += 1;
   std::vector<uint64_t> path;
   TELL_ASSIGN_OR_RETURN(Node leaf, DescendToLeaf(client, key, &path));
   std::vector<uint64_t> rids;
@@ -484,6 +485,7 @@ Result<std::vector<IndexEntry>> BTree::RangeScan(store::StorageClient* client,
                                                  std::string_view start,
                                                  std::string_view end,
                                                  size_t limit) {
+  client->metrics()->index_lookups += 1;
   std::vector<uint64_t> path;
   TELL_ASSIGN_OR_RETURN(Node leaf, DescendToLeaf(client, start, &path));
   std::vector<IndexEntry> out;

@@ -1,0 +1,128 @@
+#include "obs/bench_export.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace tell::obs {
+
+namespace {
+
+void WriteHistogram(JsonWriter* w, const MetricDef& def,
+                    const sim::Histogram& hist) {
+  w->BeginObject();
+  w->Key("unit");
+  w->String(def.unit);
+  w->Key("count");
+  w->Uint(hist.count());
+  w->Key("min");
+  w->Uint(hist.min());
+  w->Key("max");
+  w->Uint(hist.max());
+  w->Key("mean");
+  w->Double(hist.Mean());
+  w->Key("stddev");
+  w->Double(hist.StdDev());
+  w->Key("p50");
+  w->Uint(hist.Percentile(50));
+  w->Key("p95");
+  w->Uint(hist.Percentile(95));
+  w->Key("p99");
+  w->Uint(hist.Percentile(99));
+  w->EndObject();
+}
+
+void WriteRun(JsonWriter* w, const BenchRun& run) {
+  w->BeginObject();
+  w->Key("label");
+  w->String(run.label);
+  w->Key("derived");
+  w->BeginObject();
+  for (const auto& [key, value] : run.derived) {
+    w->Key(key);
+    w->Double(value);
+  }
+  w->EndObject();
+
+  const std::vector<MetricDef>& defs = run.snapshot.metrics();
+  w->Key("counters");
+  w->BeginObject();
+  for (const MetricDef& def : defs) {
+    if (def.kind != MetricKind::kCounter) continue;
+    w->Key(def.name);
+    w->Uint(*run.snapshot.Scalar(def.name));
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const MetricDef& def : defs) {
+    if (def.kind != MetricKind::kGauge) continue;
+    w->Key(def.name);
+    w->Uint(*run.snapshot.Scalar(def.name));
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const MetricDef& def : defs) {
+    if (def.kind != MetricKind::kHistogram) continue;
+    w->Key(def.name);
+    WriteHistogram(w, def, *run.snapshot.Hist(def.name));
+  }
+  w->EndObject();
+  if (!run.nodes.empty()) {
+    w->Key("nodes");
+    w->BeginObject();
+    for (const auto& [node, counters] : run.nodes) {
+      w->Key(node);
+      w->BeginObject();
+      for (const auto& [name, value] : counters) {
+        w->Key(name);
+        w->Uint(value);
+      }
+      w->EndObject();
+    }
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Uint(1);
+  w.Key("bench");
+  w.String(name_);
+  w.Key("config");
+  w.BeginObject();
+  for (const auto& [key, value] : config_) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+  w.Key("runs");
+  w.BeginArray();
+  for (const BenchRun& run : runs_) WriteRun(&w, run);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> BenchReport::WriteFile(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InternalError("cannot open " + path + " for writing");
+  }
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::InternalError("short write to " + path);
+  }
+  return path;
+}
+
+}  // namespace tell::obs

@@ -1,0 +1,42 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tell::obs {
+
+void JsonWriter::Double(double value) {
+  Elem();
+  if (!std::isfinite(value)) {
+    out_ += '0';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+}
+
+void JsonWriter::AppendString(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace tell::obs

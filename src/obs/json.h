@@ -1,0 +1,59 @@
+#ifndef TELL_OBS_JSON_H_
+#define TELL_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tell::obs {
+
+/// Minimal dependency-free streaming JSON writer (the container ships no
+/// JSON library and the bench artifacts need none). Commas are inserted
+/// automatically; keys must be emitted via Key() inside objects. The caller
+/// is responsible for well-formed nesting (checked with asserts in tests via
+/// the round-trip parser).
+class JsonWriter {
+ public:
+  void BeginObject() { Elem(); out_ += '{'; stack_.push_back(false); }
+  void EndObject() { stack_.pop_back(); out_ += '}'; }
+  void BeginArray() { Elem(); out_ += '['; stack_.push_back(false); }
+  void EndArray() { stack_.pop_back(); out_ += ']'; }
+
+  void Key(std::string_view key) {
+    Elem();
+    AppendString(key);
+    out_ += ':';
+    pending_value_ = true;
+  }
+
+  void String(std::string_view value) { Elem(); AppendString(value); }
+  void Uint(uint64_t value) { Elem(); out_ += std::to_string(value); }
+  void Int(int64_t value) { Elem(); out_ += std::to_string(value); }
+  void Bool(bool value) { Elem(); out_ += value ? "true" : "false"; }
+  /// Non-finite doubles are not valid JSON; they serialize as 0.
+  void Double(double value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Elem() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+  void AppendString(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace tell::obs
+
+#endif  // TELL_OBS_JSON_H_

@@ -1,0 +1,211 @@
+#include "obs/metrics_registry.h"
+
+#include "common/logging.h"
+
+namespace tell::obs {
+
+namespace {
+
+struct BuiltinGauge {
+  const char* name;
+  const char* unit;
+  const char* help;
+};
+
+/// Node-side stats exported by db::TellDb::ExportStats. Aggregated across
+/// nodes so the metric names are fixed; the JSON exporter additionally
+/// carries a per-node breakdown outside the registry.
+const BuiltinGauge kBuiltinGauges[] = {
+    // StorageNode request counters, summed over all SNs.
+    {"store.node.gets", "ops", "Get requests served by storage nodes"},
+    {"store.node.puts", "ops", "unconditional Put requests served"},
+    {"store.node.conditional_puts", "ops",
+     "store-conditional Put requests served"},
+    {"store.node.llsc_failures", "ops",
+     "store-conditionals rejected by stamp mismatch (server-side)"},
+    {"store.node.erases", "ops", "Erase/ConditionalErase requests served"},
+    {"store.node.scans", "ops", "scan requests served"},
+    {"store.node.cells_scanned", "cells",
+     "cells examined while serving scans"},
+    {"store.node.atomic_increments", "ops",
+     "atomic counter increments served"},
+    // CommitManager counters, summed over the group.
+    {"commitmgr.starts", "txns", "start() calls served"},
+    {"commitmgr.commits", "txns", "setCommitted() calls served"},
+    {"commitmgr.aborts", "txns", "setAborted() calls served"},
+    {"commitmgr.syncs", "rounds", "peer synchronization rounds"},
+    {"commitmgr.tid_range_refills", "refills",
+     "tid ranges acquired from the storage counter"},
+    // Shared record buffer (SB/SBVS) stats, summed over processing nodes.
+    {"buffer.shared.hits", "reads", "shared-buffer probes served locally"},
+    {"buffer.shared.misses", "reads",
+     "shared-buffer probes that fetched from storage"},
+    {"buffer.shared.evictions", "records", "records evicted (LRU/capacity)"},
+    {"buffer.shared.write_throughs", "records",
+     "commit write-throughs into the shared buffer"},
+    // Lazy GC sweep totals (admin-side; eager GC is the worker counter
+    // gc.eager_versions_removed).
+    {"gc.records_rewritten", "records",
+     "records rewritten with pruned version chains by lazy GC sweeps"},
+    {"gc.versions_removed", "versions",
+     "record versions removed by lazy GC sweeps"},
+    {"gc.records_erased", "records",
+     "empty records erased by lazy GC sweeps"},
+    {"gc.index_entries_removed", "entries",
+     "obsolete index entries removed by lazy GC sweeps"},
+    {"gc.log_entries_truncated", "entries",
+     "transaction log entries truncated below the lav"},
+};
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(bool builtins) {
+  if (!builtins) return;
+  for (const sim::WorkerCounterField& f : sim::WorkerCounterFields()) {
+    AddCounter(f.name, f.unit, f.help);
+  }
+  for (const sim::WorkerHistogramField& f : sim::WorkerHistogramFields()) {
+    AddHistogram(f.name, f.unit, f.help);
+  }
+  for (const BuiltinGauge& g : kBuiltinGauges) {
+    AddGauge(g.name, g.unit, g.help);
+  }
+}
+
+MetricId MetricsRegistry::AddMetric(std::string name, std::string unit,
+                                    std::string help, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (MetricId id = 0; id < defs_.size(); ++id) {
+    if (defs_[id].name == name) {
+      TELL_CHECK(defs_[id].kind == kind);
+      return id;
+    }
+  }
+  TELL_CHECK(!frozen_);
+  MetricId id = static_cast<MetricId>(defs_.size());
+  defs_.push_back({std::move(name), std::move(unit), std::move(help), kind});
+  if (kind == MetricKind::kHistogram) {
+    hist_index_.push_back(static_cast<int32_t>(num_hists_++));
+  } else {
+    hist_index_.push_back(-1);
+  }
+  gauges_.push_back(0);
+  return id;
+}
+
+MetricId MetricsRegistry::AddCounter(std::string name, std::string unit,
+                                     std::string help) {
+  return AddMetric(std::move(name), std::move(unit), std::move(help),
+                   MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::AddGauge(std::string name, std::string unit,
+                                   std::string help) {
+  return AddMetric(std::move(name), std::move(unit), std::move(help),
+                   MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::AddHistogram(std::string name, std::string unit,
+                                       std::string help) {
+  return AddMetric(std::move(name), std::move(unit), std::move(help),
+                   MetricKind::kHistogram);
+}
+
+std::optional<MetricId> MetricsRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (MetricId id = 0; id < defs_.size(); ++id) {
+    if (defs_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::NewShard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frozen_ = true;
+  shards_.push_back(std::unique_ptr<Shard>(
+      new Shard(defs_.size(), &hist_index_, num_hists_)));
+  return shards_.back().get();
+}
+
+void MetricsRegistry::SetGauge(MetricId id, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TELL_CHECK(id < defs_.size() && defs_[id].kind == MetricKind::kGauge);
+  gauges_[id] = value;
+}
+
+bool MetricsRegistry::SetGauge(std::string_view name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (MetricId id = 0; id < defs_.size(); ++id) {
+    if (defs_[id].name == name && defs_[id].kind == MetricKind::kGauge) {
+      gauges_[id] = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+void MetricsRegistry::AbsorbWorker(const sim::WorkerMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  absorbed_.Merge(metrics);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.defs_ = defs_;
+  snap.hist_index_ = hist_index_;
+  snap.scalars_.assign(defs_.size(), 0);
+  snap.hists_.assign(num_hists_, sim::Histogram());
+
+  for (MetricId id = 0; id < defs_.size(); ++id) {
+    if (defs_[id].kind == MetricKind::kGauge) snap.scalars_[id] = gauges_[id];
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (MetricId id = 0; id < defs_.size(); ++id) {
+      snap.scalars_[id] +=
+          shard->scalars_[id].load(std::memory_order_relaxed);
+    }
+    for (size_t slot = 0; slot < shard->hists_.size(); ++slot) {
+      snap.hists_[slot].Merge(shard->hists_[slot]);
+    }
+  }
+  // Absorbed worker metrics, mapped through the shared descriptor tables.
+  for (const sim::WorkerCounterField& f : sim::WorkerCounterFields()) {
+    for (MetricId id = 0; id < defs_.size(); ++id) {
+      if (defs_[id].name == f.name) {
+        snap.scalars_[id] += absorbed_.*f.field;
+        break;
+      }
+    }
+  }
+  for (const sim::WorkerHistogramField& f : sim::WorkerHistogramFields()) {
+    for (MetricId id = 0; id < defs_.size(); ++id) {
+      if (defs_[id].name == f.name && snap.hist_index_[id] >= 0) {
+        snap.hists_[static_cast<size_t>(snap.hist_index_[id])].Merge(
+            sim::GetWorkerHistogram(absorbed_, f));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::optional<uint64_t> MetricsSnapshot::Scalar(std::string_view name) const {
+  for (MetricId id = 0; id < defs_.size(); ++id) {
+    if (defs_[id].name == name && defs_[id].kind != MetricKind::kHistogram) {
+      return scalars_[id];
+    }
+  }
+  return std::nullopt;
+}
+
+const sim::Histogram* MetricsSnapshot::Hist(std::string_view name) const {
+  for (MetricId id = 0; id < defs_.size(); ++id) {
+    if (defs_[id].name == name && hist_index_[id] >= 0) {
+      return &hists_[static_cast<size_t>(hist_index_[id])];
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tell::obs

@@ -1,0 +1,141 @@
+#ifndef TELL_OBS_METRICS_REGISTRY_H_
+#define TELL_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/histogram.h"
+#include "sim/metrics.h"
+
+namespace tell::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Identity of one registered metric. The full builtin catalog is documented
+/// in docs/METRICS.md; obs_test diffs that document against the registry.
+struct MetricDef {
+  std::string name;
+  std::string unit;
+  std::string help;
+  MetricKind kind;
+};
+
+using MetricId = uint32_t;
+
+/// A consistent point-in-time view of a registry: merged shards + absorbed
+/// worker metrics + gauges. Self-contained (owns copies), so it survives the
+/// registry and can be handed to the JSON exporter.
+class MetricsSnapshot {
+ public:
+  const std::vector<MetricDef>& metrics() const { return defs_; }
+
+  /// Counter or gauge value; nullopt for unknown names and histograms.
+  std::optional<uint64_t> Scalar(std::string_view name) const;
+
+  /// Histogram by name; nullptr for unknown names and scalars.
+  const sim::Histogram* Hist(std::string_view name) const;
+
+ private:
+  friend class MetricsRegistry;
+
+  std::vector<MetricDef> defs_;
+  /// Indexed by MetricId; histogram slots hold 0.
+  std::vector<uint64_t> scalars_;
+  /// MetricId -> index into hists_, or -1 for scalars.
+  std::vector<int32_t> hist_index_;
+  std::vector<sim::Histogram> hists_;
+};
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Writers never contend: each worker obtains its own Shard whose counters
+/// are relaxed atomics (so a racing Snapshot tears at worst by a few
+/// increments, never corrupts) and whose histograms are single-writer.
+/// Snapshot() merges all shards, everything absorbed from per-worker
+/// sim::WorkerMetrics (the simulation's native metric carrier — absorbed
+/// through the descriptor tables in sim/metrics.h, so the names always
+/// match), and the gauges set from node-side stats.
+///
+/// Construction registers the builtin catalog: every WorkerMetrics field
+/// plus the node-side gauges exported by db::TellDb. Additional metrics may
+/// be registered until the first shard is handed out.
+class MetricsRegistry {
+ public:
+  /// One worker's write handle. Owned by the registry; pointers stay valid
+  /// for the registry's lifetime.
+  class Shard {
+   public:
+    void Add(MetricId id, uint64_t delta = 1) {
+      scalars_[id].fetch_add(delta, std::memory_order_relaxed);
+    }
+    /// Records into this shard's (single-writer) histogram.
+    void Record(MetricId id, uint64_t value) {
+      int32_t slot = (*hist_index_)[id];
+      if (slot >= 0) hists_[static_cast<size_t>(slot)].Record(value);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    Shard(size_t num_metrics, const std::vector<int32_t>* hist_index,
+          size_t num_hists)
+        : scalars_(num_metrics), hist_index_(hist_index), hists_(num_hists) {}
+
+    std::vector<std::atomic<uint64_t>> scalars_;
+    const std::vector<int32_t>* hist_index_;
+    std::vector<sim::Histogram> hists_;
+  };
+
+  /// `builtins` = false creates an empty registry (tests).
+  explicit MetricsRegistry(bool builtins = true);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration. Re-registering an existing name returns the existing id
+  /// (the kind must match; unit/help of the first registration win).
+  MetricId AddCounter(std::string name, std::string unit, std::string help);
+  MetricId AddGauge(std::string name, std::string unit, std::string help);
+  MetricId AddHistogram(std::string name, std::string unit, std::string help);
+
+  std::optional<MetricId> Find(std::string_view name) const;
+  const std::vector<MetricDef>& metrics() const { return defs_; }
+
+  /// Creates a per-worker shard; freezes registration.
+  Shard* NewShard();
+
+  /// Sets a gauge to an absolute value (last write wins).
+  void SetGauge(MetricId id, uint64_t value);
+  bool SetGauge(std::string_view name, uint64_t value);
+
+  /// Folds a worker's native metrics into the registry via the descriptor
+  /// tables of sim/metrics.h. Call once per worker at end of run (values
+  /// accumulate across calls, mirroring WorkerMetrics::Merge).
+  void AbsorbWorker(const sim::WorkerMetrics& metrics);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  MetricId AddMetric(std::string name, std::string unit, std::string help,
+                     MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<MetricDef> defs_;
+  std::vector<int32_t> hist_index_;  // MetricId -> hist slot or -1
+  size_t num_hists_ = 0;
+  bool frozen_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Everything AbsorbWorker collected, merged.
+  sim::WorkerMetrics absorbed_;
+  /// Gauge values, indexed by MetricId (0 for non-gauges).
+  std::vector<uint64_t> gauges_;
+};
+
+}  // namespace tell::obs
+
+#endif  // TELL_OBS_METRICS_REGISTRY_H_

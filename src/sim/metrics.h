@@ -1,14 +1,45 @@
 #ifndef TELL_SIM_METRICS_H_
 #define TELL_SIM_METRICS_H_
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "sim/histogram.h"
 
 namespace tell::sim {
 
+/// The phases of a transaction's life-cycle that the tracer attributes
+/// virtual time to (paper §4.3 / Table 4). Each committed or aborted
+/// transaction contributes at most one histogram sample per phase: the total
+/// virtual time spent in that phase during the transaction.
+enum class TxnPhase : uint32_t {
+  kBegin = 0,      // commit manager start() round trip
+  kIndexLookup,    // B+tree lookups and range scans
+  kRead,           // record fetches (buffer probes + storage gets)
+  kWrite,          // buffering updates client-side
+  kValidate,       // LL/SC apply of the write set (+ serializable read-set
+                   // validation)
+  kCommit,         // log append, index maintenance, commit flag, manager
+                   // notification
+  kBufferSync,     // shared-buffer write-through
+};
+
+inline constexpr size_t kNumTxnPhases = 7;
+
+inline constexpr std::array<const char*, kNumTxnPhases> kTxnPhaseNames = {
+    "begin",  "index_lookup", "read",       "write",
+    "validate", "commit",     "buffer_sync",
+};
+
 /// Per-worker counters accumulated while driving transactions. Workers each
 /// own one (no synchronization); the harness merges them at the end of a run.
+///
+/// The authoritative list of fields (names, units, help text) lives in the
+/// descriptor tables below (WorkerCounterFields / WorkerHistogramFields);
+/// Merge and the obs::MetricsRegistry are both driven by those tables, so a
+/// new field only needs to be added in two places: the struct and its table
+/// row. docs/METRICS.md documents every descriptor (enforced by obs_test).
 struct WorkerMetrics {
   uint64_t committed = 0;
   uint64_t aborted = 0;
@@ -22,21 +53,25 @@ struct WorkerMetrics {
   uint64_t bytes_received = 0;
   uint64_t buffer_hits = 0;
   uint64_t buffer_misses = 0;
+  /// Store-conditional failures observed by this worker (LL/SC conflicts,
+  /// including rollback retries).
+  uint64_t llsc_failures = 0;
+  /// Transaction log entries appended (one per non-empty commit attempt).
+  uint64_t log_appends = 0;
+  /// B+tree point lookups + range scans issued.
+  uint64_t index_lookups = 0;
+  /// Record versions removed by eager GC while serializing the write set
+  /// (§5.4: "record GC is part of the update process").
+  uint64_t eager_gc_versions = 0;
+
   /// Transaction response time distribution (virtual ns).
   Histogram response_time;
+  /// Logical ops per batched storage request (BatchGet/BatchWrite).
+  Histogram batch_size;
+  /// Per-phase virtual time, one sample per transaction per touched phase.
+  std::array<Histogram, kNumTxnPhases> phase_ns;
 
-  void Merge(const WorkerMetrics& other) {
-    committed += other.committed;
-    aborted += other.aborted;
-    committed_new_order += other.committed_new_order;
-    storage_requests += other.storage_requests;
-    storage_ops += other.storage_ops;
-    bytes_sent += other.bytes_sent;
-    bytes_received += other.bytes_received;
-    buffer_hits += other.buffer_hits;
-    buffer_misses += other.buffer_misses;
-    response_time.Merge(other.response_time);
-  }
+  void Merge(const WorkerMetrics& other);
 
   double AbortRate() const {
     uint64_t total = committed + aborted;
@@ -50,6 +85,110 @@ struct WorkerMetrics {
                                   static_cast<double>(total);
   }
 };
+
+/// Descriptor of one WorkerMetrics counter: registry name, unit, help and
+/// the member it lives in. The table drives Merge() and the builtin catalog
+/// of obs::MetricsRegistry.
+struct WorkerCounterField {
+  const char* name;
+  const char* unit;
+  const char* help;
+  uint64_t WorkerMetrics::*field;
+};
+
+/// Descriptor of one WorkerMetrics histogram. `phase` >= 0 selects
+/// phase_ns[phase]; otherwise `member` names the histogram.
+struct WorkerHistogramField {
+  const char* name;
+  const char* unit;
+  const char* help;
+  Histogram WorkerMetrics::*member;
+  int phase;
+};
+
+inline const std::vector<WorkerCounterField>& WorkerCounterFields() {
+  static const std::vector<WorkerCounterField> kFields = {
+      {"tx.committed", "txns", "committed transactions",
+       &WorkerMetrics::committed},
+      {"tx.aborted", "txns", "aborted transactions", &WorkerMetrics::aborted},
+      {"tx.committed_new_order", "txns",
+       "committed TPC-C new-order transactions (TpmC numerator)",
+       &WorkerMetrics::committed_new_order},
+      {"store.requests", "requests", "storage requests (after batching)",
+       &WorkerMetrics::storage_requests},
+      {"store.ops", "ops", "logical storage operations (before batching)",
+       &WorkerMetrics::storage_ops},
+      {"net.bytes_sent", "bytes", "request payload + framing bytes sent",
+       &WorkerMetrics::bytes_sent},
+      {"net.bytes_received", "bytes", "response payload bytes received",
+       &WorkerMetrics::bytes_received},
+      {"buffer.hits", "reads", "record reads served from a buffer",
+       &WorkerMetrics::buffer_hits},
+      {"buffer.misses", "reads", "record reads that hit the storage system",
+       &WorkerMetrics::buffer_misses},
+      {"store.llsc_failures", "ops",
+       "store-conditional failures observed client-side",
+       &WorkerMetrics::llsc_failures},
+      {"txlog.appends", "entries", "transaction log entries appended",
+       &WorkerMetrics::log_appends},
+      {"index.lookups", "lookups", "B+tree point lookups and range scans",
+       &WorkerMetrics::index_lookups},
+      {"gc.eager_versions_removed", "versions",
+       "record versions removed by eager GC at commit",
+       &WorkerMetrics::eager_gc_versions},
+  };
+  return kFields;
+}
+
+inline const std::vector<WorkerHistogramField>& WorkerHistogramFields() {
+  static const std::vector<WorkerHistogramField> kFields = [] {
+    std::vector<WorkerHistogramField> fields = {
+        {"tx.response_time", "ns", "transaction response time (virtual)",
+         &WorkerMetrics::response_time, -1},
+        {"store.batch_size", "ops", "logical ops per batched storage request",
+         &WorkerMetrics::batch_size, -1},
+    };
+    static const std::array<const char*, kNumTxnPhases> kPhaseMetricNames = {
+        "tx.phase.begin",    "tx.phase.index_lookup", "tx.phase.read",
+        "tx.phase.write",    "tx.phase.validate",     "tx.phase.commit",
+        "tx.phase.buffer_sync",
+    };
+    static const std::array<const char*, kNumTxnPhases> kPhaseHelp = {
+        "virtual time per txn in begin (commit manager start)",
+        "virtual time per txn in index lookups/scans",
+        "virtual time per txn fetching records",
+        "virtual time per txn buffering writes",
+        "virtual time per txn in LL/SC apply + read-set validation",
+        "virtual time per txn in commit bookkeeping",
+        "virtual time per txn in shared-buffer write-through",
+    };
+    for (size_t p = 0; p < kNumTxnPhases; ++p) {
+      fields.push_back({kPhaseMetricNames[p], "ns", kPhaseHelp[p], nullptr,
+                        static_cast<int>(p)});
+    }
+    return fields;
+  }();
+  return kFields;
+}
+
+inline const Histogram& GetWorkerHistogram(const WorkerMetrics& m,
+                                           const WorkerHistogramField& f) {
+  return f.phase >= 0 ? m.phase_ns[static_cast<size_t>(f.phase)] : m.*f.member;
+}
+
+inline Histogram& GetWorkerHistogram(WorkerMetrics& m,
+                                     const WorkerHistogramField& f) {
+  return f.phase >= 0 ? m.phase_ns[static_cast<size_t>(f.phase)] : m.*f.member;
+}
+
+inline void WorkerMetrics::Merge(const WorkerMetrics& other) {
+  for (const WorkerCounterField& f : WorkerCounterFields()) {
+    this->*f.field += other.*f.field;
+  }
+  for (const WorkerHistogramField& f : WorkerHistogramFields()) {
+    GetWorkerHistogram(*this, f).Merge(GetWorkerHistogram(other, f));
+  }
+}
 
 }  // namespace tell::sim
 

@@ -97,6 +97,7 @@ std::vector<Result<VersionedCell>> StorageClient::BatchGet(
 
   // Group ops by master storage node; one request per node, in parallel.
   std::map<uint32_t, std::pair<uint64_t, uint64_t>> group_bytes;
+  std::map<uint32_t, uint64_t> group_ops;
   for (const auto& op : ops) {
     auto result = cluster_->Get(op.table, op.key);
     if (!result.ok() && HandleUnavailable(result.status())) {
@@ -107,11 +108,15 @@ std::vector<Result<VersionedCell>> StorageClient::BatchGet(
     auto& [req, resp] = group_bytes[node];
     req += op.key.size() + kPerOpHeaderBytes;
     resp += result.ok() ? result->value.size() + 8 : 8;
+    group_ops[node] += 1;
     results.push_back(std::move(result));
   }
   std::vector<std::pair<uint64_t, uint64_t>> requests;
   requests.reserve(group_bytes.size());
   for (const auto& [node, bytes] : group_bytes) requests.push_back(bytes);
+  for (const auto& [node, count] : group_ops) {
+    metrics_->batch_size.Record(count);
+  }
   ChargeParallelRequests(requests);
   return results;
 }
@@ -139,6 +144,7 @@ Result<uint64_t> StorageClient::ConditionalPut(TableId table,
   if (!result.ok() && HandleUnavailable(result.status())) {
     result = cluster_->ConditionalPut(table, key, expected_stamp, value);
   }
+  if (result.status().IsConditionFailed()) metrics_->llsc_failures += 1;
   ChargeRequest(key.size() + value.size() + kPerOpHeaderBytes, 16);
   if (result.ok()) ChargeReplication(1);
   return result;
@@ -164,6 +170,7 @@ Status StorageClient::ConditionalErase(TableId table, std::string_view key,
   if (HandleUnavailable(status)) {
     status = cluster_->ConditionalErase(table, key, expected_stamp);
   }
+  if (status.IsConditionFailed()) metrics_->llsc_failures += 1;
   ChargeRequest(key.size() + kPerOpHeaderBytes, 16);
   if (status.ok()) ChargeReplication(1);
   return status;
@@ -202,6 +209,9 @@ std::vector<Result<uint64_t>> StorageClient::BatchWrite(
   if (!options_.batching) {
     for (const auto& op : ops) {
       results.push_back(apply(op));
+      if (results.back().status().IsConditionFailed()) {
+        metrics_->llsc_failures += 1;
+      }
       ChargeRequest(op.key.size() + op.value.size() + kPerOpHeaderBytes, 16);
       if (results.back().ok() && !op.erase) ChargeReplication(1);
     }
@@ -209,20 +219,26 @@ std::vector<Result<uint64_t>> StorageClient::BatchWrite(
   }
 
   std::map<uint32_t, std::pair<uint64_t, uint64_t>> group_bytes;
+  std::map<uint32_t, uint64_t> group_ops;
   uint64_t replicated_writes = 0;
   for (const auto& op : ops) {
     Result<uint64_t> result = apply(op);
+    if (result.status().IsConditionFailed()) metrics_->llsc_failures += 1;
     auto master = cluster_->MasterOf(op.table, op.key);
     uint32_t node = master.ok() ? *master : 0;
     auto& [req, resp] = group_bytes[node];
     req += op.key.size() + op.value.size() + kPerOpHeaderBytes;
     resp += 16;
+    group_ops[node] += 1;
     if (result.ok() && !op.erase) ++replicated_writes;
     results.push_back(std::move(result));
   }
   std::vector<std::pair<uint64_t, uint64_t>> requests;
   requests.reserve(group_bytes.size());
   for (const auto& [node, bytes] : group_bytes) requests.push_back(bytes);
+  for (const auto& [node, count] : group_ops) {
+    metrics_->batch_size.Record(count);
+  }
   ChargeParallelRequests(requests);
   ChargeReplication(replicated_writes);
   return results;

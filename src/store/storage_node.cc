@@ -37,6 +37,7 @@ Status StorageNode::CheckAlive() const {
 Result<VersionedCell> StorageNode::Get(TableId table, uint32_t partition,
                                        std::string_view key) const {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::shared_lock lock(part->mutex);
@@ -49,6 +50,7 @@ Result<uint64_t> StorageNode::Put(TableId table, uint32_t partition,
                                   std::string_view key,
                                   std::string_view value) {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::unique_lock lock(part->mutex);
@@ -79,12 +81,14 @@ Result<uint64_t> StorageNode::ConditionalPut(TableId table, uint32_t partition,
                                              uint64_t expected_stamp,
                                              std::string_view value) {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.conditional_puts.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::unique_lock lock(part->mutex);
   auto it = part->cells.find(key);
   uint64_t current = it == part->cells.end() ? kStampAbsent : it->second.stamp;
   if (current != expected_stamp) {
+    stats_.llsc_failures.fetch_add(1, std::memory_order_relaxed);
     return Status::ConditionFailed("stamp mismatch: expected " +
                                    std::to_string(expected_stamp) + ", have " +
                                    std::to_string(current));
@@ -115,12 +119,14 @@ Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
                                      std::string_view key,
                                      uint64_t expected_stamp) {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.erases.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::unique_lock lock(part->mutex);
   auto it = part->cells.find(key);
   if (it == part->cells.end()) return Status::NotFound();
   if (it->second.stamp != expected_stamp) {
+    stats_.llsc_failures.fetch_add(1, std::memory_order_relaxed);
     return Status::ConditionFailed();
   }
   memory_used_.fetch_sub(key.size() + it->second.value.size() +
@@ -133,6 +139,7 @@ Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
 Status StorageNode::Erase(TableId table, uint32_t partition,
                           std::string_view key) {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.erases.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::unique_lock lock(part->mutex);
@@ -152,6 +159,7 @@ Result<std::vector<KeyCell>> StorageNode::Scan(TableId table,
                                                size_t limit,
                                                bool reverse) const {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::shared_lock lock(part->mutex);
@@ -172,6 +180,7 @@ Result<std::vector<KeyCell>> StorageNode::Scan(TableId table,
       if (limit != 0 && out.size() >= limit) break;
     }
   }
+  stats_.cells_scanned.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -181,6 +190,7 @@ Result<std::vector<KeyCell>> StorageNode::ScanFiltered(
     const std::function<bool(std::string_view, std::string_view)>& predicate,
     uint64_t* scanned) const {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::shared_lock lock(part->mutex);
@@ -196,6 +206,7 @@ Result<std::vector<KeyCell>> StorageNode::ScanFiltered(
     if (limit != 0 && out.size() >= limit) break;
   }
   if (scanned != nullptr) *scanned += examined;
+  stats_.cells_scanned.fetch_add(examined, std::memory_order_relaxed);
   return out;
 }
 
@@ -203,6 +214,7 @@ Result<int64_t> StorageNode::AtomicIncrement(TableId table, uint32_t partition,
                                              std::string_view key,
                                              int64_t delta) {
   TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.atomic_increments.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
   std::unique_lock lock(part->mutex);

@@ -62,6 +62,10 @@ Result<GcStats> GarbageCollector::SweepTable(store::StorageClient* client,
     // On ConditionFailed a concurrent update already rewrote the record —
     // and performed its own eager GC in the process.
   }
+  {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    totals_.Accumulate(stats);
+  }
   return stats;
 }
 
@@ -80,6 +84,8 @@ Result<GcStats> GarbageCollector::Sweep(
     Tid lav = commit_managers_->GlobalLav();
     TELL_ASSIGN_OR_RETURN(size_t truncated, log->Truncate(client, lav));
     total.log_entries_truncated = truncated;
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    totals_.log_entries_truncated += truncated;
   }
   return total;
 }

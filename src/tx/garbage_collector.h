@@ -2,6 +2,7 @@
 #define TELL_TX_GARBAGE_COLLECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "commitmgr/commit_manager.h"
@@ -18,6 +19,14 @@ struct GcStats {
   size_t records_erased = 0;
   size_t index_entries_removed = 0;
   size_t log_entries_truncated = 0;
+
+  void Accumulate(const GcStats& other) {
+    records_rewritten += other.records_rewritten;
+    versions_removed += other.versions_removed;
+    records_erased += other.records_erased;
+    index_entries_removed += other.index_entries_removed;
+    log_entries_truncated += other.log_entries_truncated;
+  }
 };
 
 /// The lazy garbage collection strategy (paper §5.4): a background task that
@@ -43,8 +52,17 @@ class GarbageCollector {
                         const std::vector<TableHandle*>& tables,
                         const TransactionLog* log);
 
+  /// Cumulative totals across every sweep since construction (exported into
+  /// the obs::MetricsRegistry gauges `gc.*` by db::TellDb).
+  GcStats totals() const {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    return totals_;
+  }
+
  private:
   commitmgr::CommitManagerGroup* const commit_managers_;
+  mutable std::mutex totals_mutex_;
+  GcStats totals_;
 };
 
 }  // namespace tell::tx

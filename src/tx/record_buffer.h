@@ -22,6 +22,25 @@ struct FetchedRecord {
   uint64_t stamp = store::kStampAbsent;
 };
 
+/// Point-in-time copy of a shared buffer's counters (exported into the
+/// obs::MetricsRegistry gauges `buffer.shared.*` by db::TellDb). Unlike the
+/// per-worker `buffer_hits`/`buffer_misses` in sim::WorkerMetrics, these are
+/// the buffer's own view: they include evictions and write-throughs, which no
+/// single worker observes.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t write_throughs = 0;
+
+  void Accumulate(const BufferStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    write_throughs += other.write_throughs;
+  }
+};
+
 /// PN-level record buffering strategy (paper §5.5). The transaction's own
 /// private buffer (strategy TB, §5.5.1) always exists inside Transaction;
 /// an implementation of this interface optionally adds a buffer layer shared
@@ -57,6 +76,11 @@ class RecordBuffer {
   /// True if the strategy has no PN-level state, so the transaction layer
   /// may fetch groups of records itself with one batched request.
   virtual bool PrefersBatchFetch() const { return false; }
+
+  /// Adds this buffer's counters into `*out`. Strategies without PN-level
+  /// state contribute nothing (their misses are visible in the per-worker
+  /// metrics already).
+  virtual void AccumulateStats(BufferStats* out) const { (void)out; }
 };
 
 /// No shared buffering: every read (beyond the transaction's private buffer)

@@ -29,12 +29,18 @@ Result<uint64_t> Session::AllocateRid(const TableMeta* table) {
 }
 
 Transaction::Transaction(Session* session, const TxnOptions& options)
-    : session_(session), client_(session->client()), options_(options) {}
+    : session_(session),
+      client_(session->client()),
+      tracer_(session->tracer()),
+      options_(options) {}
 
 Transaction::~Transaction() {
   if (state_ == TxnState::kRunning) {
     (void)Abort();
   }
+  // Flush the per-phase virtual-time totals into the worker's histograms
+  // (idempotent; a no-op if Begin was never reached).
+  tracer_->EndTxn();
 }
 
 Status Transaction::CheckWritable(const RecordState& state) const {
@@ -49,6 +55,8 @@ Status Transaction::CheckWritable(const RecordState& state) const {
 
 Status Transaction::Begin() {
   TELL_CHECK(state_ == TxnState::kPending);
+  tracer_->BeginTxn();
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kBegin);
   // Each processing node talks to one dedicated commit manager (§4.2);
   // fail-over to the next manager is handled inside ManagerFor.
   commit_manager_ = session_->commit_managers()->ManagerFor(
@@ -75,6 +83,7 @@ Result<Transaction::RecordState*> Transaction::EnsureFetched(
   auto it = buffer_.find(key);
   if (it != buffer_.end()) return &it->second;
 
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
   RecordState state;
   state.table = table;
   auto fetched = session_->record_buffer()->Read(
@@ -95,6 +104,7 @@ Result<Transaction::RecordState*> Transaction::EnsureFetched(
 Result<std::optional<schema::Tuple>> Transaction::Read(TableHandle* table,
                                                        uint64_t rid) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
   TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
   const schema::RecordVersion* visible =
       state->record.VisibleVersion(snapshot_, tid_);
@@ -109,6 +119,7 @@ Result<std::optional<schema::Tuple>> Transaction::Read(TableHandle* table,
 Result<std::vector<std::optional<schema::Tuple>>> Transaction::BatchRead(
     TableHandle* table, const std::vector<uint64_t>& rids) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
   store::TableId data_table = table->meta->data_table;
   // Fetch everything not yet buffered, in one batched request when the
   // buffering strategy allows it.
@@ -180,6 +191,7 @@ Result<uint64_t> Transaction::Insert(TableHandle* table,
                                      const schema::Tuple& tuple,
                                      bool check_unique) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kWrite);
   for (uint32_t column : table->meta->primary.def.key_columns) {
     if (schema::ValueIsNull(tuple.at(column))) {
       return Status::InvalidArgument("primary key column '" +
@@ -214,6 +226,7 @@ Result<uint64_t> Transaction::Insert(TableHandle* table,
 Status Transaction::Update(TableHandle* table, uint64_t rid,
                            const schema::Tuple& tuple) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kWrite);
   TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
   TELL_RETURN_NOT_OK(CheckWritable(*state));
   const schema::RecordVersion* visible =
@@ -231,6 +244,7 @@ Status Transaction::Update(TableHandle* table, uint64_t rid,
 
 Status Transaction::Delete(TableHandle* table, uint64_t rid) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kWrite);
   TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
   TELL_RETURN_NOT_OK(CheckWritable(*state));
   const schema::RecordVersion* visible =
@@ -307,6 +321,9 @@ Result<std::optional<schema::Tuple>> Transaction::ValidateIndexHit(
 Result<std::vector<uint64_t>> Transaction::LookupIndex(
     TableHandle* table, int index, const std::vector<schema::Value>& key) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  // Index-lookup span; the nested record fetches of ValidateIndexHit
+  // re-attribute their time to the read phase (exclusive attribution).
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kIndexLookup);
   index::BTree* tree =
       index < 0 ? &table->primary
                 : &table->secondaries[static_cast<size_t>(index)];
@@ -383,6 +400,7 @@ Transaction::ScanIndexEncoded(TableHandle* table, int index,
                               const std::string& lo, const std::string& hi,
                               size_t limit) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kIndexLookup);
   index::BTree* tree =
       index < 0 ? &table->primary
                 : &table->secondaries[static_cast<size_t>(index)];
@@ -463,6 +481,7 @@ Transaction::FilteredScan(
     TableHandle* table,
     const std::function<bool(const schema::Tuple&)>& predicate) {
   TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
   const schema::Schema& schema = table->meta->schema;
   // The closure below executes on the storage nodes: visibility check plus
   // the pushed-down predicate, so non-matching records never hit the wire.
@@ -531,6 +550,7 @@ Status Transaction::Commit() {
   if (state_ != TxnState::kRunning) {
     return Status::InvalidArgument("transaction not running");
   }
+  obs::PhaseScope commit_span(tracer_, sim::TxnPhase::kCommit);
   client_->ChargeCpu(client_->options().cpu.per_txn_ns);
 
   std::vector<RecordKey> dirty;
@@ -555,50 +575,55 @@ Status Transaction::Commit() {
 
   // 2. Apply all buffered updates with LL/SC conditional puts. Records also
   //    get their eager version GC here (§5.4: "record GC is part of the
-  //    update process").
-  std::vector<store::WriteOp> ops;
-  ops.reserve(dirty.size());
-  for (const RecordKey& key : dirty) {
-    RecordState& state = buffer_[key];
-    state.record.CollectGarbage(lav_);
-    ops.push_back({key.first, RidKey(key.second), state.record.Serialize(),
-                   state.stamp, /*conditional=*/true, /*erase=*/false});
-  }
-  std::vector<Result<uint64_t>> results = client_->BatchWrite(ops);
-
+  //    update process"). The apply + read-set validation is the conflict
+  //    detection window, traced as the validate phase.
   std::vector<RecordKey> applied;
   std::vector<uint64_t> new_stamps(dirty.size(), 0);
-  Status failure;
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (results[i].ok()) {
-      applied.push_back(dirty[i]);
-      new_stamps[i] = *results[i];
-    } else if (failure.ok()) {
-      failure = results[i].status();
+  {
+    obs::PhaseScope validate_span(tracer_, sim::TxnPhase::kValidate);
+    std::vector<store::WriteOp> ops;
+    ops.reserve(dirty.size());
+    for (const RecordKey& key : dirty) {
+      RecordState& state = buffer_[key];
+      client_->metrics()->eager_gc_versions +=
+          state.record.CollectGarbage(lav_);
+      ops.push_back({key.first, RidKey(key.second), state.record.Serialize(),
+                     state.stamp, /*conditional=*/true, /*erase=*/false});
     }
-  }
-  if (!failure.ok()) {
-    // Write-write conflict (or storage failure): revert what was applied.
-    RollbackApplied(applied);
-    (void)commit_manager_->SetAborted(tid_);
-    state_ = TxnState::kAborted;
-    client_->metrics()->aborted += 1;
-    if (failure.IsConditionFailed()) {
-      return Status::Aborted("write-write conflict on commit");
-    }
-    return failure;
-  }
+    std::vector<Result<uint64_t>> results = client_->BatchWrite(ops);
 
-  // 2b. Serializable SI: validate the read set AFTER the writes are
-  //     installed (Silo-style ordering — see TxnOptions::serializable).
-  if (options_.serializable) {
-    Status valid = ValidateReadSet();
-    if (!valid.ok()) {
+    Status failure;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
+        applied.push_back(dirty[i]);
+        new_stamps[i] = *results[i];
+      } else if (failure.ok()) {
+        failure = results[i].status();
+      }
+    }
+    if (!failure.ok()) {
+      // Write-write conflict (or storage failure): revert what was applied.
       RollbackApplied(applied);
       (void)commit_manager_->SetAborted(tid_);
       state_ = TxnState::kAborted;
       client_->metrics()->aborted += 1;
-      return valid;
+      if (failure.IsConditionFailed()) {
+        return Status::Aborted("write-write conflict on commit");
+      }
+      return failure;
+    }
+
+    // 2b. Serializable SI: validate the read set AFTER the writes are
+    //     installed (Silo-style ordering — see TxnOptions::serializable).
+    if (options_.serializable) {
+      Status valid = ValidateReadSet();
+      if (!valid.ok()) {
+        RollbackApplied(applied);
+        (void)commit_manager_->SetAborted(tid_);
+        state_ = TxnState::kAborted;
+        client_->metrics()->aborted += 1;
+        return valid;
+      }
     }
   }
 
@@ -628,11 +653,14 @@ Status Transaction::Commit() {
   (void)commit_manager_->SetCommitted(tid_);
 
   // 5. Write-through to the PN's shared buffer (if any).
-  for (size_t i = 0; i < dirty.size(); ++i) {
-    RecordState& state = buffer_[dirty[i]];
-    session_->record_buffer()->OnApply(client_, dirty[i].first,
-                                       dirty[i].second, state.record,
-                                       new_stamps[i], tid_, snapshot_);
+  {
+    obs::PhaseScope sync_span(tracer_, sim::TxnPhase::kBufferSync);
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      RecordState& state = buffer_[dirty[i]];
+      session_->record_buffer()->OnApply(client_, dirty[i].first,
+                                         dirty[i].second, state.record,
+                                         new_stamps[i], tid_, snapshot_);
+    }
   }
 
   state_ = TxnState::kCommitted;

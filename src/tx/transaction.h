@@ -11,6 +11,7 @@
 #include "commitmgr/commit_manager.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "schema/tuple.h"
 #include "schema/versioned_record.h"
 #include "store/storage_client.h"
@@ -56,6 +57,7 @@ class Session {
   store::StorageClient* client() { return &client_; }
   sim::VirtualClock* clock() { return &clock_; }
   sim::WorkerMetrics* metrics() { return &metrics_; }
+  obs::TxnTracer* tracer() { return &tracer_; }
   const TransactionLog* log() const { return log_; }
   RecordBuffer* record_buffer() { return record_buffer_; }
   commitmgr::CommitManagerGroup* commit_managers() {
@@ -72,6 +74,9 @@ class Session {
   const uint32_t worker_id_;
   sim::VirtualClock clock_;
   sim::WorkerMetrics metrics_;
+  /// Phase tracer charging this worker's virtual time to transaction phases
+  /// (one histogram sample per phase per transaction; see obs/trace.h).
+  obs::TxnTracer tracer_{&clock_, &metrics_};
   store::StorageClient client_;
   commitmgr::CommitManagerGroup* const commit_managers_;
   const TransactionLog* const log_;
@@ -255,6 +260,7 @@ class Transaction {
 
   Session* const session_;
   store::StorageClient* const client_;
+  obs::TxnTracer* const tracer_;
   const TxnOptions options_;
   TxnState state_ = TxnState::kPending;
   Tid tid_ = 0;

@@ -40,6 +40,7 @@ Result<LogEntry> LogEntry::Deserialize(std::string_view data) {
 
 Status TransactionLog::Append(store::StorageClient* client,
                               const LogEntry& entry) const {
+  client->metrics()->log_appends += 1;
   auto put = client->ConditionalPut(table_, EncodeOrderedU64(entry.tid),
                                     store::kStampAbsent, entry.Serialize());
   if (put.status().IsConditionFailed()) {

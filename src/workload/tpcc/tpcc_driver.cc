@@ -101,6 +101,10 @@ Result<DriverResult> RunTpcc(TpccBackend* backend,
   result.buffer_hit_rate = result.merged.BufferHitRate();
   result.mean_response_ms = result.merged.response_time.Mean() / 1e6;
   result.std_response_ms = result.merged.response_time.StdDev() / 1e6;
+  result.p50_response_ms =
+      static_cast<double>(result.merged.response_time.Percentile(50)) / 1e6;
+  result.p95_response_ms =
+      static_cast<double>(result.merged.response_time.Percentile(95)) / 1e6;
   result.p99_response_ms =
       static_cast<double>(result.merged.response_time.Percentile(99)) / 1e6;
   result.p999_response_ms =

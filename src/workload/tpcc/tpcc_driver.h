@@ -75,6 +75,8 @@ struct DriverResult {
   double abort_rate = 0;
   double mean_response_ms = 0;
   double std_response_ms = 0;
+  double p50_response_ms = 0;
+  double p95_response_ms = 0;
   double p99_response_ms = 0;
   double p999_response_ms = 0;
   double buffer_hit_rate = 0;

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench artifacts against schema v1.
+
+Schema v1 (produced by obs::BenchReport, documented in
+src/obs/bench_export.h and DESIGN.md "Observability"):
+
+  { "schema_version": 1,
+    "bench": "<name>",
+    "config": { "<key>": "<string>", ... },
+    "runs": [ { "label": "<string>",
+                "derived":    { "<key>": number, ... },
+                "counters":   { "<metric>": integer>=0, ... },
+                "gauges":     { "<metric>": integer>=0, ... },
+                "histograms": { "<metric>": {
+                    "unit": "<string>", "count": int, "min": int,
+                    "max": int, "mean": num, "stddev": num,
+                    "p50": int, "p95": int, "p99": int }, ... },
+                "nodes":      { "<node>": { "<counter>": int } } },  # optional
+              ... ] }
+
+Usage:
+  check_bench_json.py FILE...            validate artifact files
+  check_bench_json.py --run BIN --workdir DIR
+                                         run a bench binary in DIR, then
+                                         validate every BENCH_*.json there
+  check_bench_json.py --selftest         exercise the validator itself
+
+Exit code 0 when every artifact is valid, 1 otherwise. No third-party
+dependencies — standard library only.
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+
+HISTOGRAM_KEYS = {
+    "unit": str,
+    "count": int,
+    "min": int,
+    "max": int,
+    "mean": (int, float),
+    "stddev": (int, float),
+    "p50": int,
+    "p95": int,
+    "p99": int,
+}
+
+
+def _fail(errors, path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def _check_str_map(errors, path, obj, value_types, what):
+    if not isinstance(obj, dict):
+        _fail(errors, path, f"{what} must be an object, got {type(obj).__name__}")
+        return
+    for key, value in obj.items():
+        if not isinstance(key, str) or not key:
+            _fail(errors, path, f"{what} has a non-string/empty key: {key!r}")
+        if not isinstance(value, value_types) or isinstance(value, bool):
+            _fail(errors, path,
+                  f"{what}[{key!r}] must be {value_types}, got {value!r}")
+
+
+def _check_histogram(errors, path, name, hist):
+    if not isinstance(hist, dict):
+        _fail(errors, path, f"histograms[{name!r}] must be an object")
+        return
+    for key, expected in HISTOGRAM_KEYS.items():
+        if key not in hist:
+            _fail(errors, path, f"histograms[{name!r}] missing {key!r}")
+            continue
+        value = hist[key]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            _fail(errors, path,
+                  f"histograms[{name!r}][{key!r}] must be {expected}, "
+                  f"got {value!r}")
+    extra = set(hist) - set(HISTOGRAM_KEYS)
+    if extra:
+        _fail(errors, path, f"histograms[{name!r}] has unknown keys {sorted(extra)}")
+    if isinstance(hist.get("count"), int) and hist["count"] > 0:
+        lo, hi = hist.get("min"), hist.get("max")
+        if isinstance(lo, int) and isinstance(hi, int) and lo > hi:
+            _fail(errors, path, f"histograms[{name!r}]: min {lo} > max {hi}")
+        for a, b in [("p50", "p95"), ("p95", "p99")]:
+            va, vb = hist.get(a), hist.get(b)
+            if isinstance(va, int) and isinstance(vb, int) and va > vb:
+                _fail(errors, path,
+                      f"histograms[{name!r}]: {a} {va} > {b} {vb}")
+
+
+def _check_run(errors, path, index, run):
+    rpath = f"{path} runs[{index}]"
+    if not isinstance(run, dict):
+        _fail(errors, rpath, "must be an object")
+        return
+    label = run.get("label")
+    if not isinstance(label, str) or not label:
+        _fail(errors, rpath, f"label must be a non-empty string, got {label!r}")
+    for section in ("derived", "counters", "gauges", "histograms"):
+        if section not in run:
+            _fail(errors, rpath, f"missing {section!r}")
+    _check_str_map(errors, rpath, run.get("derived", {}), (int, float), "derived")
+    _check_str_map(errors, rpath, run.get("counters", {}), int, "counters")
+    _check_str_map(errors, rpath, run.get("gauges", {}), int, "gauges")
+    hists = run.get("histograms", {})
+    if not isinstance(hists, dict):
+        _fail(errors, rpath, "histograms must be an object")
+    else:
+        for name, hist in hists.items():
+            _check_histogram(errors, rpath, name, hist)
+    if "nodes" in run:
+        nodes = run["nodes"]
+        if not isinstance(nodes, dict):
+            _fail(errors, rpath, "nodes must be an object")
+        else:
+            for node, counters in nodes.items():
+                _check_str_map(errors, rpath, counters, int,
+                               f"nodes[{node!r}]")
+    known = {"label", "derived", "counters", "gauges", "histograms", "nodes"}
+    extra = set(run) - known
+    if extra:
+        _fail(errors, rpath, f"unknown keys {sorted(extra)}")
+
+
+def validate(path, doc):
+    """Returns a list of error strings; empty means valid."""
+    errors = []
+    if not isinstance(doc, dict):
+        _fail(errors, path, "top level must be an object")
+        return errors
+    if doc.get("schema_version") != 1:
+        _fail(errors, path,
+              f"schema_version must be 1, got {doc.get('schema_version')!r}")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        _fail(errors, path, f"bench must be a non-empty string, got {bench!r}")
+    _check_str_map(errors, path, doc.get("config", {}), str, "config")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        _fail(errors, path, "runs must be a non-empty array")
+        return errors
+    labels = set()
+    for i, run in enumerate(runs):
+        _check_run(errors, path, i, run)
+        if isinstance(run, dict) and isinstance(run.get("label"), str):
+            if run["label"] in labels:
+                _fail(errors, path, f"duplicate run label {run['label']!r}")
+            labels.add(run["label"])
+    known = {"schema_version", "bench", "config", "runs"}
+    extra = set(doc) - known
+    if extra:
+        _fail(errors, path, f"unknown top-level keys {sorted(extra)}")
+    return errors
+
+
+def validate_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    return validate(path, doc)
+
+
+def selftest():
+    good = {
+        "schema_version": 1,
+        "bench": "t",
+        "config": {"mix": "x"},
+        "runs": [{
+            "label": "r",
+            "derived": {"tpmc": 1.5},
+            "counters": {"tx.committed": 3},
+            "gauges": {"g": 0},
+            "histograms": {"h": {"unit": "ns", "count": 1, "min": 2,
+                                 "max": 3, "mean": 2.5, "stddev": 0.5,
+                                 "p50": 2, "p95": 3, "p99": 3}},
+            "nodes": {"sn0": {"gets": 1}},
+        }],
+    }
+    assert validate("good", good) == [], validate("good", good)
+
+    import copy
+    bad_cases = [
+        ("schema_version", lambda d: d.update(schema_version=2)),
+        ("missing bench", lambda d: d.pop("bench")),
+        ("empty runs", lambda d: d.update(runs=[])),
+        ("counter float", lambda d: d["runs"][0]["counters"].update(x=1.5)),
+        ("hist missing p99",
+         lambda d: d["runs"][0]["histograms"]["h"].pop("p99")),
+        ("hist p50>p95",
+         lambda d: d["runs"][0]["histograms"]["h"].update(p50=9)),
+        ("dup label", lambda d: d["runs"].append(copy.deepcopy(d["runs"][0]))),
+        ("unknown run key", lambda d: d["runs"][0].update(bogus=1)),
+        ("node counter str",
+         lambda d: d["runs"][0]["nodes"]["sn0"].update(gets="no")),
+    ]
+    for name, mutate in bad_cases:
+        doc = copy.deepcopy(good)
+        mutate(doc)
+        assert validate(name, doc), f"selftest: {name!r} not rejected"
+    print("selftest ok:", 1 + len(bad_cases), "cases")
+    return 0
+
+
+def main(argv):
+    if "--selftest" in argv:
+        return selftest()
+
+    paths = []
+    if "--run" in argv:
+        i = argv.index("--run")
+        binary = argv[i + 1]
+        workdir = "."
+        if "--workdir" in argv:
+            workdir = argv[argv.index("--workdir") + 1]
+        os.makedirs(workdir, exist_ok=True)
+        for stale in glob.glob(os.path.join(workdir, "BENCH_*.json")):
+            os.remove(stale)
+        result = subprocess.run([os.path.abspath(binary)], cwd=workdir,
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT)
+        sys.stdout.buffer.write(result.stdout)
+        if result.returncode != 0:
+            print(f"error: {binary} exited {result.returncode}")
+            return 1
+        paths = sorted(glob.glob(os.path.join(workdir, "BENCH_*.json")))
+        if not paths:
+            print(f"error: {binary} wrote no BENCH_*.json in {workdir}")
+            return 1
+    else:
+        paths = [a for a in argv[1:] if not a.startswith("--")]
+        if not paths:
+            print(__doc__)
+            return 1
+
+    failed = False
+    for path in paths:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print("error:", error)
+        else:
+            print(f"ok: {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
