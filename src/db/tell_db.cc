@@ -8,12 +8,20 @@ namespace tell::db {
 
 namespace {
 
-store::ClientOptions MakeClientOptions(const TellDbOptions& options) {
+store::ClientOptions MakeClientOptions(const TellDbOptions& options,
+                                       uint32_t pn_id, uint32_t worker_id,
+                                       bool with_faults) {
   store::ClientOptions client;
   client.network = options.network;
   client.cpu = options.cpu;
   client.batching = options.batching;
   client.replication_extra_hops = options.replication_factor - 1;
+  client.retry = options.retry;
+  // Distinct per-worker jitter streams that stay reproducible run-to-run.
+  client.retry_seed = options.retry_seed ^
+                      (static_cast<uint64_t>(pn_id) * 0x9E3779B97F4A7C15ULL) ^
+                      (static_cast<uint64_t>(worker_id) << 32);
+  client.fault_injector = with_faults ? options.fault_injector : nullptr;
   return client;
 }
 
@@ -49,8 +57,11 @@ TellDb::TellDb(const TellDbOptions& options)
   admin_buffer_ = std::make_unique<tx::PassthroughBuffer>();
   admin_session_ = std::make_unique<tx::Session>(
       /*pn_id=*/UINT32_MAX, /*worker_id=*/0, cluster_.get(),
-      management_.get(), MakeClientOptions(options_), commit_managers_.get(),
-      log_.get(), admin_buffer_.get(), options_.session);
+      management_.get(),
+      MakeClientOptions(options_, /*pn_id=*/UINT32_MAX, /*worker_id=*/0,
+                        /*with_faults=*/false),
+      commit_managers_.get(), log_.get(), admin_buffer_.get(),
+      options_.session);
 
   for (uint32_t i = 0; i < options_.num_processing_nodes; ++i) {
     AddProcessingNode();
@@ -129,8 +140,9 @@ std::unique_ptr<tx::Session> TellDb::OpenSession(uint32_t pn_id,
   TELL_CHECK(pns_[pn_id]->alive);
   return std::make_unique<tx::Session>(
       pn_id, worker_id, cluster_.get(), management_.get(),
-      MakeClientOptions(options_), commit_managers_.get(), log_.get(),
-      pns_[pn_id]->buffer.get(), options_.session);
+      MakeClientOptions(options_, pn_id, worker_id, /*with_faults=*/true),
+      commit_managers_.get(), log_.get(), pns_[pn_id]->buffer.get(),
+      options_.session);
 }
 
 Result<tx::TableHandle*> TellDb::GetTable(uint32_t pn_id,
@@ -336,6 +348,16 @@ void TellDb::ExportStats(obs::MetricsRegistry* registry) const {
   registry->SetGauge("gc.records_erased", gc.records_erased);
   registry->SetGauge("gc.index_entries_removed", gc.index_entries_removed);
   registry->SetGauge("gc.log_entries_truncated", gc.log_entries_truncated);
+
+  if (options_.fault_injector != nullptr) {
+    sim::FaultStats fs = options_.fault_injector->stats();
+    registry->SetGauge("fault.requests_seen", fs.requests_seen);
+    registry->SetGauge("fault.injected", fs.injected);
+    registry->SetGauge("fault.dropped_requests", fs.dropped_requests);
+    registry->SetGauge("fault.dropped_responses", fs.dropped_responses);
+    registry->SetGauge("fault.latency_spikes", fs.latency_spikes);
+    registry->SetGauge("fault.node_kills", fs.node_kills);
+  }
 }
 
 std::vector<std::pair<std::string,

@@ -62,6 +62,17 @@ struct TellDbOptions {
   uint64_t memory_per_storage_node = 4ULL << 30;
   uint32_t partitions_per_storage_node = 4;
 
+  /// Retry/backoff policy every worker's StorageClient uses on Unavailable
+  /// (fail-over, injected faults).
+  store::RetryPolicy retry;
+  /// Base seed for the per-worker retry-jitter RNGs; each session derives
+  /// its own seed from (base, pn_id, worker_id).
+  uint64_t retry_seed = 0x7E11;
+  /// Optional fault injector (not owned; must outlive the database). Worker
+  /// sessions consult it on every storage request; the admin session (DDL,
+  /// recovery, GC) is exempt so recovery itself stays deterministic.
+  sim::FaultInjector* fault_injector = nullptr;
+
   tx::SessionOptions session;
 };
 

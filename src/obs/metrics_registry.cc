@@ -55,6 +55,19 @@ const BuiltinGauge kBuiltinGauges[] = {
      "obsolete index entries removed by lazy GC sweeps"},
     {"gc.log_entries_truncated", "entries",
      "transaction log entries truncated below the lav"},
+    // Fault-injection totals (sim::FaultInjector::stats, when a fault plan
+    // is attached to the database; all zero otherwise).
+    {"fault.requests_seen", "requests",
+     "storage requests evaluated by the fault injector"},
+    {"fault.injected", "faults", "fault-rule firings of any kind"},
+    {"fault.dropped_requests", "requests",
+     "requests dropped before reaching storage (injected)"},
+    {"fault.dropped_responses", "requests",
+     "responses dropped after execution (injected, ambiguous outcome)"},
+    {"fault.latency_spikes", "requests",
+     "requests charged an injected latency spike"},
+    {"fault.node_kills", "nodes",
+     "storage nodes crash-stopped by the fault plan"},
 };
 
 }  // namespace

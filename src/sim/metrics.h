@@ -63,6 +63,25 @@ struct WorkerMetrics {
   /// Record versions removed by eager GC while serializing the write set
   /// (§5.4: "record GC is part of the update process").
   uint64_t eager_gc_versions = 0;
+  /// Storage requests re-issued after an Unavailable response (fail-over or
+  /// injected fault) by the client's RetryPolicy.
+  uint64_t storage_retries = 0;
+  /// Requests that stayed Unavailable after the retry budget was spent.
+  uint64_t storage_retries_exhausted = 0;
+  /// Virtual time spent backing off between retry attempts.
+  uint64_t retry_backoff_ns = 0;
+  /// Ambiguous conditional writes/erases whose outcome was settled by a
+  /// re-read instead of a blind re-issue.
+  uint64_t ambiguous_resolved = 0;
+  /// Commit rollbacks that abandoned at least one record revert after
+  /// exhausting retries (leaves a version for lazy GC to collect).
+  uint64_t rollback_unresolved = 0;
+  /// Commits whose log commit-flag write failed after retries; the
+  /// transaction is rolled back and aborted (the log flag is the source of
+  /// truth for commit).
+  uint64_t commit_flag_failures = 0;
+  /// Index entries removed while rolling back a failed commit.
+  uint64_t index_rollbacks = 0;
 
   /// Transaction response time distribution (virtual ns).
   Histogram response_time;
@@ -136,6 +155,27 @@ inline const std::vector<WorkerCounterField>& WorkerCounterFields() {
       {"gc.eager_versions_removed", "versions",
        "record versions removed by eager GC at commit",
        &WorkerMetrics::eager_gc_versions},
+      {"store.retries", "requests",
+       "storage requests re-issued after Unavailable (RetryPolicy)",
+       &WorkerMetrics::storage_retries},
+      {"store.retries_exhausted", "requests",
+       "requests still Unavailable after the retry budget",
+       &WorkerMetrics::storage_retries_exhausted},
+      {"store.retry_backoff_ns", "ns",
+       "virtual time spent in retry backoff",
+       &WorkerMetrics::retry_backoff_ns},
+      {"store.ambiguous_resolved", "ops",
+       "ambiguous conditional writes settled by re-read",
+       &WorkerMetrics::ambiguous_resolved},
+      {"tx.rollback_unresolved", "records",
+       "record reverts abandoned after retries during commit rollback",
+       &WorkerMetrics::rollback_unresolved},
+      {"tx.commit_flag_failures", "txns",
+       "commits aborted because the log commit flag could not be written",
+       &WorkerMetrics::commit_flag_failures},
+      {"tx.index_rollbacks", "entries",
+       "index entries removed while rolling back a failed commit",
+       &WorkerMetrics::index_rollbacks},
   };
   return kFields;
 }

@@ -1,0 +1,50 @@
+#ifndef TELL_STORE_RETRY_POLICY_H_
+#define TELL_STORE_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace tell::store {
+
+/// The one retry/backoff policy every StorageClient path uses when a storage
+/// request fails with Unavailable (node crash, fail-over in progress, or an
+/// injected fault). Replaces the former scattered "one retry after
+/// fail-over" pattern.
+///
+/// Attempts are bounded; between attempts the worker backs off in *virtual*
+/// time (exponential with full jitter drawn from the client's seeded RNG, so
+/// runs stay reproducible). Whether a failed attempt may simply be
+/// re-issued depends on the op class: reads, scans and unconditional writes
+/// are idempotent; conditional writes with a lost response are *ambiguous*
+/// (the write may have applied) and are re-read before re-issuing — see
+/// StorageClient's resolution logic.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = never retry).
+  uint32_t max_attempts = 4;
+  /// Backoff before the first retry, virtual ns.
+  uint64_t initial_backoff_ns = 200'000;  // 0.2 ms
+  /// Exponential growth factor per retry.
+  double multiplier = 2.0;
+  /// Backoff ceiling, virtual ns.
+  uint64_t max_backoff_ns = 10'000'000;  // 10 ms
+  /// Jitter: the charged backoff is uniform in
+  /// [(1 - jitter) * b, b] for computed backoff b. 0 = deterministic b.
+  double jitter = 0.5;
+
+  /// Backoff (virtual ns) to charge before retry number `retry` (1-based),
+  /// with jitter drawn from `rng`.
+  uint64_t BackoffNs(uint32_t retry, Random* rng) const {
+    double b = static_cast<double>(initial_backoff_ns);
+    for (uint32_t i = 1; i < retry; ++i) b *= multiplier;
+    if (b > static_cast<double>(max_backoff_ns)) {
+      b = static_cast<double>(max_backoff_ns);
+    }
+    double lo = b * (1.0 - jitter);
+    return static_cast<uint64_t>(lo + (b - lo) * rng->NextDouble());
+  }
+};
+
+}  // namespace tell::store
+
+#endif  // TELL_STORE_RETRY_POLICY_H_

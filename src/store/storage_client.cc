@@ -53,21 +53,99 @@ void StorageClient::ChargeReplication(uint64_t num_writes) {
                    options_.network.software_overhead_ns));
 }
 
-bool StorageClient::HandleUnavailable(const Status& status) {
-  if (!status.IsUnavailable() || management_ == nullptr) return false;
-  auto recovered = management_->DetectAndRecover();
-  // Fail-over takes time: consulting the lookup service is another trip.
-  ChargeRequest(64, 64);
-  return recovered.ok() && *recovered > 0;
+Result<VersionedCell> StorageClient::GetWithRetry(TableId table,
+                                                  std::string_view key) {
+  return IssueWithRetry(sim::FaultOpClass::kGet, table,
+                        [&] { return cluster_->Get(table, key); });
+}
+
+Result<uint64_t> StorageClient::PutWithRetry(TableId table,
+                                             std::string_view key,
+                                             std::string_view value) {
+  // Unconditional puts are idempotent in value (a re-applied put just mints
+  // a fresh stamp), so a lost response is resolved by re-issuing.
+  return IssueWithRetry(sim::FaultOpClass::kPut, table,
+                        [&] { return cluster_->Put(table, key, value); });
+}
+
+Result<uint64_t> StorageClient::ConditionalPutWithRetry(
+    TableId table, std::string_view key, uint64_t expected_stamp,
+    std::string_view value) {
+  auto send = [&] {
+    return cluster_->ConditionalPut(table, key, expected_stamp, value);
+  };
+  // A conditional put with a lost response is ambiguous: blindly re-issuing
+  // after it DID apply would see its own stamp and report ConditionFailed,
+  // turning a committed write into a spurious abort. So before each
+  // re-issue, re-read the cell and decide:
+  //   * stamp still == expected  -> nothing applied, safe to re-issue;
+  //   * cell holds OUR value     -> the lost write applied; its (observed)
+  //                                 stamp is the success result;
+  //   * anything else            -> a concurrent writer won: genuine
+  //                                 ConditionFailed.
+  auto resolve = [&]() -> std::optional<Result<uint64_t>> {
+    auto cell = GetWithRetry(table, key);
+    ChargeRequest(key.size() + kPerOpHeaderBytes,
+                  cell.ok() ? cell->value.size() + 8 : 8);
+    if (!cell.ok()) {
+      if (cell.status().IsNotFound()) {
+        if (expected_stamp == kStampAbsent) return std::nullopt;
+        return std::optional<Result<uint64_t>>(Status::ConditionFailed(
+            "cell erased during ambiguous conditional put"));
+      }
+      return std::nullopt;  // unresolved; the stamp check keeps a re-issue safe
+    }
+    if (cell->stamp == expected_stamp) return std::nullopt;  // not applied
+    if (cell->value == value) {
+      return std::optional<Result<uint64_t>>(uint64_t{cell->stamp});
+    }
+    return std::optional<Result<uint64_t>>(Status::ConditionFailed(
+        "concurrent write superseded ambiguous conditional put"));
+  };
+  return IssueWithRetry(sim::FaultOpClass::kConditionalPut, table, send,
+                        resolve);
+}
+
+Status StorageClient::EraseWithRetry(TableId table, std::string_view key) {
+  auto send = [&] { return cluster_->Erase(table, key); };
+  // The postcondition of an erase is "key absent", so an ambiguous attempt
+  // resolves by re-reading: absent -> done.
+  auto resolve = [&]() -> std::optional<Status> {
+    auto cell = GetWithRetry(table, key);
+    ChargeRequest(key.size() + kPerOpHeaderBytes, 8);
+    if (cell.status().IsNotFound()) return Status::OK();
+    return std::nullopt;
+  };
+  return IssueWithRetry(sim::FaultOpClass::kErase, table, send, resolve);
+}
+
+Status StorageClient::ConditionalEraseWithRetry(TableId table,
+                                                std::string_view key,
+                                                uint64_t expected_stamp) {
+  auto send = [&] {
+    return cluster_->ConditionalErase(table, key, expected_stamp);
+  };
+  // Same ambiguity as the conditional put: absent -> our erase applied;
+  // stamp unchanged -> not applied, re-issue; new stamp -> someone else
+  // wrote, genuine ConditionFailed.
+  auto resolve = [&]() -> std::optional<Status> {
+    auto cell = GetWithRetry(table, key);
+    ChargeRequest(key.size() + kPerOpHeaderBytes,
+                  cell.ok() ? cell->value.size() + 8 : 8);
+    if (cell.status().IsNotFound()) return Status::OK();
+    if (!cell.ok()) return std::nullopt;
+    if (cell->stamp == expected_stamp) return std::nullopt;  // not applied
+    return Status::ConditionFailed(
+        "cell overwritten during ambiguous conditional erase");
+  };
+  return IssueWithRetry(sim::FaultOpClass::kConditionalErase, table, send,
+                        resolve);
 }
 
 Result<VersionedCell> StorageClient::Get(TableId table, std::string_view key) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
-  auto result = cluster_->Get(table, key);
-  if (!result.ok() && HandleUnavailable(result.status())) {
-    result = cluster_->Get(table, key);
-  }
+  auto result = GetWithRetry(table, key);
   uint64_t response_bytes = result.ok() ? result->value.size() + 8 : 8;
   ChargeRequest(key.size() + kPerOpHeaderBytes, response_bytes);
   return result;
@@ -83,13 +161,9 @@ std::vector<Result<VersionedCell>> StorageClient::BatchGet(
   if (!options_.batching) {
     // Ablation mode: one sequential round trip per logical op.
     for (const auto& op : ops) {
-      auto result = cluster_->Get(op.table, op.key);
-      if (!result.ok() && HandleUnavailable(result.status())) {
-        result = cluster_->Get(op.table, op.key);
-      }
+      auto result = GetWithRetry(op.table, op.key);
       uint64_t response_bytes = result.ok() ? result->value.size() + 8 : 8;
       ChargeRequest(op.key.size() + kPerOpHeaderBytes, response_bytes);
-      metrics_->storage_requests += 0;  // already counted by ChargeRequest
       results.push_back(std::move(result));
     }
     return results;
@@ -99,10 +173,7 @@ std::vector<Result<VersionedCell>> StorageClient::BatchGet(
   std::map<uint32_t, std::pair<uint64_t, uint64_t>> group_bytes;
   std::map<uint32_t, uint64_t> group_ops;
   for (const auto& op : ops) {
-    auto result = cluster_->Get(op.table, op.key);
-    if (!result.ok() && HandleUnavailable(result.status())) {
-      result = cluster_->Get(op.table, op.key);
-    }
+    auto result = GetWithRetry(op.table, op.key);
     auto master = cluster_->MasterOf(op.table, op.key);
     uint32_t node = master.ok() ? *master : 0;
     auto& [req, resp] = group_bytes[node];
@@ -125,10 +196,7 @@ Result<uint64_t> StorageClient::Put(TableId table, std::string_view key,
                                     std::string_view value) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
-  auto result = cluster_->Put(table, key, value);
-  if (!result.ok() && HandleUnavailable(result.status())) {
-    result = cluster_->Put(table, key, value);
-  }
+  auto result = PutWithRetry(table, key, value);
   ChargeRequest(key.size() + value.size() + kPerOpHeaderBytes, 16);
   ChargeReplication(1);
   return result;
@@ -140,10 +208,7 @@ Result<uint64_t> StorageClient::ConditionalPut(TableId table,
                                                std::string_view value) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
-  auto result = cluster_->ConditionalPut(table, key, expected_stamp, value);
-  if (!result.ok() && HandleUnavailable(result.status())) {
-    result = cluster_->ConditionalPut(table, key, expected_stamp, value);
-  }
+  auto result = ConditionalPutWithRetry(table, key, expected_stamp, value);
   if (result.status().IsConditionFailed()) metrics_->llsc_failures += 1;
   ChargeRequest(key.size() + value.size() + kPerOpHeaderBytes, 16);
   if (result.ok()) ChargeReplication(1);
@@ -153,10 +218,7 @@ Result<uint64_t> StorageClient::ConditionalPut(TableId table,
 Status StorageClient::Erase(TableId table, std::string_view key) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
-  Status status = cluster_->Erase(table, key);
-  if (HandleUnavailable(status)) {
-    status = cluster_->Erase(table, key);
-  }
+  Status status = EraseWithRetry(table, key);
   ChargeRequest(key.size() + kPerOpHeaderBytes, 16);
   if (status.ok()) ChargeReplication(1);
   return status;
@@ -166,10 +228,7 @@ Status StorageClient::ConditionalErase(TableId table, std::string_view key,
                                        uint64_t expected_stamp) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
-  Status status = cluster_->ConditionalErase(table, key, expected_stamp);
-  if (HandleUnavailable(status)) {
-    status = cluster_->ConditionalErase(table, key, expected_stamp);
-  }
+  Status status = ConditionalEraseWithRetry(table, key, expected_stamp);
   if (status.IsConditionFailed()) metrics_->llsc_failures += 1;
   ChargeRequest(key.size() + kPerOpHeaderBytes, 16);
   if (status.ok()) ChargeReplication(1);
@@ -184,26 +243,18 @@ std::vector<Result<uint64_t>> StorageClient::BatchWrite(
   clock_->Advance(options_.cpu.per_op_ns * ops.size());
 
   auto apply = [&](const WriteOp& op) -> Result<uint64_t> {
-    auto once = [&]() -> Result<uint64_t> {
-      if (op.erase) {
-        Status st = op.conditional
-                        ? cluster_->ConditionalErase(op.table, op.key,
-                                                     op.expected_stamp)
-                        : cluster_->Erase(op.table, op.key);
-        if (!st.ok()) return st;
-        return uint64_t{0};
-      }
-      if (op.conditional) {
-        return cluster_->ConditionalPut(op.table, op.key, op.expected_stamp,
-                                        op.value);
-      }
-      return cluster_->Put(op.table, op.key, op.value);
-    };
-    Result<uint64_t> result = once();
-    if (!result.ok() && HandleUnavailable(result.status())) {
-      result = once();  // one retry after fail-over
+    if (op.erase) {
+      Status st = op.conditional ? ConditionalEraseWithRetry(op.table, op.key,
+                                                             op.expected_stamp)
+                                 : EraseWithRetry(op.table, op.key);
+      if (!st.ok()) return st;
+      return uint64_t{0};
     }
-    return result;
+    if (op.conditional) {
+      return ConditionalPutWithRetry(op.table, op.key, op.expected_stamp,
+                                     op.value);
+    }
+    return PutWithRetry(op.table, op.key, op.value);
   };
 
   if (!options_.batching) {
@@ -250,10 +301,9 @@ Result<std::vector<KeyCell>> StorageClient::Scan(TableId table,
                                                  size_t limit, bool reverse) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
-  auto result = cluster_->Scan(table, start_key, end_key, limit, reverse);
-  if (!result.ok() && HandleUnavailable(result.status())) {
-    result = cluster_->Scan(table, start_key, end_key, limit, reverse);
-  }
+  auto result = IssueWithRetry(sim::FaultOpClass::kScan, table, [&] {
+    return cluster_->Scan(table, start_key, end_key, limit, reverse);
+  });
   uint64_t response_bytes = 16;
   if (result.ok()) {
     for (const auto& cell : *result) {
@@ -280,12 +330,11 @@ Result<std::vector<KeyCell>> StorageClient::PushdownScan(
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
   uint64_t scanned = 0;
-  auto result = cluster_->ScanFiltered(table, start_key, end_key, limit,
-                                       predicate, &scanned);
-  if (!result.ok() && HandleUnavailable(result.status())) {
-    result = cluster_->ScanFiltered(table, start_key, end_key, limit,
-                                    predicate, &scanned);
-  }
+  auto result = IssueWithRetry(sim::FaultOpClass::kScan, table, [&] {
+    scanned = 0;  // a retried attempt re-examines the range from scratch
+    return cluster_->ScanFiltered(table, start_key, end_key, limit, predicate,
+                                  &scanned);
+  });
   // Only the MATCHING cells travel over the network; the examined cells
   // cost storage-node CPU, modelled as a per-record scan cost added to the
   // response latency (a dedicated scan thread would hide most of it, §5.2).
@@ -314,10 +363,9 @@ Result<int64_t> StorageClient::AtomicIncrement(TableId table,
                                                int64_t delta) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
-  auto result = cluster_->AtomicIncrement(table, key, delta);
-  if (!result.ok() && HandleUnavailable(result.status())) {
-    result = cluster_->AtomicIncrement(table, key, delta);
-  }
+  auto result =
+      IssueWithRetry(sim::FaultOpClass::kAtomicIncrement, table,
+                     [&] { return cluster_->AtomicIncrement(table, key, delta); });
   ChargeRequest(key.size() + 8 + kPerOpHeaderBytes, 16);
   return result;
 }

@@ -2,16 +2,21 @@
 #define TELL_STORE_STORAGE_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "sim/fault_injector.h"
 #include "sim/metrics.h"
 #include "sim/network_model.h"
 #include "sim/virtual_clock.h"
 #include "store/cluster.h"
 #include "store/management_node.h"
+#include "store/retry_policy.h"
 
 namespace tell::store {
 
@@ -45,6 +50,16 @@ struct ClientOptions {
   /// Extra round trips charged per write for synchronous replication
   /// (master -> backup chain). Set from the cluster's replication factor.
   uint32_t replication_extra_hops = 0;
+  /// Unified retry/backoff policy for Unavailable failures (fail-over,
+  /// injected faults). Shared by every request path of the client.
+  RetryPolicy retry;
+  /// Seed of the client's private RNG (backoff jitter). Give each worker a
+  /// distinct seed for reproducible-yet-decorrelated backoff.
+  uint64_t retry_seed = 0xC0FFEE;
+  /// Optional deterministic fault injection: consulted once per storage
+  /// request. Not owned; shared by all clients of a cluster. nullptr = no
+  /// faults.
+  sim::FaultInjector* fault_injector = nullptr;
 };
 
 /// The storage interface of a processing node worker (paper Fig. 3,
@@ -55,6 +70,13 @@ struct ClientOptions {
 /// VirtualClock and updates its WorkerMetrics, which is how all benchmark
 /// figures are produced. Each worker thread owns its own StorageClient, so
 /// nothing here needs synchronization.
+///
+/// Failure handling: every request path funnels through one retry loop
+/// driven by ClientOptions::retry. An Unavailable response triggers
+/// fail-over through the management node, an exponential backoff in virtual
+/// time (jitter from the client's seeded RNG), and — for conditional writes
+/// and erases, whose lost responses are ambiguous — a re-read that decides
+/// whether the write applied before the op is re-issued.
 class StorageClient {
  public:
   StorageClient(Cluster* cluster, ManagementNode* management,
@@ -64,7 +86,8 @@ class StorageClient {
         management_(management),
         options_(options),
         clock_(clock),
-        metrics_(metrics) {}
+        metrics_(metrics),
+        rng_(options.retry_seed) {}
 
   StorageClient(const StorageClient&) = delete;
   StorageClient& operator=(const StorageClient&) = delete;
@@ -117,7 +140,9 @@ class StorageClient {
       const std::function<bool(std::string_view, std::string_view)>& predicate,
       uint64_t filter_descriptor_bytes = 64);
 
-  /// Atomic fetch-add on a counter cell (one round trip).
+  /// Atomic fetch-add on a counter cell (one round trip). NOT idempotent:
+  /// a retried ambiguous increment may apply twice. All in-tree uses hand
+  /// out id ranges, where a double-applied increment merely skips ids.
   Result<int64_t> AtomicIncrement(TableId table, std::string_view key,
                                   int64_t delta);
 
@@ -140,15 +165,103 @@ class StorageClient {
                                   per_request_bytes);
   void ChargeReplication(uint64_t num_writes);
 
-  /// Routes Unavailable errors through the management node once (fail-over)
-  /// and signals the caller to retry.
-  bool HandleUnavailable(const Status& status);
+  // NB: Result::status() returns by value, so these must too.
+  static Status StatusOf(const Status& status) { return status; }
+  template <typename T>
+  static Status StatusOf(const Result<T>& result) {
+    return result.status();
+  }
+
+  /// Issues one request against the cluster with the fault plan applied:
+  /// may crash-stop a node, charge a latency spike, drop the request
+  /// (nothing executed) or drop the response (executed, outcome lost).
+  template <typename Send>
+  auto IssueOnce(sim::FaultOpClass op, TableId table, Send&& send)
+      -> decltype(send()) {
+    if (options_.fault_injector == nullptr) return send();
+    sim::FaultInjector::Decision d =
+        options_.fault_injector->OnRequest(op, table);
+    if (d.kill_node >= 0 &&
+        d.kill_node < static_cast<int64_t>(cluster_->num_nodes())) {
+      cluster_->node(static_cast<uint32_t>(d.kill_node))->Kill();
+    }
+    if (d.extra_latency_ns > 0) clock_->Advance(d.extra_latency_ns);
+    if (d.drop_request) {
+      return Status::Unavailable("injected fault: request dropped");
+    }
+    auto result = send();
+    if (d.drop_response) {
+      return Status::Unavailable(
+          "injected fault: response dropped (ambiguous outcome)");
+    }
+    return result;
+  }
+
+  /// The single retry loop every path uses. `send` issues the request;
+  /// `resolve` is consulted after an Unavailable attempt and before the
+  /// re-issue: it returns a final result if it can prove the ambiguous
+  /// write's outcome (applied / superseded), or nullopt to re-issue.
+  template <typename Send, typename Resolve>
+  auto IssueWithRetry(sim::FaultOpClass op, TableId table, Send&& send,
+                      Resolve&& resolve) -> decltype(send()) {
+    auto result = IssueOnce(op, table, send);
+    for (uint32_t retry = 1; StatusOf(result).IsUnavailable() &&
+                             retry < options_.retry.max_attempts;
+         ++retry) {
+      // Fail-over first: a dead master stays dead until the management node
+      // promotes a replica, so retrying without it is pointless. Consulting
+      // the lookup service costs one small round trip.
+      if (management_ != nullptr) {
+        (void)management_->DetectAndRecover();
+        ChargeRequest(64, 64);
+      }
+      uint64_t backoff = options_.retry.BackoffNs(retry, &rng_);
+      clock_->Advance(backoff);
+      metrics_->storage_retries += 1;
+      metrics_->retry_backoff_ns += backoff;
+      auto resolved = resolve();
+      if (resolved.has_value()) {
+        metrics_->ambiguous_resolved += 1;
+        return std::move(*resolved);
+      }
+      result = IssueOnce(op, table, send);
+    }
+    if (StatusOf(result).IsUnavailable()) {
+      metrics_->storage_retries_exhausted += 1;
+    }
+    return result;
+  }
+
+  /// Idempotent ops (reads, scans, unconditional puts, increments): no
+  /// ambiguity resolution, plain bounded re-issue.
+  template <typename Send>
+  auto IssueWithRetry(sim::FaultOpClass op, TableId table, Send&& send)
+      -> decltype(send()) {
+    using R = decltype(send());
+    return IssueWithRetry(op, table, std::forward<Send>(send),
+                          []() -> std::optional<R> { return std::nullopt; });
+  }
+
+  /// Retried single-op primitives without cost accounting; the public
+  /// methods and the batch paths layer their own request charges on top.
+  Result<VersionedCell> GetWithRetry(TableId table, std::string_view key);
+  Result<uint64_t> PutWithRetry(TableId table, std::string_view key,
+                                std::string_view value);
+  Result<uint64_t> ConditionalPutWithRetry(TableId table, std::string_view key,
+                                           uint64_t expected_stamp,
+                                           std::string_view value);
+  Status EraseWithRetry(TableId table, std::string_view key);
+  Status ConditionalEraseWithRetry(TableId table, std::string_view key,
+                                   uint64_t expected_stamp);
 
   Cluster* const cluster_;
   ManagementNode* const management_;
   const ClientOptions options_;
   sim::VirtualClock* const clock_;
   sim::WorkerMetrics* const metrics_;
+  /// Private RNG for backoff jitter (seeded; decorrelates workers without
+  /// giving up reproducibility).
+  Random rng_;
 };
 
 }  // namespace tell::store

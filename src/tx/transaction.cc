@@ -404,53 +404,84 @@ Transaction::ScanIndexEncoded(TableHandle* table, int index,
   index::BTree* tree =
       index < 0 ? &table->primary
                 : &table->secondaries[static_cast<size_t>(index)];
-  // Fetch extra entries to compensate for invisible versions; a second pass
-  // extends the scan if the limit was not reached.
-  size_t fetch_limit = limit == 0 ? 0 : limit * 4 + 16;
-  TELL_ASSIGN_OR_RETURN(std::vector<index::IndexEntry> entries,
-                        tree->RangeScan(client_, lo, hi, fetch_limit));
-  // Merge this transaction's pending inserts in [lo, hi).
+
+  // This transaction's pending inserts in [lo, hi), merged chunk-wise below
+  // so validation stays in global key order across continuation chunks.
+  std::vector<index::IndexEntry> pending;
   for (const auto& [key, rids] : pending_index_) {
     if (key.first != tree->table()) continue;
     if (key.second < lo) continue;
     if (!hi.empty() && key.second >= hi) continue;
-    for (uint64_t rid : rids) entries.push_back({key.second, rid});
+    for (uint64_t rid : rids) pending.push_back({key.second, rid});
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const index::IndexEntry& a, const index::IndexEntry& b) {
-              if (a.key != b.key) return a.key < b.key;
-              return a.rid < b.rid;
-            });
-  entries.erase(std::unique(entries.begin(), entries.end(),
-                            [](const index::IndexEntry& a,
-                               const index::IndexEntry& b) {
-                              return a.key == b.key && a.rid == b.rid;
-                            }),
-                entries.end());
-  // Prefetch every referenced record that is not yet buffered in one
-  // batched request (§5.1 batching), so validation below is buffer-only.
-  {
-    std::vector<uint64_t> missing;
-    for (const index::IndexEntry& entry : entries) {
-      if (buffer_.find({table->meta->data_table, entry.rid}) ==
-          buffer_.end()) {
-        missing.push_back(entry.rid);
+  auto entry_less = [](const index::IndexEntry& a,
+                       const index::IndexEntry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.rid < b.rid;
+  };
+  std::sort(pending.begin(), pending.end(), entry_less);
+  size_t pending_pos = 0;
+
+  // Over-fetch to compensate for entries that validate to nothing
+  // (invisible versions, GC debt). If a chunk's live yield still falls
+  // short of `limit`, the scan CONTINUES from the last key seen instead of
+  // returning a truncated result; `processed` filters the entries the
+  // inclusive continuation cursor re-reads (one key's entries can span a
+  // chunk boundary).
+  size_t fetch_limit = limit == 0 ? 0 : limit * 4 + 16;
+  std::set<std::pair<std::string, uint64_t>> processed;
+  std::vector<std::pair<uint64_t, schema::Tuple>> out;
+  std::string cursor = lo;
+  while (true) {
+    TELL_ASSIGN_OR_RETURN(std::vector<index::IndexEntry> chunk,
+                          tree->RangeScan(client_, cursor, hi, fetch_limit));
+    const bool tree_exhausted = fetch_limit == 0 || chunk.size() < fetch_limit;
+    const std::string horizon = chunk.empty() ? std::string() : chunk.back().key;
+    while (pending_pos < pending.size() &&
+           (tree_exhausted || pending[pending_pos].key <= horizon)) {
+      chunk.push_back(pending[pending_pos]);
+      ++pending_pos;
+    }
+    std::sort(chunk.begin(), chunk.end(), entry_less);
+    std::vector<index::IndexEntry> fresh;
+    fresh.reserve(chunk.size());
+    for (const index::IndexEntry& entry : chunk) {
+      if (processed.insert({entry.key, entry.rid}).second) {
+        fresh.push_back(entry);
       }
     }
-    std::sort(missing.begin(), missing.end());
-    missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
-    if (!missing.empty() && session_->record_buffer()->PrefersBatchFetch()) {
-      TELL_RETURN_NOT_OK(BatchRead(table, missing).status());
+    // Prefetch every referenced record that is not yet buffered in one
+    // batched request (§5.1 batching), so validation below is buffer-only.
+    {
+      std::vector<uint64_t> missing;
+      for (const index::IndexEntry& entry : fresh) {
+        if (buffer_.find({table->meta->data_table, entry.rid}) ==
+            buffer_.end()) {
+          missing.push_back(entry.rid);
+        }
+      }
+      std::sort(missing.begin(), missing.end());
+      missing.erase(std::unique(missing.begin(), missing.end()),
+                    missing.end());
+      if (!missing.empty() && session_->record_buffer()->PrefersBatchFetch()) {
+        TELL_RETURN_NOT_OK(BatchRead(table, missing).status());
+      }
     }
-  }
-  std::vector<std::pair<uint64_t, schema::Tuple>> out;
-  for (const index::IndexEntry& entry : entries) {
-    TELL_ASSIGN_OR_RETURN(
-        std::optional<schema::Tuple> tuple,
-        ValidateIndexHit(table, tree, entry.key, entry.rid));
-    if (tuple.has_value()) {
-      out.emplace_back(entry.rid, std::move(*tuple));
-      if (limit != 0 && out.size() >= limit) break;
+    for (const index::IndexEntry& entry : fresh) {
+      TELL_ASSIGN_OR_RETURN(
+          std::optional<schema::Tuple> tuple,
+          ValidateIndexHit(table, tree, entry.key, entry.rid));
+      if (tuple.has_value()) {
+        out.emplace_back(entry.rid, std::move(*tuple));
+        if (limit != 0 && out.size() >= limit) return out;
+      }
+    }
+    if (tree_exhausted) break;
+    cursor = horizon;
+    if (fresh.empty()) {
+      // A whole chunk of already-processed entries: one key has more
+      // duplicates than fetch_limit. Widen the window to get past it.
+      fetch_limit *= 2;
     }
   }
   return out;
@@ -505,7 +536,6 @@ Transaction::FilteredScan(
                             server_side));
   std::vector<std::pair<uint64_t, schema::Tuple>> out;
   out.reserve(cells.size());
-  std::set<uint64_t> seen;
   for (const store::KeyCell& cell : cells) {
     uint64_t rid = DecodeOrderedU64(cell.key);
     // Own dirty records are overlaid below from the private buffer.
@@ -522,7 +552,6 @@ Transaction::FilteredScan(
                                                      visible->payload));
     client_->ChargeCpu(client_->options().cpu.per_record_ns);
     out.emplace_back(rid, std::move(tuple));
-    seen.insert(rid);
   }
   // Merge this transaction's own pending writes that match.
   for (const auto& [key, state] : buffer_) {
@@ -577,7 +606,6 @@ Status Transaction::Commit() {
   //    get their eager version GC here (§5.4: "record GC is part of the
   //    update process"). The apply + read-set validation is the conflict
   //    detection window, traced as the validate phase.
-  std::vector<RecordKey> applied;
   std::vector<uint64_t> new_stamps(dirty.size(), 0);
   {
     obs::PhaseScope validate_span(tracer_, sim::TxnPhase::kValidate);
@@ -595,15 +623,17 @@ Status Transaction::Commit() {
     Status failure;
     for (size_t i = 0; i < results.size(); ++i) {
       if (results[i].ok()) {
-        applied.push_back(dirty[i]);
         new_stamps[i] = *results[i];
       } else if (failure.ok()) {
         failure = results[i].status();
       }
     }
     if (!failure.ok()) {
-      // Write-write conflict (or storage failure): revert what was applied.
-      RollbackApplied(applied);
+      // Write-write conflict (or storage failure): revert the whole dirty
+      // set — an ambiguous conditional put may have applied even though it
+      // reported failure, and RollbackApplied skips records without our
+      // version after one read.
+      RollbackApplied(dirty);
       (void)commit_manager_->SetAborted(tid_);
       state_ = TxnState::kAborted;
       client_->metrics()->aborted += 1;
@@ -618,7 +648,7 @@ Status Transaction::Commit() {
     if (options_.serializable) {
       Status valid = ValidateReadSet();
       if (!valid.ok()) {
-        RollbackApplied(applied);
+        RollbackApplied(dirty);
         (void)commit_manager_->SetAborted(tid_);
         state_ = TxnState::kAborted;
         client_->metrics()->aborted += 1;
@@ -628,12 +658,18 @@ Status Transaction::Commit() {
   }
 
   // 3. Alter the indexes to reflect the updates (§4.3 step 4a).
+  size_t inserted_index_ops = 0;
   for (const IndexOp& op : index_ops_) {
     Status st = op.tree->Insert(client_, op.key, op.rid, op.unique);
     if (!st.ok()) {
       // Unique-index race (two transactions inserting the same key) or a
-      // storage failure: the data updates must not become durable.
-      RollbackApplied(applied);
+      // storage failure: the data updates must not become durable — and
+      // neither must the index entries inserted so far, or lookups under
+      // those keys would drag a never-committed rid through validation
+      // forever (a unique index would even turn it into a permanent
+      // InternalError for the racing winner's key).
+      RollbackIndexInserts(inserted_index_ops);
+      RollbackApplied(dirty);
       (void)commit_manager_->SetAborted(tid_);
       state_ = TxnState::kAborted;
       client_->metrics()->aborted += 1;
@@ -642,13 +678,27 @@ Status Transaction::Commit() {
       }
       return st;
     }
+    ++inserted_index_ops;
   }
 
-  // 4. Commit flag in the log, then notify the commit manager.
+  // 4. Commit flag in the log, then notify the commit manager. The log's
+  //    committed flag is the SOURCE OF TRUTH: recovery rolls back every
+  //    unflagged entry, so telling the commit manager "committed" while the
+  //    flag write failed would let recovery silently undo a transaction
+  //    other workers already observed. If the flag cannot be written even
+  //    after the client's retries, the transaction must abort instead:
+  //    undo indexes and data, then notify the manager of the abort.
   Status mark = session_->log()->MarkCommitted(client_, tid_);
   if (!mark.ok()) {
-    TELL_LOG(kWarn) << "failed to set commit flag for tid " << tid_ << ": "
-                    << mark.ToString();
+    client_->metrics()->commit_flag_failures += 1;
+    TELL_LOG(kWarn) << "commit flag write failed for tid " << tid_ << " ("
+                    << mark.ToString() << "); aborting";
+    RollbackIndexInserts(index_ops_.size());
+    RollbackApplied(dirty);
+    (void)commit_manager_->SetAborted(tid_);
+    state_ = TxnState::kAborted;
+    client_->metrics()->aborted += 1;
+    return Status::Aborted("commit flag write failed: " + mark.ToString());
   }
   (void)commit_manager_->SetCommitted(tid_);
 
@@ -668,14 +718,24 @@ Status Transaction::Commit() {
   return Status::OK();
 }
 
-void Transaction::RollbackApplied(const std::vector<RecordKey>& applied) {
-  for (const RecordKey& key : applied) {
+void Transaction::RollbackApplied(const std::vector<RecordKey>& dirty) {
+  for (const RecordKey& key : dirty) {
+    bool resolved = false;
     for (int retry = 0; retry < kMaxRollbackRetries; ++retry) {
       auto cell = client_->Get(key.first, RidKey(key.second));
-      if (!cell.ok()) break;  // gone entirely — nothing to revert
+      if (!cell.ok()) {
+        // NotFound means there is nothing to revert. Anything else is a
+        // transient failure that survived the client's own retries: leave
+        // the version to lazy GC rather than giving up silently.
+        resolved = cell.status().IsNotFound();
+        break;
+      }
       auto record = schema::VersionedRecord::Deserialize(cell->value);
-      if (!record.ok()) break;
-      if (!record->RemoveVersion(tid_)) break;  // already reverted
+      if (!record.ok()) break;  // corrupt cell; nothing sensible to write
+      if (!record->RemoveVersion(tid_)) {
+        resolved = true;  // no version of ours (not applied / already done)
+        break;
+      }
       Status st;
       if (record->Empty()) {
         st = client_->ConditionalErase(key.first, RidKey(key.second),
@@ -686,8 +746,27 @@ void Transaction::RollbackApplied(const std::vector<RecordKey>& applied) {
                                   record->Serialize())
                  .status();
       }
-      if (!st.IsConditionFailed()) break;  // success or unrecoverable
+      if (st.ok()) {
+        resolved = true;
+        break;
+      }
+      // ConditionFailed: a concurrent writer moved the stamp — re-read and
+      // retry. Any other failure exhausted the client's retries already.
+      if (!st.IsConditionFailed()) break;
     }
+    if (!resolved) client_->metrics()->rollback_unresolved += 1;
+  }
+}
+
+void Transaction::RollbackIndexInserts(size_t count) {
+  // Undo of commit step 3. Remove is idempotent, and no other transaction
+  // can have inserted the same (key, rid) pair: reaching step 3 requires
+  // winning the LL/SC on the record, so two live transactions never carry
+  // index ops for the same rid.
+  for (size_t i = 0; i < count && i < index_ops_.size(); ++i) {
+    const IndexOp& op = index_ops_[i];
+    (void)op.tree->Remove(client_, op.key, op.rid);
+    client_->metrics()->index_rollbacks += 1;
   }
 }
 

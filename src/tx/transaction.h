@@ -236,9 +236,19 @@ class Transaction {
                            const schema::Tuple& tuple,
                            const schema::Tuple* old_tuple);
 
-  /// Rolls back updates already applied to the store (conflict during
-  /// commit): removes this transaction's version from each record again.
-  void RollbackApplied(const std::vector<RecordKey>& applied);
+  /// Rolls back a failed commit attempt: removes this transaction's version
+  /// from each dirty record again. Called with the full dirty set (not just
+  /// the ops that reported success) so that a conditional put whose response
+  /// was lost but that DID apply is reverted too; records without our
+  /// version are skipped after one read. Keys whose revert keeps failing on
+  /// transient errors are abandoned to lazy GC and counted in
+  /// tx.rollback_unresolved.
+  void RollbackApplied(const std::vector<RecordKey>& dirty);
+
+  /// Removes the first `count` entries of index_ops_ from their B-trees
+  /// (undo of commit step 3 when a later index insert or the commit flag
+  /// write fails).
+  void RollbackIndexInserts(size_t count);
 
   /// Write-write conflict check for scenario 1 of §4.1: fails with Aborted
   /// if the record holds a version that is neither ours nor visible in our

@@ -1,0 +1,705 @@
+// Fault-injection and commit-path hardening tests.
+//
+// Three layers:
+//   1. Unit tests of sim::FaultInjector (determinism, skip/max_fires
+//      windows, Disarm).
+//   2. Regression tests for the commit-path bugs fixed alongside the
+//      retry layer: secondary-index scan truncation under garbage,
+//      leaked index entries on commit rollback, record reverts under
+//      transient faults, and the commit-flag/commit-manager divergence.
+//   3. A seeded chaos suite: randomized fault plans (drops, ambiguous
+//      responses, latency spikes, one node kill) against a live cluster,
+//      with full invariant checks afterwards.
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "db/tell_db.h"
+#include "schema/versioned_record.h"
+#include "sim/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace tell::tx {
+namespace {
+
+using schema::Tuple;
+using schema::Value;
+using sim::FaultInjector;
+using sim::FaultOpClass;
+using sim::FaultPlan;
+using sim::FaultRule;
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, RandomizedPlanIsDeterministicPerSeed) {
+  FaultPlan a = FaultPlan::Randomized(42, 4, /*allow_node_kill=*/true);
+  FaultPlan b = FaultPlan::Randomized(42, 4, /*allow_node_kill=*/true);
+  FaultPlan c = FaultPlan::Randomized(43, 4, /*allow_node_kill=*/true);
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].ToString(), b.rules[i].ToString());
+  }
+  // Different seed -> different plan (rule-list fingerprint differs).
+  std::string fa, fc;
+  for (const auto& r : a.rules) fa += r.ToString() + ";";
+  for (const auto& r : c.rules) fc += r.ToString() + ";";
+  EXPECT_NE(fa, fc);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionStream) {
+  FaultPlan plan = FaultPlan::Randomized(7, 3, /*allow_node_kill=*/false);
+  FaultInjector x(plan);
+  FaultInjector y(plan);
+  for (int i = 0; i < 500; ++i) {
+    FaultOpClass op = static_cast<FaultOpClass>(1 + (i % 7));
+    uint32_t table = 1 + (i % 5);
+    FaultInjector::Decision dx = x.OnRequest(op, table);
+    FaultInjector::Decision dy = y.OnRequest(op, table);
+    EXPECT_EQ(dx.drop_request, dy.drop_request) << "request " << i;
+    EXPECT_EQ(dx.drop_response, dy.drop_response) << "request " << i;
+    EXPECT_EQ(dx.extra_latency_ns, dy.extra_latency_ns) << "request " << i;
+    EXPECT_EQ(dx.kill_node, dy.kill_node) << "request " << i;
+  }
+  EXPECT_EQ(x.stats().injected, y.stats().injected);
+  EXPECT_EQ(x.stats().requests_seen, y.stats().requests_seen);
+}
+
+TEST(FaultInjectorTest, SkipWindowAndMaxFires) {
+  FaultRule rule;
+  rule.kind = FaultRule::Kind::kDropRequest;
+  rule.op = FaultOpClass::kGet;
+  rule.skip_matches = 2;
+  rule.probability = 1.0;
+  rule.max_fires = 2;
+  FaultInjector injector(FaultPlan{.seed = 1, .rules = {rule}});
+
+  // Non-matching op class never fires.
+  EXPECT_FALSE(injector.OnRequest(FaultOpClass::kPut, 1).drop_request);
+  // Matches 1-2 are skipped, 3-4 fire, 5+ pass (rule exhausted).
+  EXPECT_FALSE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+  EXPECT_FALSE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+  EXPECT_TRUE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+  EXPECT_TRUE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+  EXPECT_FALSE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+  EXPECT_EQ(injector.stats().injected, 2u);
+  EXPECT_EQ(injector.stats().dropped_requests, 2u);
+}
+
+TEST(FaultInjectorTest, DisarmStopsInjection) {
+  FaultRule rule;
+  rule.kind = FaultRule::Kind::kDropRequest;
+  rule.probability = 1.0;
+  rule.max_fires = 0;  // unlimited
+  FaultInjector injector(FaultPlan{.seed = 1, .rules = {rule}});
+  EXPECT_TRUE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+  injector.Disarm();
+  EXPECT_FALSE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+  injector.Arm();
+  EXPECT_TRUE(injector.OnRequest(FaultOpClass::kGet, 1).drop_request);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: secondary-index scan truncation under garbage
+// ---------------------------------------------------------------------------
+
+// A version-unaware B-tree accumulates obsolete entries faster than lazy GC
+// removes them. The scan used to fetch a single window of limit*4+16 tree
+// entries and give up; with more garbage than that in front of the live
+// entries it silently returned fewer rows than exist. The fixed scan
+// continues from the last fetched key until the limit is reached or the
+// tree range is exhausted.
+TEST(ScanTruncationRegressionTest, ScanSurvivesGarbageHeavyIndexRange) {
+  db::TellDbOptions options;
+  options.network = sim::NetworkModel::Instant();
+  db::TellDb db(options);
+  schema::IndexDef by_val;
+  by_val.name = "by_val";
+  by_val.key_columns = {1};
+  by_val.unique = false;
+  ASSERT_OK(db.CreateTable("t",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddString("val")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {by_val}));
+  auto session = db.OpenSession(0, 0);
+  auto table = *db.GetTable(0, "t");
+
+  auto pad = [](int i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%04d", i);
+    return std::string(buf);
+  };
+
+  // 200 rows whose indexed value starts in the scanned range ["k", "l").
+  constexpr int kDead = 200;
+  std::vector<uint64_t> rids;
+  for (int batch = 0; batch < kDead; batch += 25) {
+    Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    for (int i = batch; i < batch + 25; ++i) {
+      Tuple t(2);
+      t.Set(0, int64_t{i});
+      t.Set(1, "ka" + pad(i));
+      ASSERT_OK_AND_ASSIGN(uint64_t rid, txn.Insert(table, t, false));
+      rids.push_back(rid);
+    }
+    ASSERT_OK(txn.Commit());
+  }
+  // Two rounds of updates moving the value out of the range. Round one
+  // leaves the insert version alive (eager GC keeps the newest all-visible
+  // version); round two prunes it, after which no version carries the "ka"
+  // key and the 200 index entries in the range are pure garbage.
+  for (int round = 0; round < 2; ++round) {
+    for (int batch = 0; batch < kDead; batch += 25) {
+      Transaction txn(session.get());
+      ASSERT_OK(txn.Begin());
+      for (int i = batch; i < batch + 25; ++i) {
+        Tuple t(2);
+        t.Set(0, int64_t{i});
+        t.Set(1, (round == 0 ? "zza" : "zzb") + pad(i));
+        ASSERT_OK(txn.Update(table, rids[static_cast<size_t>(i)], t));
+      }
+      ASSERT_OK(txn.Commit());
+    }
+  }
+  // 8 live rows at the END of the range, behind all the garbage.
+  constexpr int kLive = 8;
+  {
+    Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    for (int i = 0; i < kLive; ++i) {
+      Tuple t(2);
+      t.Set(0, int64_t{1000 + i});
+      t.Set(1, "kz" + pad(i));
+      ASSERT_OK(txn.Insert(table, t, false).status());
+    }
+    ASSERT_OK(txn.Commit());
+  }
+
+  // Garbage-to-live is 25x; the old single-window scan (limit*4+16 = 48
+  // entries) saw only garbage and returned 0 rows.
+  Transaction txn(session.get());
+  ASSERT_OK(txn.Begin());
+  ASSERT_OK_AND_ASSIGN(
+      auto rows,
+      txn.ScanIndex(table, 0, {Value(std::string("k"))},
+                    {Value(std::string("l"))}, kLive));
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kLive));
+  for (int i = 0; i < kLive; ++i) {
+    EXPECT_EQ(rows[static_cast<size_t>(i)].second.GetString(1), "kz" + pad(i));
+  }
+  // And an unlimited scan over the same range agrees.
+  ASSERT_OK_AND_ASSIGN(
+      auto all,
+      txn.ScanIndex(table, 0, {Value(std::string("k"))},
+                    {Value(std::string("l"))}, 0));
+  EXPECT_EQ(all.size(), static_cast<size_t>(kLive));
+  ASSERT_OK(txn.Commit());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: leaked index entries when a later index insert aborts the
+// commit
+// ---------------------------------------------------------------------------
+
+// Commit inserts index entries one by one; when entry k fails (unique
+// conflict), entries 0..k-1 used to stay in their trees even though the
+// transaction aborted. The leaked primary-key entry then made a fast-path
+// insert (check_unique=false, the TPC-C loader idiom) of the same key abort
+// spuriously with AlreadyExists.
+TEST(IndexLeakRegressionTest, AbortedCommitLeavesNoIndexEntries) {
+  db::TellDbOptions options;
+  options.network = sim::NetworkModel::Instant();
+  db::TellDb db(options);
+  schema::IndexDef by_email;
+  by_email.name = "by_email";
+  by_email.key_columns = {1};
+  by_email.unique = true;
+  ASSERT_OK(db.CreateTable("users",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddString("email")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {by_email}));
+  auto session = db.OpenSession(0, 0);
+  auto table = *db.GetTable(0, "users");
+
+  auto insert = [&](int64_t id, const std::string& email) {
+    Transaction txn(session.get());
+    EXPECT_TRUE(txn.Begin().ok());
+    Tuple t(2);
+    t.Set(0, id);
+    t.Set(1, email);
+    // check_unique=false reaches commit without the read-time probe, so
+    // conflicts are resolved purely by the unique index at commit.
+    auto rid = txn.Insert(table, t, /*check_unique=*/false);
+    EXPECT_TRUE(rid.ok()) << rid.status().ToString();
+    return txn.Commit();
+  };
+
+  ASSERT_OK(insert(1, "x@example.com"));
+  // Loser: same email, different id. The primary-key entry for id=2 goes
+  // into the tree first; the unique email entry then conflicts and the
+  // commit aborts.
+  Status loser = insert(2, "x@example.com");
+  ASSERT_FALSE(loser.ok());
+  EXPECT_TRUE(loser.IsAborted()) << loser.ToString();
+  EXPECT_GE(session->metrics()->index_rollbacks, 1u);
+
+  // The id=2 slot must be reusable: before the fix this aborted with
+  // AlreadyExists from the leaked primary-key entry.
+  ASSERT_OK(insert(2, "y@example.com"));
+
+  Transaction check(session.get());
+  ASSERT_OK(check.Begin());
+  ASSERT_OK_AND_ASSIGN(auto row, check.ReadByKey(table, {Value(int64_t{2})}));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->GetString(1), "y@example.com");
+  // The winner's unique entry is the only one under the contended email.
+  ASSERT_OK_AND_ASSIGN(
+      auto rids,
+      check.LookupIndex(table, 0, {Value(std::string("x@example.com"))}));
+  EXPECT_EQ(rids.size(), 1u);
+  ASSERT_OK(check.Commit());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: record reverts retried through transient faults
+// ---------------------------------------------------------------------------
+
+// RollbackApplied used to abandon a revert on the first Unavailable,
+// leaving the aborted transaction's version in the record forever (an
+// invisible-but-permanent leak). The unified retry layer now rides through
+// transient failures; reverts that still fail are counted in
+// tx.rollback_unresolved.
+TEST(RollbackRetryTest, RevertSurvivesDroppedRead) {
+  auto make_db = [](sim::FaultInjector* injector) {
+    db::TellDbOptions options;
+    options.network = sim::NetworkModel::Instant();
+    options.fault_injector = injector;
+    auto db = std::make_unique<db::TellDb>(options);
+    schema::IndexDef by_email;
+    by_email.name = "by_email";
+    by_email.key_columns = {1};
+    by_email.unique = true;
+    Status st = db->CreateTable("users",
+                                schema::SchemaBuilder()
+                                    .AddInt64("id")
+                                    .AddString("email")
+                                    .SetPrimaryKey({"id"})
+                                    .Build(),
+                                {by_email});
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return db;
+  };
+
+  // Table ids are assigned deterministically during construction, so a
+  // fault-free probe instance tells us the data table id to scope the rule
+  // to before the real injector is built.
+  const store::TableId data_table =
+      (*make_db(nullptr)->GetTable(0, "users"))->meta->data_table;
+
+  // The rule drops the SECOND Get on the data table: the first is the
+  // update's read of row A, the second is the rollback's re-read of A after
+  // the unique-index conflict aborts the commit.
+  sim::FaultInjector injector(FaultPlan{
+      .seed = 99,
+      .rules = {FaultRule{.kind = FaultRule::Kind::kDropRequest,
+                          .op = FaultOpClass::kGet,
+                          .table = data_table,
+                          .skip_matches = 1,
+                          .probability = 1.0,
+                          .max_fires = 1}}});
+  injector.Disarm();
+
+  auto db_owner = make_db(&injector);
+  db::TellDb& db = *db_owner;
+  auto session = db.OpenSession(0, 0);
+  auto table = *db.GetTable(0, "users");
+  ASSERT_EQ(table->meta->data_table, data_table);
+
+  uint64_t rid_a = 0;
+  {
+    Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    Tuple a(2);
+    a.Set(0, int64_t{1});
+    a.Set(1, "a@example.com");
+    ASSERT_OK_AND_ASSIGN(rid_a, txn.Insert(table, a, false));
+    Tuple b(2);
+    b.Set(0, int64_t{2});
+    b.Set(1, "b@example.com");
+    ASSERT_OK(txn.Insert(table, b, false).status());
+    ASSERT_OK(txn.Commit());
+  }
+
+  injector.Arm();
+  Transaction txn(session.get());
+  ASSERT_OK(txn.Begin());
+  const commitmgr::Tid doomed_tid = txn.tid();
+  // Get #1 on the data table: fetch A for the update (skipped by the rule).
+  Tuple a2(2);
+  a2.Set(0, int64_t{1});
+  a2.Set(1, "a2@example.com");
+  ASSERT_OK(txn.Update(table, rid_a, a2));
+  // Insert C with B's email; the unique index rejects it at commit, after
+  // A's new version was already applied — forcing a rollback whose re-read
+  // of A (Get #2) is dropped by the rule.
+  Tuple c(2);
+  c.Set(0, int64_t{3});
+  c.Set(1, "b@example.com");
+  ASSERT_OK(txn.Insert(table, c, /*check_unique=*/false).status());
+  Status st = txn.Commit();
+  injector.Disarm();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+
+  // The dropped read was retried, not abandoned.
+  EXPECT_GT(session->metrics()->storage_retries, 0u);
+  EXPECT_EQ(session->metrics()->rollback_unresolved, 0u);
+  EXPECT_GT(injector.stats().dropped_requests, 0u);
+
+  // No version of the aborted transaction survives anywhere in the table.
+  ASSERT_OK_AND_ASSIGN(auto cells, db.cluster()->Scan(data_table, "", "", 0));
+  for (const auto& cell : cells) {
+    if (cell.key.size() != 8) continue;  // meta cells (rid counter)
+    ASSERT_OK_AND_ASSIGN(auto record,
+                         schema::VersionedRecord::Deserialize(cell.value));
+    EXPECT_FALSE(record.HasVersion(doomed_tid))
+        << "dangling version of aborted tid " << doomed_tid << " at rid "
+        << DecodeOrderedU64(cell.key);
+  }
+
+  // A still reads as before the aborted update.
+  Transaction check(session.get());
+  ASSERT_OK(check.Begin());
+  ASSERT_OK_AND_ASSIGN(auto row, check.Read(table, rid_a));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->GetString(1), "a@example.com");
+  ASSERT_OK(check.Commit());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: commit flag is the source of truth
+// ---------------------------------------------------------------------------
+
+// If the log's committed-flag write fails, the transaction used to report
+// success to the client while recovery (which reads the log) would treat it
+// as uncommitted and roll it back — a lost acknowledged commit. Now the
+// client aborts and fully undoes the transaction, agreeing with recovery.
+TEST(CommitFlagRegressionTest, FailedFlagWriteAbortsAndRollsBack) {
+  // In the default configuration the commit flag is the ONLY unconditional
+  // Put a worker session issues (log appends and record/tree writes are
+  // conditional), so an op-class filter pins the fault precisely.
+  sim::FaultInjector injector(FaultPlan{
+      .seed = 5,
+      .rules = {FaultRule{.kind = FaultRule::Kind::kDropRequest,
+                          .op = FaultOpClass::kPut,
+                          .probability = 1.0,
+                          .max_fires = 0}}});
+  injector.Disarm();
+
+  db::TellDbOptions options;
+  options.network = sim::NetworkModel::Instant();
+  options.fault_injector = &injector;
+  db::TellDb db(options);
+  schema::IndexDef by_email;
+  by_email.name = "by_email";
+  by_email.key_columns = {1};
+  by_email.unique = true;
+  ASSERT_OK(db.CreateTable("users",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddString("email")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {by_email}));
+  auto session = db.OpenSession(0, 0);
+  auto table = *db.GetTable(0, "users");
+
+  injector.Arm();
+  Transaction txn(session.get());
+  ASSERT_OK(txn.Begin());
+  const commitmgr::Tid tid = txn.tid();
+  Tuple t(2);
+  t.Set(0, int64_t{1});
+  t.Set(1, "x@example.com");
+  ASSERT_OK(txn.Insert(table, t, false).status());
+  Status st = txn.Commit();
+  injector.Disarm();
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_EQ(txn.state(), TxnState::kAborted);
+  EXPECT_EQ(session->metrics()->commit_flag_failures, 1u);
+  EXPECT_GT(session->metrics()->storage_retries_exhausted, 0u);
+  // Both index entries (primary + unique secondary) were undone.
+  EXPECT_GE(session->metrics()->index_rollbacks, 2u);
+
+  // Nothing of the transaction is visible: not the record, not the entries.
+  Transaction check(session.get());
+  ASSERT_OK(check.Begin());
+  ASSERT_OK_AND_ASSIGN(auto row, check.ReadByKey(table, {Value(int64_t{1})}));
+  EXPECT_FALSE(row.has_value());
+  ASSERT_OK_AND_ASSIGN(
+      auto rids,
+      check.LookupIndex(table, 0, {Value(std::string("x@example.com"))}));
+  EXPECT_TRUE(rids.empty());
+  ASSERT_OK(check.Commit());
+
+  // The log agrees with what the client reported: the entry exists but is
+  // NOT committed, so a recovery replaying the log treats the transaction
+  // as aborted instead of resurrecting it. (Before the fix the client said
+  // "committed" here while the log said "uncommitted" — a lost ack.)
+  ASSERT_OK_AND_ASSIGN(auto entry,
+                       db.transaction_log()->Get(session->client(), tid));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_FALSE(entry->committed);
+  // Recovery for this PN is a no-op: the tid was completed as aborted at
+  // the commit manager and the client already reverted every write.
+  ASSERT_OK_AND_ASSIGN(auto stats,
+                       db.recovery()->RecoverProcessingNode(
+                           session->client(), /*failed_pn=*/0));
+  EXPECT_EQ(stats.versions_removed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos suite: randomized fault plans, full invariant check
+// ---------------------------------------------------------------------------
+
+class ChaosSuite : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSuite, InvariantsHoldUnderRandomizedFaults) {
+  const uint64_t seed = GetParam();
+  constexpr uint32_t kStorageNodes = 4;
+  sim::FaultInjector injector(
+      FaultPlan::Randomized(seed, kStorageNodes, /*allow_node_kill=*/true));
+  injector.Disarm();  // setup runs fault-free
+
+  db::TellDbOptions options;
+  options.num_storage_nodes = kStorageNodes;
+  options.replication_factor = 2;  // a node kill must be survivable
+  options.network = sim::NetworkModel::Instant();
+  options.fault_injector = &injector;
+  db::TellDb db(options);
+
+  ASSERT_OK(db.CreateTable("accounts",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddDouble("balance")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {}));
+  schema::IndexDef by_tag;
+  by_tag.name = "by_tag";
+  by_tag.key_columns = {1};
+  by_tag.unique = true;
+  ASSERT_OK(db.CreateTable("orders",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddString("tag")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {by_tag}));
+  // Determinism requires a single-threaded driver: one session, sequential
+  // transactions (see FaultInjector's class comment).
+  auto session = db.OpenSession(0, 0);
+  auto accounts = *db.GetTable(0, "accounts");
+  auto orders = *db.GetTable(0, "orders");
+
+  constexpr int kAccounts = 8;
+  constexpr double kInitialBalance = 1000.0;
+  std::set<commitmgr::Tid> committed;
+  std::set<commitmgr::Tid> aborted;
+  std::vector<uint64_t> account_rids;
+  {
+    Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    for (int64_t i = 0; i < kAccounts; ++i) {
+      Tuple t(2);
+      t.Set(0, i);
+      t.Set(1, kInitialBalance);
+      ASSERT_OK_AND_ASSIGN(uint64_t rid, txn.Insert(accounts, t, false));
+      account_rids.push_back(rid);
+    }
+    ASSERT_OK(txn.Commit());
+    committed.insert(txn.tid());
+  }
+
+  // Model of the expected committed state.
+  std::vector<double> expected(kAccounts, kInitialBalance);
+  std::map<std::string, uint64_t> live_tags;  // tag -> rid
+  int64_t next_order_id = 0;
+
+  injector.Arm();
+  Random rng(seed ^ 0xABCD1234u);
+  constexpr int kTxns = 250;
+  constexpr int kTagPool = 12;
+  for (int i = 0; i < kTxns; ++i) {
+    Transaction txn(session.get());
+    if (!txn.Begin().ok()) continue;
+    const uint64_t kind = rng.Uniform(100);
+    bool ops_ok = true;
+    if (kind < 55 || (kind >= 80 && live_tags.empty())) {
+      // Transfer between two distinct accounts.
+      const size_t a = rng.Uniform(kAccounts);
+      size_t b = rng.Uniform(kAccounts - 1);
+      if (b >= a) ++b;
+      const double amount = 1.0 + static_cast<double>(rng.Uniform(50));
+      double bal_a = 0, bal_b = 0;
+      auto ra = txn.Read(accounts, account_rids[a]);
+      auto rb = txn.Read(accounts, account_rids[b]);
+      ops_ok = ra.ok() && rb.ok() && ra->has_value() && rb->has_value();
+      if (ops_ok) {
+        bal_a = (*ra)->GetDouble(1);
+        bal_b = (*rb)->GetDouble(1);
+        Tuple ta(2), tb(2);
+        ta.Set(0, static_cast<int64_t>(a));
+        ta.Set(1, bal_a - amount);
+        tb.Set(0, static_cast<int64_t>(b));
+        tb.Set(1, bal_b + amount);
+        ops_ok = txn.Update(accounts, account_rids[a], ta).ok() &&
+                 txn.Update(accounts, account_rids[b], tb).ok();
+      }
+      if (!ops_ok) {
+        (void)txn.Abort();
+        aborted.insert(txn.tid());
+        continue;
+      }
+      if (txn.Commit().ok()) {
+        committed.insert(txn.tid());
+        expected[a] -= amount;
+        expected[b] += amount;
+      } else {
+        aborted.insert(txn.tid());
+      }
+    } else if (kind < 80) {
+      // Insert an order under a pooled tag; the unique index arbitrates.
+      const std::string tag = "tag" + std::to_string(rng.Uniform(kTagPool));
+      Tuple t(2);
+      t.Set(0, next_order_id++);
+      t.Set(1, tag);
+      auto rid = txn.Insert(orders, t, /*check_unique=*/false);
+      if (!rid.ok()) {
+        (void)txn.Abort();
+        aborted.insert(txn.tid());
+        continue;
+      }
+      if (txn.Commit().ok()) {
+        committed.insert(txn.tid());
+        // A committed duplicate would be a unique-enforcement violation.
+        ASSERT_EQ(live_tags.count(tag), 0u)
+            << "duplicate tag committed: " << tag;
+        live_tags[tag] = *rid;
+      } else {
+        aborted.insert(txn.tid());
+      }
+    } else {
+      // Delete a live order by tag.
+      size_t pick = rng.Uniform(live_tags.size());
+      auto it = live_tags.begin();
+      std::advance(it, static_cast<long>(pick));
+      const std::string tag = it->first;
+      const uint64_t rid = it->second;
+      if (!txn.Delete(orders, rid).ok()) {
+        (void)txn.Abort();
+        aborted.insert(txn.tid());
+        continue;
+      }
+      if (txn.Commit().ok()) {
+        committed.insert(txn.tid());
+        live_tags.erase(tag);
+      } else {
+        aborted.insert(txn.tid());
+      }
+    }
+  }
+  injector.Disarm();
+  // Let the management node finish any pending fail-over before verifying.
+  (void)db.management()->DetectAndRecover();
+
+  const sim::FaultStats stats = injector.stats();
+  EXPECT_GT(stats.requests_seen, 0u);
+  EXPECT_GT(stats.injected, 0u) << "plan for seed " << seed << " never fired";
+  if (stats.dropped_requests + stats.dropped_responses > 0) {
+    EXPECT_GT(session->metrics()->storage_retries, 0u);
+  }
+
+  // Invariant 1: committed balances match the model exactly and the total
+  // is conserved (no lost committed writes, no resurrected aborted ones).
+  {
+    Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    double total = 0;
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_OK_AND_ASSIGN(auto row,
+                           txn.Read(accounts, account_rids[static_cast<size_t>(i)]));
+      ASSERT_TRUE(row.has_value());
+      EXPECT_NEAR(row->GetDouble(1), expected[static_cast<size_t>(i)], 1e-6)
+          << "account " << i;
+      total += row->GetDouble(1);
+    }
+    EXPECT_NEAR(total, kAccounts * kInitialBalance, 1e-6);
+
+    // Invariant 2: every pooled tag resolves to exactly the modelled order
+    // (no stale unique-index entries, no lost ones).
+    for (int k = 0; k < kTagPool; ++k) {
+      const std::string tag = "tag" + std::to_string(k);
+      ASSERT_OK_AND_ASSIGN(auto rids,
+                           txn.LookupIndex(orders, 0, {Value(tag)}));
+      auto it = live_tags.find(tag);
+      if (it == live_tags.end()) {
+        EXPECT_TRUE(rids.empty()) << "stale index entry under " << tag;
+      } else {
+        ASSERT_EQ(rids.size(), 1u) << "tag " << tag;
+        EXPECT_EQ(rids[0], it->second);
+      }
+    }
+    ASSERT_OK(txn.Commit());
+    committed.insert(txn.tid());
+  }
+
+  // Invariant 3: no dangling uncommitted versions. Every version in the
+  // store belongs to a committed transaction, except reverts the rollback
+  // path explicitly abandoned (counted in tx.rollback_unresolved).
+  uint64_t dangling = 0;
+  for (const auto* meta : {accounts->meta, orders->meta}) {
+    ASSERT_OK_AND_ASSIGN(auto cells,
+                         db.cluster()->Scan(meta->data_table, "", "", 0));
+    for (const auto& cell : cells) {
+      if (cell.key.size() != 8) continue;  // meta cells (rid counter)
+      ASSERT_OK_AND_ASSIGN(auto record,
+                           schema::VersionedRecord::Deserialize(cell.value));
+      for (const auto& version : record.versions()) {
+        if (committed.count(version.version)) continue;
+        EXPECT_TRUE(aborted.count(version.version))
+            << "version from unknown tid " << version.version;
+        ++dangling;
+      }
+    }
+  }
+  EXPECT_LE(dangling, session->metrics()->rollback_unresolved)
+      << "aborted versions in the store beyond the ones rollback reported "
+         "unresolved";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSuite,
+                         ::testing::Values(uint64_t{0x5EED0001},
+                                           uint64_t{0x5EED0002},
+                                           uint64_t{0x5EED0003}));
+
+}  // namespace
+}  // namespace tell::tx

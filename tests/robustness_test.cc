@@ -131,6 +131,49 @@ TEST(MultiFailureTest, TwoStorageNodesDieWithRf3) {
   ASSERT_OK(txn.Commit());
 }
 
+TEST(MultiFailureTest, ClientRetryDrivesFailoverWithoutManualRecovery) {
+  // Nobody calls DetectAndRecover here: the first request that hits the
+  // dead master comes back Unavailable and the client's retry loop triggers
+  // the fail-over itself, which must show up in the retry metrics.
+  db::TellDbOptions options;
+  options.num_processing_nodes = 1;
+  options.num_storage_nodes = 3;
+  options.replication_factor = 2;
+  options.network = sim::NetworkModel::Instant();
+  db::TellDb db(options);
+  ASSERT_OK(db.CreateTable("t",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {}));
+  auto session = db.OpenSession(0, 0);
+  auto table = *db.GetTable(0, "t");
+  std::vector<uint64_t> rids;
+  {
+    tx::Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    for (int64_t i = 0; i < 30; ++i) {
+      Tuple row(1);
+      row.Set(0, i);
+      ASSERT_OK_AND_ASSIGN(uint64_t rid, txn.Insert(table, row, false));
+      rids.push_back(rid);
+    }
+    ASSERT_OK(txn.Commit());
+  }
+  db.cluster()->node(1)->Kill();
+  tx::Transaction txn(session.get());
+  ASSERT_OK(txn.Begin());
+  for (uint64_t rid : rids) {
+    ASSERT_OK_AND_ASSIGN(auto row, txn.Read(table, rid));
+    EXPECT_TRUE(row.has_value());
+  }
+  ASSERT_OK(txn.Commit());
+  EXPECT_GT(session->metrics()->storage_retries, 0u);
+  EXPECT_GT(session->metrics()->retry_backoff_ns, 0u);
+  EXPECT_EQ(session->metrics()->storage_retries_exhausted, 0u);
+}
+
 TEST(MultiFailureTest, Rf1MasterLossIsUnrecoverable) {
   // The flip side of §4.4.2: without replication, losing a master loses
   // acknowledged data — and the system says so instead of pretending.
