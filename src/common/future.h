@@ -1,0 +1,95 @@
+#ifndef TELL_COMMON_FUTURE_H_
+#define TELL_COMMON_FUTURE_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace tell {
+
+/// The completion side of the asynchronous storage pipeline: whoever hands
+/// out unresolved futures implements Flush() to coalesce and issue every
+/// outstanding request, resolving the futures as a side effect
+/// (store::StorageClient is the in-tree implementation).
+class PipelineFlusher {
+ public:
+  virtual ~PipelineFlusher() = default;
+  virtual void Flush() = 0;
+};
+
+namespace internal {
+
+/// Shared slot between a pending request and the Future handed to the
+/// caller. Single-threaded by design — a future never crosses workers, just
+/// like the StorageClient that produced it — so there is no lock.
+template <typename T>
+struct FutureState {
+  std::optional<Result<T>> value;
+  /// Joining an unresolved future flushes this pipeline first. Not owned.
+  PipelineFlusher* flusher = nullptr;
+};
+
+}  // namespace internal
+
+/// A lightweight single-threaded future over Result<T>.
+///
+/// Futures are how the async StorageClient paths return: the value is not
+/// produced until the pipeline flushes, either explicitly (Flush()) or
+/// implicitly when any future from the pipeline is joined with Await().
+/// There are no callbacks and no threads — resolution happens synchronously
+/// inside Flush(), which also charges the worker's virtual clock the cost of
+/// the coalesced messages.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the pipeline has resolved this request (no flush triggered).
+  bool ready() const { return state_ != nullptr && state_->value.has_value(); }
+
+  /// Joins: flushes the owning pipeline if this request is still pending,
+  /// then returns the result. Call at most once per future (the value is
+  /// moved out).
+  Result<T> Await() {
+    TELL_CHECK(state_ != nullptr);
+    if (!state_->value.has_value() && state_->flusher != nullptr) {
+      state_->flusher->Flush();
+    }
+    TELL_CHECK(state_->value.has_value());
+    return std::move(*state_->value);
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Producer-side handle; mainly useful for tests and for pipelines that
+/// resolve out of line. StorageClient manipulates FutureState directly.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  Future<T> future(PipelineFlusher* flusher = nullptr) {
+    state_->flusher = flusher;
+    return Future<T>(state_);
+  }
+
+  bool resolved() const { return state_->value.has_value(); }
+  void Set(Result<T> value) { state_->value.emplace(std::move(value)); }
+
+  std::shared_ptr<internal::FutureState<T>> state() { return state_; }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+}  // namespace tell
+
+#endif  // TELL_COMMON_FUTURE_H_

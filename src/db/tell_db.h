@@ -46,6 +46,10 @@ struct TellDbOptions {
   sim::NetworkModel network = sim::NetworkModel::InfiniBand();
   sim::CpuModel cpu;
   bool batching = true;
+  /// Asynchronous request pipelining: workers coalesce independent storage
+  /// requests into one message per SN and overlap the round trips (see
+  /// ClientOptions::pipelining and DESIGN.md "Request pipelining").
+  bool pipelining = false;
 
   index::BTreeOptions btree;
   /// §5.2 operator push-down: full-scan WHERE clauses evaluate on the

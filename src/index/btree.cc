@@ -469,9 +469,8 @@ Status BTree::Remove(store::StorageClient* client, std::string_view key,
   return Status::InternalError("B+tree remove retries exhausted");
 }
 
-Result<std::vector<uint64_t>> BTree::Lookup(store::StorageClient* client,
-                                            std::string_view key) {
-  client->metrics()->index_lookups += 1;
+Result<std::vector<uint64_t>> BTree::LookupRids(store::StorageClient* client,
+                                                std::string_view key) {
   std::vector<uint64_t> path;
   TELL_ASSIGN_OR_RETURN(Node leaf, DescendToLeaf(client, key, &path));
   std::vector<uint64_t> rids;
@@ -479,6 +478,238 @@ Result<std::vector<uint64_t>> BTree::Lookup(store::StorageClient* client,
     if (e.key == key) rids.push_back(e.rid);
   }
   return rids;
+}
+
+Result<std::vector<uint64_t>> BTree::Lookup(store::StorageClient* client,
+                                            std::string_view key) {
+  client->metrics()->index_lookups += 1;
+  return LookupRids(client, key);
+}
+
+Status BTree::BatchDescendToLeaves(store::StorageClient* client,
+                                   const std::vector<std::string>& keys,
+                                   std::vector<Node>* leaves,
+                                   std::vector<size_t>* leaf_of_key) {
+  leaves->clear();
+  leaf_of_key->assign(keys.size(), kNoLeaf);
+  if (keys.empty()) return Status::OK();
+
+  struct Cursor {
+    size_t key_index;
+    Node node;
+  };
+  TELL_ASSIGN_OR_RETURN(Node root, ReadNode(client, kRootId, true));
+  std::vector<Cursor> active;
+  active.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) active.push_back({i, root});
+  // Distinct leaves reached so far: leaf id -> index into `leaves`.
+  std::map<uint64_t, size_t> leaf_index;
+
+  while (!active.empty()) {
+    std::vector<std::pair<size_t, uint64_t>> wanted;  // (key index, child id)
+    bool children_are_inner = false;
+    for (Cursor& cursor : active) {
+      const std::string& key = keys[cursor.key_index];
+      if (!cursor.node.CoversKey(key)) continue;  // stale: stays kNoLeaf
+      if (cursor.node.is_leaf) {
+        auto [it, fresh] =
+            leaf_index.try_emplace(cursor.node.id, leaves->size());
+        if (fresh) leaves->push_back(std::move(cursor.node));
+        (*leaf_of_key)[cursor.key_index] = it->second;
+        continue;
+      }
+      uint64_t child = cursor.node.ChildFor(key);
+      if (child == 0) continue;  // stale: stays kNoLeaf
+      children_are_inner = cursor.node.level > 1;
+      wanted.emplace_back(cursor.key_index, child);
+    }
+    active.clear();
+    if (wanted.empty()) break;
+
+    // Distinct children: cache first, the rest through one coalesced flush.
+    std::map<uint64_t, Node> nodes;
+    std::vector<std::pair<uint64_t, Future<store::VersionedCell>>> fetches;
+    for (const auto& [key_index, child] : wanted) {
+      (void)key_index;
+      if (nodes.count(child) != 0) continue;
+      bool have = false;
+      if (children_are_inner && options_.cache_inner_nodes &&
+          cache_ != nullptr) {
+        std::string value;
+        uint64_t stamp;
+        if (cache_->Get(child, &value, &stamp)) {
+          auto cached = Node::Deserialize(child, stamp, value);
+          if (cached.ok()) {
+            nodes.emplace(child, std::move(*cached));
+            have = true;
+          }
+        }
+      }
+      if (!have) {
+        // Reserve the slot so the same child is fetched once.
+        nodes.emplace(child, Node{});
+        fetches.emplace_back(child, client->AsyncGet(table_, NodeKey(child)));
+      }
+    }
+    client->Flush();
+    std::map<uint64_t, bool> failed;
+    for (auto& [child, future] : fetches) {
+      auto cell = future.Await();
+      if (!cell.ok()) {
+        failed[child] = true;
+        continue;
+      }
+      auto node = Node::Deserialize(child, cell->stamp, cell->value);
+      if (!node.ok()) {
+        failed[child] = true;
+        continue;
+      }
+      if (options_.cache_inner_nodes && cache_ != nullptr && !node->is_leaf) {
+        cache_->Put(child, node->Serialize(), node->stamp);
+      }
+      nodes[child] = std::move(*node);
+    }
+
+    for (const auto& [key_index, child] : wanted) {
+      if (failed.count(child) != 0) continue;  // stays kNoLeaf
+      active.push_back({key_index, nodes[child]});
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<uint64_t>>> BTree::BatchLookup(
+    store::StorageClient* client, const std::vector<std::string>& keys) {
+  client->metrics()->index_lookups += keys.size();
+  std::vector<std::vector<uint64_t>> out(keys.size());
+  if (keys.empty()) return out;
+  if (!client->options().pipelining || keys.size() == 1) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      TELL_ASSIGN_OR_RETURN(out[i], LookupRids(client, keys[i]));
+    }
+    return out;
+  }
+
+  std::vector<Node> leaves;
+  std::vector<size_t> leaf_of_key;
+  TELL_RETURN_NOT_OK(BatchDescendToLeaves(client, keys, &leaves, &leaf_of_key));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (leaf_of_key[i] == kNoLeaf) {
+      TELL_ASSIGN_OR_RETURN(out[i], LookupRids(client, keys[i]));
+      continue;
+    }
+    for (const IndexEntry& e : leaves[leaf_of_key[i]].entries) {
+      if (e.key == keys[i]) out[i].push_back(e.rid);
+    }
+  }
+  return out;
+}
+
+Status BTree::BatchInsert(store::StorageClient* client,
+                          const std::vector<BatchInsertOp>& ops,
+                          std::vector<bool>* inserted) {
+  inserted->assign(ops.size(), false);
+  auto serial = [&](size_t i) -> Status {
+    Status st = Insert(client, ops[i].key, ops[i].rid, ops[i].unique);
+    if (st.ok()) (*inserted)[i] = true;
+    return st;
+  };
+  if (!client->options().pipelining || ops.size() < 2) {
+    for (size_t i = 0; i < ops.size(); ++i) TELL_RETURN_NOT_OK(serial(i));
+    return Status::OK();
+  }
+
+  std::vector<std::string> keys;
+  keys.reserve(ops.size());
+  for (const BatchInsertOp& op : ops) keys.push_back(op.key);
+  std::vector<Node> leaves;
+  std::vector<size_t> leaf_of_key;
+  TELL_RETURN_NOT_OK(BatchDescendToLeaves(client, keys, &leaves, &leaf_of_key));
+
+  // Ops that need the serial Insert (stale path, full leaf, lost LL/SC).
+  std::vector<size_t> fallback;
+  std::map<size_t, std::vector<size_t>> groups;  // leaf index -> op indices
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (leaf_of_key[i] == kNoLeaf) {
+      fallback.push_back(i);
+    } else {
+      groups[leaf_of_key[i]].push_back(i);
+    }
+  }
+
+  // Prepare every leaf rewrite BEFORE issuing any put: a unique violation
+  // must surface while there is still nothing to undo.
+  struct LeafPut {
+    uint64_t id = 0;
+    uint64_t stamp = 0;
+    std::string value;
+    std::vector<size_t> op_indices;
+  };
+  std::vector<LeafPut> puts;
+  for (auto& [leaf_idx, op_indices] : groups) {
+    Node copy = leaves[leaf_idx];
+    bool overflow = false;
+    std::vector<size_t> applied;
+    for (size_t i : op_indices) {
+      const BatchInsertOp& op = ops[i];
+      if (op.unique) {
+        for (const IndexEntry& e : copy.entries) {
+          if (e.key == op.key && e.rid != op.rid) {
+            return Status::AlreadyExists("duplicate key in unique index");
+          }
+        }
+      }
+      size_t pos = copy.PositionFor(op.key, op.rid);
+      if (pos < copy.entries.size() && copy.entries[pos].key == op.key &&
+          copy.entries[pos].rid == op.rid) {
+        applied.push_back(i);  // already present — idempotent
+        continue;
+      }
+      if (copy.entries.size() >= options_.fanout) {
+        // The leaf must split; the serial Insert owns that machinery. Send
+        // the whole group (its earlier ops included) down the serial path.
+        overflow = true;
+        break;
+      }
+      copy.entries.insert(copy.entries.begin() + static_cast<ptrdiff_t>(pos),
+                          {op.key, op.rid});
+      applied.push_back(i);
+    }
+    if (overflow) {
+      for (size_t i : op_indices) fallback.push_back(i);
+      continue;
+    }
+    puts.push_back({copy.id, leaves[leaf_idx].stamp, copy.Serialize(),
+                    std::move(applied)});
+  }
+
+  // One conditional put per touched leaf, all through one pipeline window.
+  std::vector<std::pair<size_t, Future<uint64_t>>> futures;
+  futures.reserve(puts.size());
+  for (size_t p = 0; p < puts.size(); ++p) {
+    futures.emplace_back(
+        p, client->AsyncConditionalPut(table_, NodeKey(puts[p].id),
+                                       puts[p].stamp, puts[p].value));
+  }
+  client->Flush();
+  Status failure;
+  for (auto& [p, future] : futures) {
+    auto put = future.Await();
+    if (put.ok()) {
+      for (size_t i : puts[p].op_indices) (*inserted)[i] = true;
+    } else if (put.status().IsConditionFailed()) {
+      // Lost the LL/SC race on this leaf; re-run its ops serially (the
+      // serial Insert re-descends, re-checks uniqueness and is idempotent).
+      for (size_t i : puts[p].op_indices) fallback.push_back(i);
+    } else if (failure.ok()) {
+      failure = put.status();
+    }
+  }
+  if (!failure.ok()) return failure;
+
+  std::sort(fallback.begin(), fallback.end());
+  for (size_t i : fallback) TELL_RETURN_NOT_OK(serial(i));
+  return Status::OK();
 }
 
 Result<std::vector<IndexEntry>> BTree::RangeScan(store::StorageClient* client,

@@ -19,6 +19,13 @@ struct IndexEntry {
   uint64_t rid = 0;
 };
 
+/// One operation of a BTree::BatchInsert call.
+struct BatchInsertOp {
+  std::string key;
+  uint64_t rid = 0;
+  bool unique = false;
+};
+
 struct BTreeOptions {
   /// Max entries per node before it splits.
   uint32_t fanout = 64;
@@ -88,6 +95,21 @@ class BTree {
   Status Insert(store::StorageClient* client, std::string_view key,
                 uint64_t rid, bool unique);
 
+  /// Inserts many entries in one pipelined pass. With request pipelining
+  /// enabled on `client` the descents advance level-synchronously (shared
+  /// coalesced fetches, like BatchLookup) and the entries are grouped by
+  /// target leaf: each touched leaf is rewritten with ONE conditional put
+  /// carrying all of its new entries. Entries whose path turned stale, whose
+  /// leaf is full (split needed) or whose LL/SC lost a race fall back to the
+  /// serial Insert. Unique violations are detected during preparation,
+  /// before any put is issued. `inserted` (resized to ops.size()) reports
+  /// per op whether the entry is durably in the tree when the call returns —
+  /// on failure the caller uses it to undo a partial batch (Remove is
+  /// idempotent). Without pipelining this is a plain loop over Insert.
+  Status BatchInsert(store::StorageClient* client,
+                     const std::vector<BatchInsertOp>& ops,
+                     std::vector<bool>* inserted);
+
   /// Removes the entry (key, rid). OK even if absent (idempotent — index GC
   /// races are benign).
   Status Remove(store::StorageClient* client, std::string_view key,
@@ -96,6 +118,17 @@ class BTree {
   /// All rids stored under exactly `key`.
   Result<std::vector<uint64_t>> Lookup(store::StorageClient* client,
                                        std::string_view key);
+
+  /// Point lookups for many keys at once, positionally aligned with `keys`.
+  /// With request pipelining enabled on `client` the descents advance
+  /// level-synchronously: each round fetches the distinct uncached nodes of
+  /// one level — in particular the leaves, which are never cached — through
+  /// one coalesced pipeline window, so K lookups cost ~height round trips
+  /// instead of K. Keys whose path turns stale under a concurrent split fall
+  /// back to a single-key descent. Without pipelining this is a plain loop
+  /// over Lookup.
+  Result<std::vector<std::vector<uint64_t>>> BatchLookup(
+      store::StorageClient* client, const std::vector<std::string>& keys);
 
   /// Entries with key in [start, end); empty `end` = unbounded. `limit` 0 =
   /// unlimited.
@@ -112,6 +145,9 @@ class BTree {
 
   Result<Node> ReadNode(store::StorageClient* client, uint64_t node_id,
                         bool is_inner_level);
+  /// Lookup without the index_lookups metric (callers count themselves).
+  Result<std::vector<uint64_t>> LookupRids(store::StorageClient* client,
+                                           std::string_view key);
   Result<Node> ReadNodeUncached(store::StorageClient* client,
                                 uint64_t node_id);
 
@@ -121,6 +157,19 @@ class BTree {
   Result<Node> DescendToLeaf(store::StorageClient* client,
                              std::string_view key,
                              std::vector<uint64_t>* path);
+
+  /// Level-synchronous descent for many keys: every key advances one level
+  /// per round, and each round fetches the distinct uncached nodes of that
+  /// level through one coalesced pipeline window. On return,
+  /// `leaf_of_key[i]` indexes into `leaves` for keys[i] — or kNoLeaf when
+  /// that key's batched path turned stale (concurrent split, missing child,
+  /// failed fetch) and the caller must use the single-key descent, which
+  /// owns the full B-link right-hop and cache-refresh machinery.
+  static constexpr size_t kNoLeaf = static_cast<size_t>(-1);
+  Status BatchDescendToLeaves(store::StorageClient* client,
+                              const std::vector<std::string>& keys,
+                              std::vector<Node>* leaves,
+                              std::vector<size_t>* leaf_of_key);
 
   /// Splits `node` (already full) and publishes both halves; then inserts
   /// the separator into the parent level best-effort. Retries internally.

@@ -87,13 +87,29 @@ FaultPlan FaultPlan::Randomized(uint64_t seed, uint32_t num_nodes,
 FaultInjector::Decision FaultInjector::OnRequest(FaultOpClass op,
                                                  uint32_t table) {
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::pair<FaultOpClass, uint32_t> one{op, table};
+  return Evaluate(&one, 1);
+}
+
+FaultInjector::Decision FaultInjector::OnMessage(
+    const std::vector<std::pair<FaultOpClass, uint32_t>>& ops) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Evaluate(ops.data(), ops.size());
+}
+
+FaultInjector::Decision FaultInjector::Evaluate(
+    const std::pair<FaultOpClass, uint32_t>* ops, size_t count) {
   Decision decision;
-  if (!armed_) return decision;
+  if (!armed_ || count == 0) return decision;
   ++stats_.requests_seen;
   for (size_t i = 0; i < plan_.rules.size(); ++i) {
     const FaultRule& rule = plan_.rules[i];
-    if (rule.op != FaultOpClass::kAny && rule.op != op) continue;
-    if (rule.table != 0 && rule.table != table) continue;
+    bool matches = false;
+    for (size_t k = 0; k < count && !matches; ++k) {
+      matches = (rule.op == FaultOpClass::kAny || rule.op == ops[k].first) &&
+                (rule.table == 0 || rule.table == ops[k].second);
+    }
+    if (!matches) continue;
     if (rule.max_fires != 0 && fired_[i] >= rule.max_fires) continue;
     if (matched_[i]++ < rule.skip_matches) continue;
     // The RNG rolls once per armed matching rule — including probability

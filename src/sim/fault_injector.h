@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -133,6 +134,16 @@ class FaultInjector {
   /// drop_response), latency spikes and node kills accumulate alongside.
   Decision OnRequest(FaultOpClass op, uint32_t table);
 
+  /// Evaluates the plan against one *coalesced message* carrying several
+  /// logical ops (the request pipeline). The whole message is ONE request to
+  /// the injector — exactly what the accounting layer charges: a rule
+  /// matches if any contained op matches its filter, match/skip counters
+  /// advance once per message, and a firing drop affects every op in the
+  /// message. OnRequest is the single-op special case, so un-pipelined
+  /// request streams see identical RNG and counter sequences.
+  Decision OnMessage(
+      const std::vector<std::pair<FaultOpClass, uint32_t>>& ops);
+
   /// Stops all injection (invariant-checking phase of a chaos run).
   void Disarm();
   /// Re-enables injection after Disarm().
@@ -142,6 +153,11 @@ class FaultInjector {
   const FaultPlan& plan() const { return plan_; }
 
  private:
+  /// Shared rule evaluation; `ops` points at `count` (op, table) pairs all
+  /// travelling in the same message. Caller holds `mutex_`.
+  Decision Evaluate(const std::pair<FaultOpClass, uint32_t>* ops,
+                    size_t count);
+
   const FaultPlan plan_;
   mutable std::mutex mutex_;
   Random rng_;

@@ -82,11 +82,20 @@ struct WorkerMetrics {
   uint64_t commit_flag_failures = 0;
   /// Index entries removed while rolling back a failed commit.
   uint64_t index_rollbacks = 0;
+  /// Request-pipeline flushes that issued at least one coalesced message.
+  uint64_t pipeline_flushes = 0;
+  /// Virtual time saved by overlapping the requests of a flush versus
+  /// issuing them one synchronous round trip at a time.
+  uint64_t pipeline_overlap_saved_ns = 0;
 
   /// Transaction response time distribution (virtual ns).
   Histogram response_time;
   /// Logical ops per batched storage request (BatchGet/BatchWrite).
   Histogram batch_size;
+  /// Logical ops per coalesced pipeline message (per storage node).
+  Histogram pipeline_batch_size;
+  /// Ops outstanding in the pipeline when a flush was triggered.
+  Histogram pipeline_in_flight;
   /// Per-phase virtual time, one sample per transaction per touched phase.
   std::array<Histogram, kNumTxnPhases> phase_ns;
 
@@ -176,6 +185,12 @@ inline const std::vector<WorkerCounterField>& WorkerCounterFields() {
       {"tx.index_rollbacks", "entries",
        "index entries removed while rolling back a failed commit",
        &WorkerMetrics::index_rollbacks},
+      {"store.pipeline.flushes", "flushes",
+       "request-pipeline flushes that issued coalesced messages",
+       &WorkerMetrics::pipeline_flushes},
+      {"store.pipeline.overlap_saved_ns", "ns",
+       "virtual time saved by overlapping pipelined requests vs serial issue",
+       &WorkerMetrics::pipeline_overlap_saved_ns},
   };
   return kFields;
 }
@@ -187,6 +202,12 @@ inline const std::vector<WorkerHistogramField>& WorkerHistogramFields() {
          &WorkerMetrics::response_time, -1},
         {"store.batch_size", "ops", "logical ops per batched storage request",
          &WorkerMetrics::batch_size, -1},
+        {"store.pipeline.batch_size", "ops",
+         "logical ops per coalesced pipeline message",
+         &WorkerMetrics::pipeline_batch_size, -1},
+        {"store.pipeline.in_flight", "ops",
+         "ops outstanding in the pipeline at flush time",
+         &WorkerMetrics::pipeline_in_flight, -1},
     };
     static const std::array<const char*, kNumTxnPhases> kPhaseMetricNames = {
         "tx.phase.begin",    "tx.phase.index_lookup", "tx.phase.read",

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tell::sim {
 
@@ -33,6 +35,33 @@ struct NetworkModel {
            static_cast<uint64_t>(
                static_cast<double>(request_bytes + response_bytes) *
                ns_per_byte);
+  }
+
+  /// Overlap-aware accounting for one coalesced message (request pipelining,
+  /// §5.1): N logical ops to the same node share a single round trip —
+  /// base_rtt + overhead paid once, plus the serialization cost of all
+  /// payloads — instead of N serial RequestCosts. Returns both the shared
+  /// message cost and the serial-equivalent cost of issuing the same ops one
+  /// round trip at a time, so callers can account the virtual time the
+  /// overlap saved.
+  struct CoalescedCost {
+    uint64_t message_ns = 0;  // what the pipelined message costs
+    uint64_t serial_ns = 0;   // what N synchronous requests would have cost
+  };
+  CoalescedCost CoalescedRequestCost(
+      const std::vector<std::pair<uint64_t, uint64_t>>& per_op_bytes,
+      uint64_t per_request_framing_bytes) const {
+    CoalescedCost cost;
+    uint64_t request_bytes = per_request_framing_bytes;
+    uint64_t response_bytes = 0;
+    for (const auto& [op_request, op_response] : per_op_bytes) {
+      cost.serial_ns +=
+          RequestCost(op_request + per_request_framing_bytes, op_response);
+      request_bytes += op_request;
+      response_bytes += op_response;
+    }
+    cost.message_ns = RequestCost(request_bytes, response_bytes);
+    return cost;
   }
 
   /// 40 Gbit QDR InfiniBand with RDMA (paper testbed): ~5 us round trip,

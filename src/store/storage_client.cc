@@ -68,39 +68,70 @@ Result<uint64_t> StorageClient::PutWithRetry(TableId table,
                         [&] { return cluster_->Put(table, key, value); });
 }
 
+// A conditional put with a lost response is ambiguous: blindly re-issuing
+// after it DID apply would see its own stamp and report ConditionFailed,
+// turning a committed write into a spurious abort. So before each
+// re-issue, re-read the cell and decide:
+//   * stamp still == expected  -> nothing applied, safe to re-issue;
+//   * cell holds OUR value     -> the lost write applied; its (observed)
+//                                 stamp is the success result;
+//   * anything else            -> a concurrent writer won: genuine
+//                                 ConditionFailed.
+std::optional<Result<uint64_t>> StorageClient::ResolveAmbiguousConditionalPut(
+    TableId table, std::string_view key, uint64_t expected_stamp,
+    std::string_view value) {
+  auto cell = GetWithRetry(table, key);
+  ChargeRequest(key.size() + kPerOpHeaderBytes,
+                cell.ok() ? cell->value.size() + 8 : 8);
+  if (!cell.ok()) {
+    if (cell.status().IsNotFound()) {
+      if (expected_stamp == kStampAbsent) return std::nullopt;
+      return std::optional<Result<uint64_t>>(Status::ConditionFailed(
+          "cell erased during ambiguous conditional put"));
+    }
+    return std::nullopt;  // unresolved; the stamp check keeps a re-issue safe
+  }
+  if (cell->stamp == expected_stamp) return std::nullopt;  // not applied
+  if (cell->value == value) {
+    return std::optional<Result<uint64_t>>(uint64_t{cell->stamp});
+  }
+  return std::optional<Result<uint64_t>>(Status::ConditionFailed(
+      "concurrent write superseded ambiguous conditional put"));
+}
+
+// The postcondition of an erase is "key absent", so an ambiguous attempt
+// resolves by re-reading: absent -> done.
+std::optional<Status> StorageClient::ResolveAmbiguousErase(
+    TableId table, std::string_view key) {
+  auto cell = GetWithRetry(table, key);
+  ChargeRequest(key.size() + kPerOpHeaderBytes, 8);
+  if (cell.status().IsNotFound()) return Status::OK();
+  return std::nullopt;
+}
+
+// Same ambiguity as the conditional put: absent -> our erase applied;
+// stamp unchanged -> not applied, re-issue; new stamp -> someone else
+// wrote, genuine ConditionFailed.
+std::optional<Status> StorageClient::ResolveAmbiguousConditionalErase(
+    TableId table, std::string_view key, uint64_t expected_stamp) {
+  auto cell = GetWithRetry(table, key);
+  ChargeRequest(key.size() + kPerOpHeaderBytes,
+                cell.ok() ? cell->value.size() + 8 : 8);
+  if (cell.status().IsNotFound()) return Status::OK();
+  if (!cell.ok()) return std::nullopt;
+  if (cell->stamp == expected_stamp) return std::nullopt;  // not applied
+  return Status::ConditionFailed(
+      "cell overwritten during ambiguous conditional erase");
+}
+
 Result<uint64_t> StorageClient::ConditionalPutWithRetry(
     TableId table, std::string_view key, uint64_t expected_stamp,
     std::string_view value) {
   auto send = [&] {
     return cluster_->ConditionalPut(table, key, expected_stamp, value);
   };
-  // A conditional put with a lost response is ambiguous: blindly re-issuing
-  // after it DID apply would see its own stamp and report ConditionFailed,
-  // turning a committed write into a spurious abort. So before each
-  // re-issue, re-read the cell and decide:
-  //   * stamp still == expected  -> nothing applied, safe to re-issue;
-  //   * cell holds OUR value     -> the lost write applied; its (observed)
-  //                                 stamp is the success result;
-  //   * anything else            -> a concurrent writer won: genuine
-  //                                 ConditionFailed.
-  auto resolve = [&]() -> std::optional<Result<uint64_t>> {
-    auto cell = GetWithRetry(table, key);
-    ChargeRequest(key.size() + kPerOpHeaderBytes,
-                  cell.ok() ? cell->value.size() + 8 : 8);
-    if (!cell.ok()) {
-      if (cell.status().IsNotFound()) {
-        if (expected_stamp == kStampAbsent) return std::nullopt;
-        return std::optional<Result<uint64_t>>(Status::ConditionFailed(
-            "cell erased during ambiguous conditional put"));
-      }
-      return std::nullopt;  // unresolved; the stamp check keeps a re-issue safe
-    }
-    if (cell->stamp == expected_stamp) return std::nullopt;  // not applied
-    if (cell->value == value) {
-      return std::optional<Result<uint64_t>>(uint64_t{cell->stamp});
-    }
-    return std::optional<Result<uint64_t>>(Status::ConditionFailed(
-        "concurrent write superseded ambiguous conditional put"));
+  auto resolve = [&] {
+    return ResolveAmbiguousConditionalPut(table, key, expected_stamp, value);
   };
   return IssueWithRetry(sim::FaultOpClass::kConditionalPut, table, send,
                         resolve);
@@ -108,14 +139,7 @@ Result<uint64_t> StorageClient::ConditionalPutWithRetry(
 
 Status StorageClient::EraseWithRetry(TableId table, std::string_view key) {
   auto send = [&] { return cluster_->Erase(table, key); };
-  // The postcondition of an erase is "key absent", so an ambiguous attempt
-  // resolves by re-reading: absent -> done.
-  auto resolve = [&]() -> std::optional<Status> {
-    auto cell = GetWithRetry(table, key);
-    ChargeRequest(key.size() + kPerOpHeaderBytes, 8);
-    if (cell.status().IsNotFound()) return Status::OK();
-    return std::nullopt;
-  };
+  auto resolve = [&] { return ResolveAmbiguousErase(table, key); };
   return IssueWithRetry(sim::FaultOpClass::kErase, table, send, resolve);
 }
 
@@ -125,21 +149,334 @@ Status StorageClient::ConditionalEraseWithRetry(TableId table,
   auto send = [&] {
     return cluster_->ConditionalErase(table, key, expected_stamp);
   };
-  // Same ambiguity as the conditional put: absent -> our erase applied;
-  // stamp unchanged -> not applied, re-issue; new stamp -> someone else
-  // wrote, genuine ConditionFailed.
-  auto resolve = [&]() -> std::optional<Status> {
-    auto cell = GetWithRetry(table, key);
-    ChargeRequest(key.size() + kPerOpHeaderBytes,
-                  cell.ok() ? cell->value.size() + 8 : 8);
-    if (cell.status().IsNotFound()) return Status::OK();
-    if (!cell.ok()) return std::nullopt;
-    if (cell->stamp == expected_stamp) return std::nullopt;  // not applied
-    return Status::ConditionFailed(
-        "cell overwritten during ambiguous conditional erase");
+  auto resolve = [&] {
+    return ResolveAmbiguousConditionalErase(table, key, expected_stamp);
   };
   return IssueWithRetry(sim::FaultOpClass::kConditionalErase, table, send,
                         resolve);
+}
+
+sim::FaultOpClass StorageClient::OpClassOf(PendingOp::Kind kind) {
+  switch (kind) {
+    case PendingOp::Kind::kGet:
+      return sim::FaultOpClass::kGet;
+    case PendingOp::Kind::kPut:
+      return sim::FaultOpClass::kPut;
+    case PendingOp::Kind::kConditionalPut:
+      return sim::FaultOpClass::kConditionalPut;
+    case PendingOp::Kind::kErase:
+      return sim::FaultOpClass::kErase;
+    case PendingOp::Kind::kConditionalErase:
+      return sim::FaultOpClass::kConditionalErase;
+  }
+  return sim::FaultOpClass::kAny;
+}
+
+Future<VersionedCell> StorageClient::AsyncGet(TableId table,
+                                              std::string_view key) {
+  if (!options_.pipelining) {
+    Promise<VersionedCell> promise;
+    promise.Set(Get(table, key));
+    return promise.future();
+  }
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  PendingOp op;
+  op.kind = PendingOp::Kind::kGet;
+  op.table = table;
+  op.key = std::string(key);
+  op.get_state = std::make_shared<internal::FutureState<VersionedCell>>();
+  op.get_state->flusher = this;
+  Future<VersionedCell> future{op.get_state};
+  pending_.push_back(std::move(op));
+  return future;
+}
+
+Future<uint64_t> StorageClient::AsyncPut(TableId table, std::string_view key,
+                                         std::string_view value) {
+  if (!options_.pipelining) {
+    Promise<uint64_t> promise;
+    promise.Set(Put(table, key, value));
+    return promise.future();
+  }
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  PendingOp op;
+  op.kind = PendingOp::Kind::kPut;
+  op.table = table;
+  op.key = std::string(key);
+  op.value = std::string(value);
+  op.write_state = std::make_shared<internal::FutureState<uint64_t>>();
+  op.write_state->flusher = this;
+  Future<uint64_t> future{op.write_state};
+  pending_.push_back(std::move(op));
+  return future;
+}
+
+Future<uint64_t> StorageClient::AsyncConditionalPut(TableId table,
+                                                    std::string_view key,
+                                                    uint64_t expected_stamp,
+                                                    std::string_view value) {
+  if (!options_.pipelining) {
+    Promise<uint64_t> promise;
+    promise.Set(ConditionalPut(table, key, expected_stamp, value));
+    return promise.future();
+  }
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  PendingOp op;
+  op.kind = PendingOp::Kind::kConditionalPut;
+  op.table = table;
+  op.key = std::string(key);
+  op.value = std::string(value);
+  op.expected_stamp = expected_stamp;
+  op.write_state = std::make_shared<internal::FutureState<uint64_t>>();
+  op.write_state->flusher = this;
+  Future<uint64_t> future{op.write_state};
+  pending_.push_back(std::move(op));
+  return future;
+}
+
+Future<uint64_t> StorageClient::AsyncErase(TableId table,
+                                           std::string_view key) {
+  if (!options_.pipelining) {
+    Promise<uint64_t> promise;
+    Status status = Erase(table, key);
+    promise.Set(status.ok() ? Result<uint64_t>(uint64_t{0})
+                            : Result<uint64_t>(status));
+    return promise.future();
+  }
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  PendingOp op;
+  op.kind = PendingOp::Kind::kErase;
+  op.table = table;
+  op.key = std::string(key);
+  op.write_state = std::make_shared<internal::FutureState<uint64_t>>();
+  op.write_state->flusher = this;
+  Future<uint64_t> future{op.write_state};
+  pending_.push_back(std::move(op));
+  return future;
+}
+
+Future<uint64_t> StorageClient::AsyncConditionalErase(TableId table,
+                                                      std::string_view key,
+                                                      uint64_t expected_stamp) {
+  if (!options_.pipelining) {
+    Promise<uint64_t> promise;
+    Status status = ConditionalErase(table, key, expected_stamp);
+    promise.Set(status.ok() ? Result<uint64_t>(uint64_t{0})
+                            : Result<uint64_t>(status));
+    return promise.future();
+  }
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  PendingOp op;
+  op.kind = PendingOp::Kind::kConditionalErase;
+  op.table = table;
+  op.key = std::string(key);
+  op.expected_stamp = expected_stamp;
+  op.write_state = std::make_shared<internal::FutureState<uint64_t>>();
+  op.write_state->flusher = this;
+  Future<uint64_t> future{op.write_state};
+  pending_.push_back(std::move(op));
+  return future;
+}
+
+uint64_t StorageClient::ExecuteRaw(PendingOp* op) {
+  switch (op->kind) {
+    case PendingOp::Kind::kGet: {
+      op->get_result = cluster_->Get(op->table, op->key);
+      return op->get_result->ok() ? (**op->get_result).value.size() + 8 : 8;
+    }
+    case PendingOp::Kind::kPut:
+      op->write_result = cluster_->Put(op->table, op->key, op->value);
+      return 16;
+    case PendingOp::Kind::kConditionalPut:
+      op->write_result = cluster_->ConditionalPut(op->table, op->key,
+                                                  op->expected_stamp,
+                                                  op->value);
+      return 16;
+    case PendingOp::Kind::kErase: {
+      Status status = cluster_->Erase(op->table, op->key);
+      op->write_result = status.ok() ? Result<uint64_t>(uint64_t{0})
+                                     : Result<uint64_t>(status);
+      return 16;
+    }
+    case PendingOp::Kind::kConditionalErase: {
+      Status status =
+          cluster_->ConditionalErase(op->table, op->key, op->expected_stamp);
+      op->write_result = status.ok() ? Result<uint64_t>(uint64_t{0})
+                                     : Result<uint64_t>(status);
+      return 16;
+    }
+  }
+  return 0;
+}
+
+void StorageClient::ResolvePending(PendingOp* op,
+                                   uint64_t* replicated_writes) {
+  switch (op->kind) {
+    case PendingOp::Kind::kGet: {
+      auto send = [&] { return cluster_->Get(op->table, op->key); };
+      auto result = RetryLoop(
+          sim::FaultOpClass::kGet, op->table, std::move(*op->get_result), send,
+          []() -> std::optional<Result<VersionedCell>> { return std::nullopt; });
+      op->get_state->value.emplace(std::move(result));
+      return;
+    }
+    case PendingOp::Kind::kPut: {
+      auto send = [&] { return cluster_->Put(op->table, op->key, op->value); };
+      auto result = RetryLoop(
+          sim::FaultOpClass::kPut, op->table, std::move(*op->write_result),
+          send, []() -> std::optional<Result<uint64_t>> { return std::nullopt; });
+      if (result.ok()) ++*replicated_writes;
+      op->write_state->value.emplace(std::move(result));
+      return;
+    }
+    case PendingOp::Kind::kConditionalPut: {
+      auto send = [&] {
+        return cluster_->ConditionalPut(op->table, op->key, op->expected_stamp,
+                                        op->value);
+      };
+      auto resolve = [&] {
+        return ResolveAmbiguousConditionalPut(op->table, op->key,
+                                              op->expected_stamp, op->value);
+      };
+      auto result = RetryLoop(sim::FaultOpClass::kConditionalPut, op->table,
+                              std::move(*op->write_result), send, resolve);
+      if (result.status().IsConditionFailed()) metrics_->llsc_failures += 1;
+      if (result.ok()) ++*replicated_writes;
+      op->write_state->value.emplace(std::move(result));
+      return;
+    }
+    case PendingOp::Kind::kErase: {
+      auto send = [&] { return cluster_->Erase(op->table, op->key); };
+      auto resolve = [&] { return ResolveAmbiguousErase(op->table, op->key); };
+      Status initial = op->write_result->ok() ? Status::OK()
+                                              : op->write_result->status();
+      Status status = RetryLoop(sim::FaultOpClass::kErase, op->table,
+                                std::move(initial), send, resolve);
+      op->write_state->value.emplace(status.ok() ? Result<uint64_t>(uint64_t{0})
+                                                 : Result<uint64_t>(status));
+      return;
+    }
+    case PendingOp::Kind::kConditionalErase: {
+      auto send = [&] {
+        return cluster_->ConditionalErase(op->table, op->key,
+                                          op->expected_stamp);
+      };
+      auto resolve = [&] {
+        return ResolveAmbiguousConditionalErase(op->table, op->key,
+                                                op->expected_stamp);
+      };
+      Status initial = op->write_result->ok() ? Status::OK()
+                                              : op->write_result->status();
+      Status status = RetryLoop(sim::FaultOpClass::kConditionalErase,
+                                op->table, std::move(initial), send, resolve);
+      if (status.IsConditionFailed()) metrics_->llsc_failures += 1;
+      op->write_state->value.emplace(status.ok() ? Result<uint64_t>(uint64_t{0})
+                                                 : Result<uint64_t>(status));
+      return;
+    }
+  }
+}
+
+void StorageClient::Flush() {
+  if (pending_.empty()) return;
+  std::vector<PendingOp> ops = std::move(pending_);
+  pending_.clear();
+  metrics_->pipeline_flushes += 1;
+  metrics_->pipeline_in_flight.Record(ops.size());
+
+  // One coalesced message per master storage node, issued in parallel
+  // (std::map keeps the group order deterministic).
+  std::map<uint32_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto master = cluster_->MasterOf(ops[i].table, ops[i].key);
+    groups[master.ok() ? *master : 0].push_back(i);
+  }
+
+  uint64_t slowest_message_ns = 0;
+  uint64_t total_serial_ns = 0;
+  for (const auto& [node, members] : groups) {
+    (void)node;
+    // Fault injection observes the same unit the accounting charges: one
+    // consultation per coalesced message, a firing drop affecting every op
+    // inside it.
+    sim::FaultInjector::Decision d;
+    if (options_.fault_injector != nullptr) {
+      std::vector<std::pair<sim::FaultOpClass, uint32_t>> classes;
+      classes.reserve(members.size());
+      for (size_t i : members) {
+        classes.emplace_back(OpClassOf(ops[i].kind), ops[i].table);
+      }
+      d = options_.fault_injector->OnMessage(classes);
+    }
+    if (d.kill_node >= 0 &&
+        d.kill_node < static_cast<int64_t>(cluster_->num_nodes())) {
+      cluster_->node(static_cast<uint32_t>(d.kill_node))->Kill();
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> per_op_bytes;
+    per_op_bytes.reserve(members.size());
+    uint64_t sent = kPerRequestHeaderBytes;
+    uint64_t received = 0;
+    for (size_t i : members) {
+      PendingOp& op = ops[i];
+      uint64_t request_bytes =
+          op.key.size() + op.value.size() + kPerOpHeaderBytes;
+      uint64_t response_bytes = 0;
+      if (d.drop_request) {
+        // The message never reached the node: nothing executed, no response
+        // bytes received or charged.
+        Status lost = Status::Unavailable("injected fault: request dropped");
+        if (op.kind == PendingOp::Kind::kGet) {
+          op.get_result = Result<VersionedCell>(lost);
+        } else {
+          op.write_result = Result<uint64_t>(lost);
+        }
+      } else {
+        response_bytes = ExecuteRaw(&op);
+        if (d.drop_response) {
+          // Executed, but the response message was lost: every op in it is
+          // ambiguous and no bytes came back.
+          Status lost = Status::Unavailable(
+              "injected fault: response dropped (ambiguous outcome)");
+          if (op.kind == PendingOp::Kind::kGet) {
+            op.get_result = Result<VersionedCell>(lost);
+          } else {
+            op.write_result = Result<uint64_t>(lost);
+          }
+          response_bytes = 0;
+        }
+      }
+      per_op_bytes.emplace_back(request_bytes, response_bytes);
+      sent += request_bytes;
+      received += response_bytes;
+    }
+    auto cost = options_.network.CoalescedRequestCost(per_op_bytes,
+                                                      kPerRequestHeaderBytes);
+    metrics_->storage_requests += 1;
+    metrics_->bytes_sent += sent;
+    metrics_->bytes_received += received;
+    metrics_->batch_size.Record(members.size());
+    metrics_->pipeline_batch_size.Record(members.size());
+    slowest_message_ns =
+        std::max(slowest_message_ns, cost.message_ns + d.extra_latency_ns);
+    total_serial_ns += cost.serial_ns + d.extra_latency_ns;
+  }
+  clock_->Advance(slowest_message_ns);
+  if (total_serial_ns > slowest_message_ns) {
+    metrics_->pipeline_overlap_saved_ns += total_serial_ns - slowest_message_ns;
+  }
+
+  // Per-logical-request failure handling: every op whose first (coalesced)
+  // attempt came back Unavailable now runs the ordinary RetryPolicy —
+  // fail-over, jittered backoff, ambiguous-write resolution — before its
+  // future resolves.
+  uint64_t replicated_writes = 0;
+  for (PendingOp& op : ops) ResolvePending(&op, &replicated_writes);
+  ChargeReplication(replicated_writes);
 }
 
 Result<VersionedCell> StorageClient::Get(TableId table, std::string_view key) {
@@ -153,6 +490,18 @@ Result<VersionedCell> StorageClient::Get(TableId table, std::string_view key) {
 
 std::vector<Result<VersionedCell>> StorageClient::BatchGet(
     const std::vector<GetOp>& ops) {
+  if (options_.pipelining) {
+    // Async enqueue + one flush; the Async/Flush path owns all accounting.
+    std::vector<Future<VersionedCell>> futures;
+    futures.reserve(ops.size());
+    for (const auto& op : ops) futures.push_back(AsyncGet(op.table, op.key));
+    Flush();
+    std::vector<Result<VersionedCell>> results;
+    results.reserve(futures.size());
+    for (auto& future : futures) results.push_back(future.Await());
+    return results;
+  }
+
   std::vector<Result<VersionedCell>> results;
   results.reserve(ops.size());
   metrics_->storage_ops += ops.size();
@@ -237,6 +586,31 @@ Status StorageClient::ConditionalErase(TableId table, std::string_view key,
 
 std::vector<Result<uint64_t>> StorageClient::BatchWrite(
     const std::vector<WriteOp>& ops) {
+  if (options_.pipelining) {
+    // Async enqueue + one flush; llsc_failures and replication are counted
+    // by the resolution step inside Flush().
+    std::vector<Future<uint64_t>> futures;
+    futures.reserve(ops.size());
+    for (const auto& op : ops) {
+      if (op.erase) {
+        futures.push_back(op.conditional
+                              ? AsyncConditionalErase(op.table, op.key,
+                                                      op.expected_stamp)
+                              : AsyncErase(op.table, op.key));
+      } else if (op.conditional) {
+        futures.push_back(
+            AsyncConditionalPut(op.table, op.key, op.expected_stamp, op.value));
+      } else {
+        futures.push_back(AsyncPut(op.table, op.key, op.value));
+      }
+    }
+    Flush();
+    std::vector<Result<uint64_t>> results;
+    results.reserve(futures.size());
+    for (auto& future : futures) results.push_back(future.Await());
+    return results;
+  }
+
   std::vector<Result<uint64_t>> results;
   results.reserve(ops.size());
   metrics_->storage_ops += ops.size();

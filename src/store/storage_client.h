@@ -2,11 +2,13 @@
 #define TELL_STORE_STORAGE_CLIENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/future.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -47,6 +49,14 @@ struct ClientOptions {
   /// different nodes are issued in parallel. Disabled for the batching
   /// ablation bench (each op then pays a full sequential round trip).
   bool batching = true;
+  /// Request pipelining (§5.1's "aggressive batching" taken to its
+  /// conclusion): Async* calls enqueue into a per-worker combiner instead of
+  /// blocking; Flush() coalesces everything outstanding into one message per
+  /// storage node and charges a single shared round trip per node (the
+  /// NetworkModel::CoalescedRequestCost overlap accounting) instead of N
+  /// serial RTTs. Off by default: the synchronous paths then stay
+  /// bit-identical, and Async* calls degrade to immediate execution.
+  bool pipelining = false;
   /// Extra round trips charged per write for synchronous replication
   /// (master -> backup chain). Set from the cluster's replication factor.
   uint32_t replication_extra_hops = 0;
@@ -77,7 +87,7 @@ struct ClientOptions {
 /// time (jitter from the client's seeded RNG), and — for conditional writes
 /// and erases, whose lost responses are ambiguous — a re-read that decides
 /// whether the write applied before the op is re-issued.
-class StorageClient {
+class StorageClient : public PipelineFlusher {
  public:
   StorageClient(Cluster* cluster, ManagementNode* management,
                 const ClientOptions& options, sim::VirtualClock* clock,
@@ -99,6 +109,37 @@ class StorageClient {
 
   /// Single-record read (one round trip).
   Result<VersionedCell> Get(TableId table, std::string_view key);
+
+  /// --- Asynchronous pipeline (ClientOptions::pipelining) -------------------
+  ///
+  /// Async* calls enqueue a logical request and return an unresolved future;
+  /// Flush() coalesces all outstanding requests into one message per storage
+  /// node (issued in parallel across nodes) and resolves the futures.
+  /// Joining any unresolved future flushes implicitly. Each logical request
+  /// still resolves through the full RetryPolicy — fail-over, jittered
+  /// backoff, ambiguous-write resolution — after the coalesced first attempt.
+  /// With pipelining disabled the calls execute immediately (identical cost
+  /// accounting and fault-injection stream to the synchronous paths) and
+  /// return ready futures.
+  Future<VersionedCell> AsyncGet(TableId table, std::string_view key);
+  Future<uint64_t> AsyncPut(TableId table, std::string_view key,
+                            std::string_view value);
+  Future<uint64_t> AsyncConditionalPut(TableId table, std::string_view key,
+                                       uint64_t expected_stamp,
+                                       std::string_view value);
+  /// Erase futures resolve to 0 on success (BatchWrite's convention).
+  Future<uint64_t> AsyncErase(TableId table, std::string_view key);
+  Future<uint64_t> AsyncConditionalErase(TableId table, std::string_view key,
+                                         uint64_t expected_stamp);
+
+  /// Issues every outstanding async request: one coalesced message per
+  /// storage node, fault injection consulted once per *message* (the same
+  /// unit the accounting charges), virtual time advanced by the slowest
+  /// node's message. No-op when nothing is pending.
+  void Flush() override;
+
+  /// Outstanding async requests not yet flushed.
+  size_t PendingOps() const { return pending_.size(); }
 
   /// Reads many records. With batching on, ops going to the same storage
   /// node share one request and requests to distinct nodes fly in parallel,
@@ -197,14 +238,16 @@ class StorageClient {
     return result;
   }
 
-  /// The single retry loop every path uses. `send` issues the request;
-  /// `resolve` is consulted after an Unavailable attempt and before the
-  /// re-issue: it returns a final result if it can prove the ambiguous
-  /// write's outcome (applied / superseded), or nullopt to re-issue.
-  template <typename Send, typename Resolve>
-  auto IssueWithRetry(sim::FaultOpClass op, TableId table, Send&& send,
-                      Resolve&& resolve) -> decltype(send()) {
-    auto result = IssueOnce(op, table, send);
+  /// The single retry loop every path uses, seeded with the result of an
+  /// already-issued first attempt (the pipeline issues first attempts inside
+  /// a coalesced message, then runs this loop per still-Unavailable logical
+  /// request). `send` re-issues the request; `resolve` is consulted after an
+  /// Unavailable attempt and before the re-issue: it returns a final result
+  /// if it can prove the ambiguous write's outcome (applied / superseded),
+  /// or nullopt to re-issue.
+  template <typename R, typename Send, typename Resolve>
+  R RetryLoop(sim::FaultOpClass op, TableId table, R result, Send&& send,
+              Resolve&& resolve) {
     for (uint32_t retry = 1; StatusOf(result).IsUnavailable() &&
                              retry < options_.retry.max_attempts;
          ++retry) {
@@ -232,6 +275,13 @@ class StorageClient {
     return result;
   }
 
+  template <typename Send, typename Resolve>
+  auto IssueWithRetry(sim::FaultOpClass op, TableId table, Send&& send,
+                      Resolve&& resolve) -> decltype(send()) {
+    return RetryLoop(op, table, IssueOnce(op, table, send),
+                     std::forward<Send>(send), std::forward<Resolve>(resolve));
+  }
+
   /// Idempotent ops (reads, scans, unconditional puts, increments): no
   /// ambiguity resolution, plain bounded re-issue.
   template <typename Send>
@@ -254,6 +304,47 @@ class StorageClient {
   Status ConditionalEraseWithRetry(TableId table, std::string_view key,
                                    uint64_t expected_stamp);
 
+  /// Ambiguity resolvers shared by the *WithRetry primitives and the
+  /// pipeline: re-read the cell and decide the outcome of a conditional
+  /// write/erase whose response was lost, or return nullopt to re-issue.
+  std::optional<Result<uint64_t>> ResolveAmbiguousConditionalPut(
+      TableId table, std::string_view key, uint64_t expected_stamp,
+      std::string_view value);
+  std::optional<Status> ResolveAmbiguousErase(TableId table,
+                                              std::string_view key);
+  std::optional<Status> ResolveAmbiguousConditionalErase(
+      TableId table, std::string_view key, uint64_t expected_stamp);
+
+  /// One logical request waiting in the pipeline.
+  struct PendingOp {
+    enum class Kind : uint8_t {
+      kGet,
+      kPut,
+      kConditionalPut,
+      kErase,
+      kConditionalErase,
+    };
+    Kind kind;
+    TableId table;
+    std::string key;
+    std::string value;               // puts only
+    uint64_t expected_stamp = 0;     // conditional ops only
+    // Exactly one of the two states is set, matching `kind`.
+    std::shared_ptr<internal::FutureState<VersionedCell>> get_state;
+    std::shared_ptr<internal::FutureState<uint64_t>> write_state;
+    // First-attempt results, filled while executing the coalesced message.
+    std::optional<Result<VersionedCell>> get_result;
+    std::optional<Result<uint64_t>> write_result;
+  };
+
+  static sim::FaultOpClass OpClassOf(PendingOp::Kind kind);
+  /// Raw single-op execution against the cluster (no injection, no charges);
+  /// fills the op's first-attempt result and returns its response bytes.
+  uint64_t ExecuteRaw(PendingOp* op);
+  /// Runs the RetryPolicy for a first attempt that came back Unavailable,
+  /// applies ambiguity resolution, and resolves the op's future.
+  void ResolvePending(PendingOp* op, uint64_t* replicated_writes);
+
   Cluster* const cluster_;
   ManagementNode* const management_;
   const ClientOptions options_;
@@ -262,6 +353,8 @@ class StorageClient {
   /// Private RNG for backoff jitter (seeded; decorrelates workers without
   /// giving up reproducibility).
   Random rng_;
+  /// Async requests enqueued since the last Flush().
+  std::vector<PendingOp> pending_;
 };
 
 }  // namespace tell::store

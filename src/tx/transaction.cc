@@ -116,40 +116,48 @@ Result<std::optional<schema::Tuple>> Transaction::Read(TableHandle* table,
   return std::optional<schema::Tuple>(std::move(tuple));
 }
 
-Result<std::vector<std::optional<schema::Tuple>>> Transaction::BatchRead(
-    TableHandle* table, const std::vector<uint64_t>& rids) {
-  TELL_CHECK(state_ == TxnState::kRunning);
-  obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
+Status Transaction::PrefetchMissing(TableHandle* table,
+                                    const std::vector<uint64_t>& rids) {
   store::TableId data_table = table->meta->data_table;
-  // Fetch everything not yet buffered, in one batched request when the
-  // buffering strategy allows it.
   std::vector<uint64_t> missing;
   for (uint64_t rid : rids) {
     if (buffer_.find({data_table, rid}) == buffer_.end()) {
       missing.push_back(rid);
     }
   }
-  if (!missing.empty() && session_->record_buffer()->PrefersBatchFetch()) {
-    std::vector<store::GetOp> ops;
-    ops.reserve(missing.size());
-    for (uint64_t rid : missing) ops.push_back({data_table, RidKey(rid)});
-    std::vector<Result<store::VersionedCell>> cells = client_->BatchGet(ops);
-    for (size_t i = 0; i < missing.size(); ++i) {
-      client_->metrics()->buffer_misses += 1;
-      RecordState state;
-      state.table = table;
-      if (cells[i].ok()) {
-        TELL_ASSIGN_OR_RETURN(
-            state.record,
-            schema::VersionedRecord::Deserialize(cells[i]->value));
-        state.stamp = cells[i]->stamp;
-        state.exists = true;
-      } else if (!cells[i].status().IsNotFound()) {
-        return cells[i].status();
-      }
-      buffer_.emplace(RecordKey{data_table, missing[i]}, std::move(state));
-    }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  if (missing.empty() || !session_->record_buffer()->PrefersBatchFetch()) {
+    return Status::OK();
   }
+  std::vector<store::GetOp> ops;
+  ops.reserve(missing.size());
+  for (uint64_t rid : missing) ops.push_back({data_table, RidKey(rid)});
+  std::vector<Result<store::VersionedCell>> cells = client_->BatchGet(ops);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    client_->metrics()->buffer_misses += 1;
+    RecordState state;
+    state.table = table;
+    if (cells[i].ok()) {
+      TELL_ASSIGN_OR_RETURN(
+          state.record, schema::VersionedRecord::Deserialize(cells[i]->value));
+      state.stamp = cells[i]->stamp;
+      state.exists = true;
+    } else if (!cells[i].status().IsNotFound()) {
+      return cells[i].status();
+    }
+    buffer_.emplace(RecordKey{data_table, missing[i]}, std::move(state));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::optional<schema::Tuple>>> Transaction::BatchRead(
+    TableHandle* table, const std::vector<uint64_t>& rids) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
+  // Fetch everything not yet buffered, in one batched request when the
+  // buffering strategy allows it.
+  TELL_RETURN_NOT_OK(PrefetchMissing(table, rids));
   std::vector<std::optional<schema::Tuple>> out;
   out.reserve(rids.size());
   for (uint64_t rid : rids) {
@@ -355,6 +363,59 @@ Result<std::optional<uint64_t>> Transaction::LookupPrimary(
     return Status::InternalError("unique index returned multiple rids");
   }
   return std::optional<uint64_t>(rids.front());
+}
+
+Result<std::vector<std::optional<uint64_t>>> Transaction::BatchLookupPrimary(
+    TableHandle* table, const std::vector<std::vector<schema::Value>>& keys) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kIndexLookup);
+  index::BTree* tree = &table->primary;
+  std::vector<std::string> encoded;
+  encoded.reserve(keys.size());
+  for (const auto& key : keys) {
+    TELL_ASSIGN_OR_RETURN(std::string one, schema::EncodeIndexKeyValues(key));
+    encoded.push_back(std::move(one));
+  }
+  TELL_ASSIGN_OR_RETURN(std::vector<std::vector<uint64_t>> rid_lists,
+                        tree->BatchLookup(client_, encoded));
+  TELL_CHECK(rid_lists.size() == encoded.size());
+  // Merge this transaction's pending inserts and dedup, like LookupIndex.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    auto pending_it = pending_index_.find({tree->table(), encoded[i]});
+    if (pending_it != pending_index_.end()) {
+      for (uint64_t rid : pending_it->second) rid_lists[i].push_back(rid);
+    }
+    std::sort(rid_lists[i].begin(), rid_lists[i].end());
+    rid_lists[i].erase(std::unique(rid_lists[i].begin(), rid_lists[i].end()),
+                       rid_lists[i].end());
+  }
+  // Prefetch every candidate record up front so the per-key validation below
+  // is served from the transaction buffer (record fetches attribute to the
+  // read phase, like EnsureFetched would).
+  {
+    obs::PhaseScope read_span(tracer_, sim::TxnPhase::kRead);
+    std::vector<uint64_t> candidates;
+    for (const auto& rids : rid_lists) {
+      candidates.insert(candidates.end(), rids.begin(), rids.end());
+    }
+    TELL_RETURN_NOT_OK(PrefetchMissing(table, candidates));
+  }
+  std::vector<std::optional<uint64_t>> out;
+  out.reserve(keys.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::optional<uint64_t> found;
+    for (uint64_t rid : rid_lists[i]) {
+      TELL_ASSIGN_OR_RETURN(std::optional<schema::Tuple> tuple,
+                            ValidateIndexHit(table, tree, encoded[i], rid));
+      if (!tuple.has_value()) continue;
+      if (found.has_value()) {
+        return Status::InternalError("unique index returned multiple rids");
+      }
+      found = rid;
+    }
+    out.push_back(found);
+  }
+  return out;
 }
 
 Result<std::optional<schema::Tuple>> Transaction::ReadByKey(
@@ -658,27 +719,23 @@ Status Transaction::Commit() {
   }
 
   // 3. Alter the indexes to reflect the updates (§4.3 step 4a).
-  size_t inserted_index_ops = 0;
-  for (const IndexOp& op : index_ops_) {
-    Status st = op.tree->Insert(client_, op.key, op.rid, op.unique);
-    if (!st.ok()) {
-      // Unique-index race (two transactions inserting the same key) or a
-      // storage failure: the data updates must not become durable — and
-      // neither must the index entries inserted so far, or lookups under
-      // those keys would drag a never-committed rid through validation
-      // forever (a unique index would even turn it into a permanent
-      // InternalError for the racing winner's key).
-      RollbackIndexInserts(inserted_index_ops);
-      RollbackApplied(dirty);
-      (void)commit_manager_->SetAborted(tid_);
-      state_ = TxnState::kAborted;
-      client_->metrics()->aborted += 1;
-      if (st.IsAlreadyExists()) {
-        return Status::Aborted("unique index conflict on commit");
-      }
-      return st;
+  Status index_status = ApplyIndexInserts();
+  if (!index_status.ok()) {
+    // Unique-index race (two transactions inserting the same key) or a
+    // storage failure: the data updates must not become durable — and
+    // neither must the index entries inserted so far (ApplyIndexInserts
+    // already removed them again), or lookups under those keys would drag a
+    // never-committed rid through validation forever (a unique index would
+    // even turn it into a permanent InternalError for the racing winner's
+    // key).
+    RollbackApplied(dirty);
+    (void)commit_manager_->SetAborted(tid_);
+    state_ = TxnState::kAborted;
+    client_->metrics()->aborted += 1;
+    if (index_status.IsAlreadyExists()) {
+      return Status::Aborted("unique index conflict on commit");
     }
-    ++inserted_index_ops;
+    return index_status;
   }
 
   // 4. Commit flag in the log, then notify the commit manager. The log's
@@ -756,6 +813,62 @@ void Transaction::RollbackApplied(const std::vector<RecordKey>& dirty) {
     }
     if (!resolved) client_->metrics()->rollback_unresolved += 1;
   }
+}
+
+Status Transaction::ApplyIndexInserts() {
+  if (client_->options().pipelining && index_ops_.size() > 1) {
+    // Group the ops per tree in first-appearance order (deterministic; a
+    // transaction touches only a handful of indexes, so linear search).
+    std::vector<index::BTree*> trees;
+    std::vector<std::vector<size_t>> groups;
+    for (size_t i = 0; i < index_ops_.size(); ++i) {
+      size_t g = 0;
+      while (g < trees.size() && trees[g] != index_ops_[i].tree) ++g;
+      if (g == trees.size()) {
+        trees.push_back(index_ops_[i].tree);
+        groups.emplace_back();
+      }
+      groups[g].push_back(i);
+    }
+    std::vector<char> applied(index_ops_.size(), 0);
+    Status failure;
+    for (size_t g = 0; g < trees.size() && failure.ok(); ++g) {
+      std::vector<index::BatchInsertOp> ops;
+      ops.reserve(groups[g].size());
+      for (size_t i : groups[g]) {
+        ops.push_back({index_ops_[i].key, index_ops_[i].rid,
+                       index_ops_[i].unique});
+      }
+      std::vector<bool> inserted;
+      Status st = trees[g]->BatchInsert(client_, ops, &inserted);
+      for (size_t j = 0; j < groups[g].size(); ++j) {
+        applied[groups[g][j]] = inserted[j] ? 1 : 0;
+      }
+      if (!st.ok()) failure = st;
+    }
+    if (!failure.ok()) {
+      // Undo exactly the entries that made it in before the failure.
+      for (size_t i = 0; i < index_ops_.size(); ++i) {
+        if (applied[i] == 0) continue;
+        (void)index_ops_[i].tree->Remove(client_, index_ops_[i].key,
+                                         index_ops_[i].rid);
+        client_->metrics()->index_rollbacks += 1;
+      }
+      return failure;
+    }
+    return Status::OK();
+  }
+
+  size_t inserted = 0;
+  for (const IndexOp& op : index_ops_) {
+    Status st = op.tree->Insert(client_, op.key, op.rid, op.unique);
+    if (!st.ok()) {
+      RollbackIndexInserts(inserted);
+      return st;
+    }
+    ++inserted;
+  }
+  return Status::OK();
 }
 
 void Transaction::RollbackIndexInserts(size_t count) {

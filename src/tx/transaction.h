@@ -161,6 +161,15 @@ class Transaction {
   Result<std::optional<uint64_t>> LookupPrimary(
       TableHandle* table, const std::vector<schema::Value>& key);
 
+  /// Primary-key lookups for many keys at once, positionally aligned with
+  /// `keys`. With request pipelining enabled, the B+tree descents advance
+  /// level-synchronously (BTree::BatchLookup) and the candidate records are
+  /// prefetched in one batched request, so K lookups cost roughly tree-height
+  /// round trips instead of K descents. The fetched records stay buffered
+  /// for following Reads.
+  Result<std::vector<std::optional<uint64_t>>> BatchLookupPrimary(
+      TableHandle* table, const std::vector<std::vector<schema::Value>>& keys);
+
   /// All visible rids under `key` in the given index (-1 = primary).
   /// Version-unaware index entries are validated against the fetched
   /// records; obsolete entries are garbage collected on the way (§5.4).
@@ -230,11 +239,24 @@ class Transaction {
   /// Fetches (or returns the buffered) record state.
   Result<RecordState*> EnsureFetched(TableHandle* table, uint64_t rid);
 
+  /// Fills the transaction buffer for `rids` not yet buffered, in one
+  /// batched request when the buffering strategy allows it (BatchRead and
+  /// BatchLookupPrimary share this).
+  Status PrefetchMissing(TableHandle* table, const std::vector<uint64_t>& rids);
+
   /// Registers index insertions for the new tuple (vs. the previously
   /// visible tuple for updates; `old_tuple` null for inserts).
   Status QueueIndexInserts(TableHandle* table, uint64_t rid,
                            const schema::Tuple& tuple,
                            const schema::Tuple* old_tuple);
+
+  /// Commit step 3: installs index_ops_ into their B-trees. With request
+  /// pipelining the ops are grouped per tree (first-appearance order) and
+  /// bulk-inserted via BTree::BatchInsert — one coalesced conditional put
+  /// per touched leaf instead of one descent + put per entry; without it the
+  /// ops run serially. On failure the entries that did make it in are
+  /// removed again (Remove is idempotent) before the error is returned.
+  Status ApplyIndexInserts();
 
   /// Rolls back a failed commit attempt: removes this transaction's version
   /// from each dirty record again. Called with the full dirty set (not just

@@ -1,0 +1,578 @@
+// Async request-pipeline tests (ClientOptions::pipelining).
+//
+// Four layers:
+//   1. Future/flush mechanics: coalescing windows (one message per storage
+//      node), implicit flush on Await, resolution independent of await
+//      order, ready futures when pipelining is off.
+//   2. Virtual-time accounting: a flush across distinct nodes charges the
+//      slowest message, not the sum (store.pipeline.overlap_saved_ns).
+//   3. Fault-injection interaction: injection and accounting observe the
+//      same coalesced message — a dropped message charges no response
+//      bytes and counts once in fault.requests_seen; logical ops still
+//      retry individually through their futures, including the ambiguous
+//      lost-response resolution for conditional writes.
+//   4. The randomized chaos suite re-run with the pipeline enabled: the
+//      commit path then uses coalesced index inserts, and every invariant
+//      must still hold under drops, ambiguous responses and a node kill.
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "db/tell_db.h"
+#include "schema/versioned_record.h"
+#include "sim/fault_injector.h"
+#include "store/storage_client.h"
+#include "tests/test_util.h"
+
+namespace tell::store {
+namespace {
+
+using sim::FaultInjector;
+using sim::FaultOpClass;
+using sim::FaultPlan;
+using sim::FaultRule;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() {
+    ClusterOptions options;
+    options.num_storage_nodes = 4;
+    cluster_ = std::make_unique<Cluster>(options);
+    table_ = *cluster_->CreateTable("t");
+  }
+
+  std::unique_ptr<StorageClient> MakeClient(const ClientOptions& options) {
+    return std::make_unique<StorageClient>(cluster_.get(), nullptr, options,
+                                           &clock_, &metrics_);
+  }
+
+  /// First `count` keys mastered by pairwise-distinct storage nodes.
+  std::vector<std::string> KeysOnDistinctNodes(size_t count) {
+    std::vector<std::string> keys;
+    std::set<uint32_t> used;
+    for (int i = 0; keys.size() < count && i < 1000; ++i) {
+      std::string key = "key" + std::to_string(i);
+      uint32_t master = *cluster_->MasterOf(table_, key);
+      if (used.insert(master).second) keys.push_back(key);
+    }
+    EXPECT_EQ(keys.size(), count);
+    return keys;
+  }
+
+  /// First `count` keys mastered by one single storage node.
+  std::vector<std::string> KeysOnOneNode(size_t count) {
+    std::map<uint32_t, std::vector<std::string>> by_master;
+    for (int i = 0; i < 1000; ++i) {
+      std::string key = "key" + std::to_string(i);
+      uint32_t master = *cluster_->MasterOf(table_, key);
+      auto& bucket = by_master[master];
+      bucket.push_back(key);
+      if (bucket.size() == count) return bucket;
+    }
+    ADD_FAILURE() << "could not find " << count << " co-located keys";
+    return {};
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  sim::VirtualClock clock_;
+  sim::WorkerMetrics metrics_;
+  TableId table_;
+};
+
+TEST_F(PipelineTest, AsyncWithoutPipeliningReturnsReadyFuture) {
+  ClientOptions options;  // pipelining off (default)
+  auto client = MakeClient(options);
+  ASSERT_OK(client->Put(table_, "k", "v").status());
+  uint64_t requests = metrics_.storage_requests;
+  Future<VersionedCell> future = client->AsyncGet(table_, "k");
+  // Executed immediately: nothing pending, cost already charged.
+  EXPECT_EQ(client->PendingOps(), 0u);
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(metrics_.storage_requests, requests + 1);
+  ASSERT_OK_AND_ASSIGN(VersionedCell cell, future.Await());
+  EXPECT_EQ(cell.value, "v");
+}
+
+TEST_F(PipelineTest, FlushCoalescesIntoOneMessagePerNode) {
+  ClientOptions options;
+  options.pipelining = true;
+  options.cpu.per_op_ns = 0;
+  auto client = MakeClient(options);
+
+  std::vector<std::string> keys;
+  std::set<uint32_t> masters;
+  for (int i = 0; i < 16; ++i) {
+    std::string key = "key" + std::to_string(i);
+    ASSERT_OK(client->Put(table_, key, "v" + std::to_string(i)).status());
+    keys.push_back(key);
+    masters.insert(*cluster_->MasterOf(table_, key));
+  }
+  ASSERT_GT(masters.size(), 1u);
+
+  std::vector<Future<VersionedCell>> futures;
+  for (const std::string& key : keys) {
+    futures.push_back(client->AsyncGet(table_, key));
+  }
+  EXPECT_EQ(client->PendingOps(), keys.size());
+  for (const auto& future : futures) EXPECT_FALSE(future.ready());
+
+  uint64_t requests = metrics_.storage_requests;
+  client->Flush();
+  // One coalesced message per distinct master node, not one per op.
+  EXPECT_EQ(metrics_.storage_requests - requests, masters.size());
+  EXPECT_EQ(metrics_.pipeline_flushes, 1u);
+  EXPECT_EQ(metrics_.pipeline_batch_size.count(), masters.size());
+  EXPECT_EQ(metrics_.pipeline_in_flight.count(), 1u);
+  EXPECT_EQ(client->PendingOps(), 0u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(futures[i].ready());
+    ASSERT_OK_AND_ASSIGN(VersionedCell cell, futures[i].Await());
+    EXPECT_EQ(cell.value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(PipelineTest, FlushChargesSlowestMessageNotSum) {
+  ClientOptions sync_options;
+  sync_options.cpu.per_op_ns = 0;
+  ClientOptions pipe_options = sync_options;
+  pipe_options.pipelining = true;
+
+  std::vector<std::string> keys = KeysOnDistinctNodes(4);
+  {
+    auto seeder = MakeClient(sync_options);
+    for (const std::string& key : keys) {
+      ASSERT_OK(seeder->Put(table_, key, "v").status());
+    }
+  }
+
+  sim::VirtualClock sync_clock, pipe_clock;
+  sim::WorkerMetrics sync_metrics, pipe_metrics;
+  StorageClient sync_client(cluster_.get(), nullptr, sync_options, &sync_clock,
+                            &sync_metrics);
+  StorageClient pipe_client(cluster_.get(), nullptr, pipe_options, &pipe_clock,
+                            &pipe_metrics);
+
+  for (const std::string& key : keys) {
+    ASSERT_OK(sync_client.Get(table_, key).status());
+  }
+  std::vector<Future<VersionedCell>> futures;
+  for (const std::string& key : keys) {
+    futures.push_back(pipe_client.AsyncGet(table_, key));
+  }
+  pipe_client.Flush();
+  for (auto& future : futures) ASSERT_OK(future.Await().status());
+
+  // 4 messages to 4 distinct nodes overlap: the pipelined cost is the
+  // slowest single message, far below 4 serial round trips.
+  EXPECT_LT(pipe_clock.now_ns(), sync_clock.now_ns() / 2);
+  EXPECT_GT(pipe_metrics.pipeline_overlap_saved_ns, 0u);
+  EXPECT_EQ(pipe_clock.now_ns() + pipe_metrics.pipeline_overlap_saved_ns,
+            sync_clock.now_ns());
+}
+
+TEST_F(PipelineTest, AwaitFlushesImplicitlyAndOrderDoesNotMatter) {
+  ClientOptions options;
+  options.pipelining = true;
+  auto client = MakeClient(options);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(client
+                  ->Put(table_, "key" + std::to_string(i),
+                        "v" + std::to_string(i))
+                  .status());
+  }
+
+  std::vector<Future<VersionedCell>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(client->AsyncGet(table_, "key" + std::to_string(i)));
+  }
+  EXPECT_EQ(client->PendingOps(), 3u);
+
+  // Awaiting the LAST future flushes the whole window; the earlier futures
+  // become ready without further storage requests.
+  ASSERT_OK_AND_ASSIGN(VersionedCell last, futures[2].Await());
+  EXPECT_EQ(last.value, "v2");
+  EXPECT_EQ(client->PendingOps(), 0u);
+  EXPECT_EQ(metrics_.pipeline_flushes, 1u);
+  uint64_t requests = metrics_.storage_requests;
+  ASSERT_TRUE(futures[0].ready());
+  ASSERT_TRUE(futures[1].ready());
+  ASSERT_OK_AND_ASSIGN(VersionedCell first, futures[0].Await());
+  ASSERT_OK_AND_ASSIGN(VersionedCell second, futures[1].Await());
+  EXPECT_EQ(first.value, "v0");
+  EXPECT_EQ(second.value, "v1");
+  EXPECT_EQ(metrics_.storage_requests, requests);
+}
+
+TEST_F(PipelineTest, DroppedCoalescedMessageRetriesThroughFutures) {
+  FaultInjector injector(FaultPlan{
+      .seed = 11,
+      .rules = {FaultRule{.kind = FaultRule::Kind::kDropRequest,
+                          .op = FaultOpClass::kGet,
+                          .probability = 1.0,
+                          .max_fires = 1}}});
+  injector.Disarm();
+
+  ClientOptions options;
+  options.pipelining = true;
+  options.fault_injector = &injector;
+  auto client = MakeClient(options);
+  std::vector<std::string> keys = KeysOnOneNode(3);
+  for (const std::string& key : keys) {
+    ASSERT_OK(client->Put(table_, key, "v").status());
+  }
+
+  injector.Arm();
+  std::vector<Future<VersionedCell>> futures;
+  for (const std::string& key : keys) {
+    futures.push_back(client->AsyncGet(table_, key));
+  }
+  client->Flush();
+  injector.Disarm();
+
+  // The one coalesced message was dropped; every logical op rode through
+  // its own retry and still resolved successfully.
+  EXPECT_EQ(injector.stats().dropped_requests, 1u);
+  for (auto& future : futures) {
+    ASSERT_OK_AND_ASSIGN(VersionedCell cell, future.Await());
+    EXPECT_EQ(cell.value, "v");
+  }
+  EXPECT_GE(metrics_.storage_retries, 3u);
+  EXPECT_EQ(metrics_.storage_retries_exhausted, 0u);
+}
+
+TEST_F(PipelineTest, AmbiguousConditionalPutOnCoalescedMessageIsResolved) {
+  FaultInjector injector(FaultPlan{
+      .seed = 12,
+      .rules = {FaultRule{.kind = FaultRule::Kind::kDropResponse,
+                          .op = FaultOpClass::kConditionalPut,
+                          .probability = 1.0,
+                          .max_fires = 1}}});
+  injector.Disarm();
+
+  ClientOptions options;
+  options.pipelining = true;
+  options.fault_injector = &injector;
+  auto client = MakeClient(options);
+  std::vector<std::string> keys = KeysOnOneNode(2);
+  ASSERT_OK_AND_ASSIGN(uint64_t stamp, client->Put(table_, keys[0], "v1"));
+  ASSERT_OK(client->Put(table_, keys[1], "other").status());
+
+  // The coalesced message carries a conditional put AND a read; the rule
+  // matches the message because ANY contained op matches, and the lost
+  // response makes both ops ambiguous.
+  injector.Arm();
+  Future<uint64_t> write =
+      client->AsyncConditionalPut(table_, keys[0], stamp, "v2");
+  Future<VersionedCell> read = client->AsyncGet(table_, keys[1]);
+  client->Flush();
+  injector.Disarm();
+
+  EXPECT_EQ(injector.stats().dropped_responses, 1u);
+  // The write applied before the response was lost: the resolver's re-read
+  // recognizes our value and settles the future with the new stamp instead
+  // of blindly re-issuing (which would double-apply under LL/SC).
+  ASSERT_OK_AND_ASSIGN(uint64_t new_stamp, write.Await());
+  ASSERT_OK_AND_ASSIGN(VersionedCell after, client->Get(table_, keys[0]));
+  EXPECT_EQ(after.value, "v2");
+  EXPECT_EQ(after.stamp, new_stamp);
+  EXPECT_GE(metrics_.ambiguous_resolved, 1u);
+  ASSERT_OK_AND_ASSIGN(VersionedCell cell, read.Await());
+  EXPECT_EQ(cell.value, "other");
+}
+
+// Regression for the batched-path accounting bug this PR fixes: network
+// accounting and fault injection must observe the SAME message. A dropped
+// coalesced request charges its request bytes (it was sent) but zero
+// response bytes, and the injector sees one message — not one probe per
+// logical op (which would both skew rule windows and charge response bytes
+// for data that never arrived).
+TEST_F(PipelineTest, DroppedMessageChargesNoResponseBytes) {
+  FaultInjector injector(FaultPlan{
+      .seed = 13,
+      .rules = {FaultRule{.kind = FaultRule::Kind::kDropRequest,
+                          .op = FaultOpClass::kGet,
+                          .probability = 1.0,
+                          .max_fires = 1}}});
+  injector.Disarm();
+
+  ClientOptions options;
+  options.pipelining = true;
+  options.retry.max_attempts = 1;  // fail fast: no re-issue to muddy bytes
+  options.fault_injector = &injector;
+  auto client = MakeClient(options);
+  std::vector<std::string> keys = KeysOnOneNode(3);
+  for (const std::string& key : keys) {
+    ASSERT_OK(client->Put(table_, key, std::string(512, 'x')).status());
+  }
+
+  injector.Arm();
+  std::vector<Future<VersionedCell>> futures;
+  for (const std::string& key : keys) {
+    futures.push_back(client->AsyncGet(table_, key));
+  }
+  uint64_t sent = metrics_.bytes_sent;
+  uint64_t received = metrics_.bytes_received;
+  uint64_t seen = injector.stats().requests_seen;
+  client->Flush();
+  injector.Disarm();
+
+  // One message seen and dropped; request bytes charged, response bytes not.
+  EXPECT_EQ(injector.stats().requests_seen - seen, 1u);
+  EXPECT_EQ(injector.stats().dropped_requests, 1u);
+  EXPECT_GT(metrics_.bytes_sent, sent);
+  EXPECT_EQ(metrics_.bytes_received, received);
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.Await().status().IsUnavailable());
+  }
+  EXPECT_EQ(metrics_.storage_retries_exhausted, 3u);
+}
+
+}  // namespace
+}  // namespace tell::store
+
+// ---------------------------------------------------------------------------
+// Chaos suite with the pipeline enabled
+// ---------------------------------------------------------------------------
+
+namespace tell::tx {
+namespace {
+
+using schema::Tuple;
+using schema::Value;
+using sim::FaultInjector;
+using sim::FaultPlan;
+
+// The randomized chaos workload from fault_injection_test.cc, re-run with
+// TellDbOptions::pipelining on: commits then install index entries through
+// coalesced BatchInsert messages, and index lookups descend through the
+// pipelined BatchLookup — all under drops, ambiguous responses, latency
+// spikes and a node kill.
+class PipelinedChaosSuite : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelinedChaosSuite, InvariantsHoldWithPipelineEnabled) {
+  const uint64_t seed = GetParam();
+  constexpr uint32_t kStorageNodes = 4;
+  sim::FaultInjector injector(
+      FaultPlan::Randomized(seed, kStorageNodes, /*allow_node_kill=*/true));
+  injector.Disarm();  // setup runs fault-free
+
+  db::TellDbOptions options;
+  options.num_storage_nodes = kStorageNodes;
+  options.replication_factor = 2;  // a node kill must be survivable
+  options.network = sim::NetworkModel::Instant();
+  options.fault_injector = &injector;
+  options.pipelining = true;
+  db::TellDb db(options);
+
+  ASSERT_OK(db.CreateTable("accounts",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddDouble("balance")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {}));
+  schema::IndexDef by_tag;
+  by_tag.name = "by_tag";
+  by_tag.key_columns = {1};
+  by_tag.unique = true;
+  ASSERT_OK(db.CreateTable("orders",
+                           schema::SchemaBuilder()
+                               .AddInt64("id")
+                               .AddString("tag")
+                               .SetPrimaryKey({"id"})
+                               .Build(),
+                           {by_tag}));
+  auto session = db.OpenSession(0, 0);
+  auto accounts = *db.GetTable(0, "accounts");
+  auto orders = *db.GetTable(0, "orders");
+
+  constexpr int kAccounts = 8;
+  constexpr double kInitialBalance = 1000.0;
+  std::set<commitmgr::Tid> committed;
+  std::set<commitmgr::Tid> aborted;
+  std::vector<uint64_t> account_rids;
+  {
+    Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    for (int64_t i = 0; i < kAccounts; ++i) {
+      Tuple t(2);
+      t.Set(0, i);
+      t.Set(1, kInitialBalance);
+      ASSERT_OK_AND_ASSIGN(uint64_t rid, txn.Insert(accounts, t, false));
+      account_rids.push_back(rid);
+    }
+    ASSERT_OK(txn.Commit());
+    committed.insert(txn.tid());
+  }
+
+  std::vector<double> expected(kAccounts, kInitialBalance);
+  std::map<std::string, uint64_t> live_tags;  // tag -> rid
+  int64_t next_order_id = 0;
+
+  injector.Arm();
+  Random rng(seed ^ 0xABCD1234u);
+  constexpr int kTxns = 250;
+  constexpr int kTagPool = 12;
+  for (int i = 0; i < kTxns; ++i) {
+    Transaction txn(session.get());
+    if (!txn.Begin().ok()) continue;
+    const uint64_t kind = rng.Uniform(100);
+    bool ops_ok = true;
+    if (kind < 55 || (kind >= 80 && live_tags.empty())) {
+      // Transfer between two distinct accounts.
+      const size_t a = rng.Uniform(kAccounts);
+      size_t b = rng.Uniform(kAccounts - 1);
+      if (b >= a) ++b;
+      const double amount = 1.0 + static_cast<double>(rng.Uniform(50));
+      double bal_a = 0, bal_b = 0;
+      auto ra = txn.Read(accounts, account_rids[a]);
+      auto rb = txn.Read(accounts, account_rids[b]);
+      ops_ok = ra.ok() && rb.ok() && ra->has_value() && rb->has_value();
+      if (ops_ok) {
+        bal_a = (*ra)->GetDouble(1);
+        bal_b = (*rb)->GetDouble(1);
+        Tuple ta(2), tb(2);
+        ta.Set(0, static_cast<int64_t>(a));
+        ta.Set(1, bal_a - amount);
+        tb.Set(0, static_cast<int64_t>(b));
+        tb.Set(1, bal_b + amount);
+        ops_ok = txn.Update(accounts, account_rids[a], ta).ok() &&
+                 txn.Update(accounts, account_rids[b], tb).ok();
+      }
+      if (!ops_ok) {
+        (void)txn.Abort();
+        aborted.insert(txn.tid());
+        continue;
+      }
+      if (txn.Commit().ok()) {
+        committed.insert(txn.tid());
+        expected[a] -= amount;
+        expected[b] += amount;
+      } else {
+        aborted.insert(txn.tid());
+      }
+    } else if (kind < 80) {
+      // Insert an order under a pooled tag; the unique index arbitrates —
+      // with pipelining the primary + unique entries go through one
+      // coalesced BatchInsert at commit.
+      const std::string tag = "tag" + std::to_string(rng.Uniform(kTagPool));
+      Tuple t(2);
+      t.Set(0, next_order_id++);
+      t.Set(1, tag);
+      auto rid = txn.Insert(orders, t, /*check_unique=*/false);
+      if (!rid.ok()) {
+        (void)txn.Abort();
+        aborted.insert(txn.tid());
+        continue;
+      }
+      if (txn.Commit().ok()) {
+        committed.insert(txn.tid());
+        ASSERT_EQ(live_tags.count(tag), 0u)
+            << "duplicate tag committed: " << tag;
+        live_tags[tag] = *rid;
+      } else {
+        aborted.insert(txn.tid());
+      }
+    } else {
+      // Delete a live order by tag.
+      size_t pick = rng.Uniform(live_tags.size());
+      auto it = live_tags.begin();
+      std::advance(it, static_cast<long>(pick));
+      const std::string tag = it->first;
+      const uint64_t rid = it->second;
+      if (!txn.Delete(orders, rid).ok()) {
+        (void)txn.Abort();
+        aborted.insert(txn.tid());
+        continue;
+      }
+      if (txn.Commit().ok()) {
+        committed.insert(txn.tid());
+        live_tags.erase(tag);
+      } else {
+        aborted.insert(txn.tid());
+      }
+    }
+  }
+  injector.Disarm();
+  (void)db.management()->DetectAndRecover();
+
+  const sim::FaultStats stats = injector.stats();
+  EXPECT_GT(stats.requests_seen, 0u);
+  EXPECT_GT(stats.injected, 0u) << "plan for seed " << seed << " never fired";
+  if (stats.dropped_requests + stats.dropped_responses > 0) {
+    EXPECT_GT(session->metrics()->storage_retries, 0u);
+  }
+  // The pipeline actually engaged (coalesced index inserts at commit).
+  EXPECT_GT(session->metrics()->pipeline_flushes, 0u);
+
+  // Invariant 1: committed balances match the model exactly and the total
+  // is conserved.
+  {
+    Transaction txn(session.get());
+    ASSERT_OK(txn.Begin());
+    double total = 0;
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_OK_AND_ASSIGN(
+          auto row, txn.Read(accounts, account_rids[static_cast<size_t>(i)]));
+      ASSERT_TRUE(row.has_value());
+      EXPECT_NEAR(row->GetDouble(1), expected[static_cast<size_t>(i)], 1e-6)
+          << "account " << i;
+      total += row->GetDouble(1);
+    }
+    EXPECT_NEAR(total, kAccounts * kInitialBalance, 1e-6);
+
+    // Invariant 2: every pooled tag resolves to exactly the modelled order.
+    for (int k = 0; k < kTagPool; ++k) {
+      const std::string tag = "tag" + std::to_string(k);
+      ASSERT_OK_AND_ASSIGN(auto rids,
+                           txn.LookupIndex(orders, 0, {Value(tag)}));
+      auto it = live_tags.find(tag);
+      if (it == live_tags.end()) {
+        EXPECT_TRUE(rids.empty()) << "stale index entry under " << tag;
+      } else {
+        ASSERT_EQ(rids.size(), 1u) << "tag " << tag;
+        EXPECT_EQ(rids[0], it->second);
+      }
+    }
+    ASSERT_OK(txn.Commit());
+    committed.insert(txn.tid());
+  }
+
+  // Invariant 3: no dangling uncommitted versions beyond what rollback
+  // explicitly abandoned.
+  uint64_t dangling = 0;
+  for (const auto* meta : {accounts->meta, orders->meta}) {
+    ASSERT_OK_AND_ASSIGN(auto cells,
+                         db.cluster()->Scan(meta->data_table, "", "", 0));
+    for (const auto& cell : cells) {
+      if (cell.key.size() != 8) continue;  // meta cells (rid counter)
+      ASSERT_OK_AND_ASSIGN(auto record,
+                           schema::VersionedRecord::Deserialize(cell.value));
+      for (const auto& version : record.versions()) {
+        if (committed.count(version.version)) continue;
+        EXPECT_TRUE(aborted.count(version.version))
+            << "version from unknown tid " << version.version;
+        ++dangling;
+      }
+    }
+  }
+  EXPECT_LE(dangling, session->metrics()->rollback_unresolved)
+      << "aborted versions in the store beyond the ones rollback reported "
+         "unresolved";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedChaosSuite,
+                         ::testing::Values(uint64_t{0x5EED0001},
+                                           uint64_t{0x5EED0002},
+                                           uint64_t{0x5EED0003}));
+
+}  // namespace
+}  // namespace tell::tx

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts and flag regressions.
+
+Takes a baseline artifact and a current artifact for the same bench
+(schema v1, see tools/check_bench_json.py and docs/BENCHMARKS.md), matches
+runs by label, and diffs every derived metric the two runs share. A metric
+is a regression when it moves in its bad direction by more than the
+threshold percentage.
+
+Direction is inferred from the metric name: anything that reads like a
+latency, abort or cost ("latency", "resp", "abort", "_ms", "_ns", "_us",
+"requests_per_txn") is lower-is-better; everything else (throughput-like:
+tpmc, tps, hit rates, speedups) is higher-is-better. Override per metric
+with --lower-is-better / --higher-is-better.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+  bench_compare.py --selftest
+
+Exit codes: 0 no regression, 1 regression found, 2 usage/artifact error.
+Standard library only.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER_HINTS = (
+    "latency",
+    "resp",
+    "abort",
+    "_ms",
+    "_ns",
+    "_us",
+    "requests_per_txn",
+)
+
+
+def is_lower_better(name, force_lower, force_higher):
+    if name in force_lower:
+        return True
+    if name in force_higher:
+        return False
+    return any(hint in name for hint in LOWER_IS_BETTER_HINTS)
+
+
+def load_runs(path):
+    """Return (bench_name, {label: derived}) for a schema-v1 artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema_version") != 1:
+        raise ValueError(f"{path}: unsupported schema_version "
+                         f"{doc.get('schema_version')!r}")
+    runs = {}
+    for run in doc.get("runs", []):
+        runs[run["label"]] = run.get("derived", {})
+    return doc.get("bench", "?"), runs
+
+
+def compare(baseline_path, current_path, threshold_pct, force_lower,
+            force_higher, out=sys.stdout):
+    """Diff the two artifacts; return the list of regression lines."""
+    base_bench, base_runs = load_runs(baseline_path)
+    cur_bench, cur_runs = load_runs(current_path)
+    if base_bench != cur_bench:
+        print(f"warning: comparing different benches "
+              f"({base_bench!r} vs {cur_bench!r})", file=out)
+
+    shared_labels = [label for label in base_runs if label in cur_runs]
+    if not shared_labels:
+        raise ValueError("no shared run labels between the two artifacts")
+    for label in set(base_runs) ^ set(cur_runs):
+        print(f"note: run {label!r} present in only one artifact, skipped",
+              file=out)
+
+    regressions = []
+    for label in shared_labels:
+        base, cur = base_runs[label], cur_runs[label]
+        shared_metrics = sorted(set(base) & set(cur))
+        if not shared_metrics:
+            continue
+        print(f"run {label!r}:", file=out)
+        for metric in shared_metrics:
+            old, new = float(base[metric]), float(cur[metric])
+            if old == 0.0:
+                delta_pct = 0.0 if new == 0.0 else float("inf")
+            else:
+                delta_pct = (new - old) / abs(old) * 100.0
+            lower_better = is_lower_better(metric, force_lower, force_higher)
+            bad = delta_pct > threshold_pct if lower_better \
+                else delta_pct < -threshold_pct
+            arrow = "lower=better" if lower_better else "higher=better"
+            flag = "  REGRESSION" if bad else ""
+            print(f"  {metric:<28} {old:>14.4f} -> {new:>14.4f}  "
+                  f"({delta_pct:+8.2f}%, {arrow}){flag}", file=out)
+            if bad:
+                regressions.append(
+                    f"{label}/{metric}: {old:.4f} -> {new:.4f} "
+                    f"({delta_pct:+.2f}%)")
+    return regressions
+
+
+def selftest():
+    import io
+    import os
+    import tempfile
+
+    def artifact(tpmc, resp_ms):
+        return {
+            "schema_version": 1,
+            "bench": "selftest",
+            "config": {},
+            "runs": [{
+                "label": "run",
+                "derived": {"tpmc": tpmc, "resp_ms": resp_ms},
+                "counters": {}, "gauges": {}, "histograms": {},
+            }],
+        }
+
+    cases = [
+        # (baseline, current, threshold, expect_regressions)
+        (artifact(1000, 1.0), artifact(1010, 0.9), 10.0, 0),   # improved
+        (artifact(1000, 1.0), artifact(700, 1.0), 10.0, 1),    # tpmc down 30%
+        (artifact(1000, 1.0), artifact(1000, 1.5), 10.0, 1),   # resp up 50%
+        (artifact(1000, 1.0), artifact(950, 1.05), 10.0, 0),   # within 10%
+        (artifact(1000, 1.0), artifact(700, 1.5), 10.0, 2),    # both regress
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, (base, cur, threshold, expected) in enumerate(cases):
+            base_path = os.path.join(tmp, f"base{i}.json")
+            cur_path = os.path.join(tmp, f"cur{i}.json")
+            with open(base_path, "w", encoding="utf-8") as handle:
+                json.dump(base, handle)
+            with open(cur_path, "w", encoding="utf-8") as handle:
+                json.dump(cur, handle)
+            got = len(compare(base_path, cur_path, threshold, set(), set(),
+                              out=io.StringIO()))
+            status = "ok" if got == expected else "FAIL"
+            if got != expected:
+                failures += 1
+            print(f"selftest case {i}: expected {expected} regressions, "
+                  f"got {got} [{status}]")
+        # Direction override flips the verdict for a throughput-like name.
+        base_path = os.path.join(tmp, "base_dir.json")
+        cur_path = os.path.join(tmp, "cur_dir.json")
+        with open(base_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact(1000, 1.0), handle)
+        with open(cur_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact(1500, 1.0), handle)
+        got = len(compare(base_path, cur_path, 10.0, {"tpmc"}, set(),
+                          out=io.StringIO()))
+        status = "ok" if got == 1 else "FAIL"
+        if got != 1:
+            failures += 1
+        print(f"selftest case override: expected 1 regression, got {got} "
+              f"[{status}]")
+    print("selftest:", "PASSED" if failures == 0 else f"{failures} FAILURES")
+    return failures == 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json artifacts (schema v1).")
+    parser.add_argument("baseline", nargs="?", help="baseline artifact")
+    parser.add_argument("current", nargs="?", help="current artifact")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--lower-is-better", action="append", default=[],
+                        metavar="METRIC",
+                        help="force a metric's good direction to 'lower'")
+    parser.add_argument("--higher-is-better", action="append", default=[],
+                        metavar="METRIC",
+                        help="force a metric's good direction to 'higher'")
+    parser.add_argument("--selftest", action="store_true",
+                        help="exercise the comparator itself and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return 0 if selftest() else 2
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and CURRENT artifacts are required")
+
+    try:
+        regressions = compare(args.baseline, args.current, args.threshold,
+                              set(args.lower_is_better),
+                              set(args.higher_is_better))
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.1f}%:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
