@@ -17,7 +17,8 @@ int main() {
   json.AddConfig("commit_manager_sync_ms", 1.0);
   json.AddConfig("virtual_ms", uint64_t{kVirtualMs});
 
-  std::printf("%-16s %12s %10s\n", "Commit Managers", "TpmC", "abort%");
+  std::printf("%-16s %12s %10s %14s\n", "Commit Managers", "TpmC", "abort%",
+              "cm_bytes/txn");
   for (uint32_t cms : {1u, 2u, 3u, 4u}) {
     db::TellDbOptions options;
     options.num_processing_nodes = 1;
@@ -32,9 +33,15 @@ int main() {
                   result.status().ToString().c_str());
       continue;
     }
-    std::printf("%-16u %12.0f %9.2f%%\n", cms, result->tpmc,
-                result->abort_rate * 100);
-    json.Add("cm" + std::to_string(cms), *result, fixture.db());
+    const double bytes_per_txn =
+        static_cast<double>(result->merged.cm_bytes) /
+        static_cast<double>(result->committed + result->aborted);
+    std::printf("%-16u %12.0f %9.2f%% %14.1f\n", cms, result->tpmc,
+                result->abort_rate * 100, bytes_per_txn);
+    auto derived = DerivedOf(*result);
+    derived.emplace_back("cm_bytes_per_txn", bytes_per_txn);
+    json.AddMetrics("cm" + std::to_string(cms), result->merged,
+                    std::move(derived), fixture.db());
   }
   std::printf("\nshape checks: TpmC and abort rate stay flat across manager "
               "counts — the commit manager component is not a bottleneck.\n");

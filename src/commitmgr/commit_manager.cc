@@ -47,6 +47,15 @@ Status CommitManager::RefillTidRangeLocked() {
   return Status::OK();
 }
 
+Tid CommitManager::ComputeLavLocked() const {
+  // Lav: lowest snapshot base among transactions active here, bounded by
+  // what the peers have published.
+  Tid lav = snapshot_.base();
+  for (const auto& [tid, txn] : active_) lav = std::min(lav, txn.snapshot_base);
+  if (has_peer_lav_) lav = std::min(lav, peers_lav_);
+  return lav;
+}
+
 Result<TxnBegin> CommitManager::Start(uint32_t pn_id) {
   if (!alive()) return Status::Unavailable("commit manager is down");
   std::lock_guard<std::mutex> lock(mutex_);
@@ -63,14 +72,98 @@ Result<TxnBegin> CommitManager::Start(uint32_t pn_id) {
   highest_assigned_ = std::max(highest_assigned_, begin.tid);
   begin.snapshot = snapshot_;
   active_.emplace(begin.tid, ActiveTxn{snapshot_.base(), pn_id});
-  // Lav: lowest snapshot base among transactions active here, bounded by
-  // what the peers have published.
-  Tid lav = snapshot_.base();
-  for (const auto& [tid, txn] : active_) lav = std::min(lav, txn.snapshot_base);
-  if (has_peer_lav_) lav = std::min(lav, peers_lav_);
-  begin.lav = lav;
+  begin.lav = ComputeLavLocked();
   stats_.starts.fetch_add(1, std::memory_order_relaxed);
   return begin;
+}
+
+Result<TxnBeginDelta> CommitManager::StartDelta(const BeginRequest& request) {
+  if (!alive()) return Status::Unavailable("commit manager is down");
+  std::lock_guard<std::mutex> lock(mutex_);
+  TxnBeginDelta begin;
+  auto token_it = request.start_token != 0
+                      ? token_tids_.find(request.start_token)
+                      : token_tids_.end();
+  if (token_it != token_tids_.end()) {
+    // Retried begin whose response was lost: hand the same tid back. The
+    // snapshot is recomputed fresh — any consistent snapshot is valid at
+    // begin — so the active entry's base moves forward with it.
+    begin.tid = token_it->second;
+    auto active_it = active_.find(begin.tid);
+    if (active_it != active_.end()) {
+      active_it->second.snapshot_base = snapshot_.base();
+    }
+  } else {
+    if (options_.interleaved_tids) {
+      begin.tid = range_next_;
+      range_next_ += num_managers_;
+    } else {
+      if (range_next_ > range_end_) {
+        TELL_RETURN_NOT_OK(RefillTidRangeLocked());
+      }
+      begin.tid = range_next_++;
+    }
+    highest_assigned_ = std::max(highest_assigned_, begin.tid);
+    active_.emplace(begin.tid, ActiveTxn{snapshot_.base(), request.pn_id,
+                                         request.start_token});
+    if (request.start_token != 0) {
+      token_tids_[request.start_token] = begin.tid;
+    }
+  }
+  begin.delta = DeltaSinceLocked(request);
+  begin.lav = ComputeLavLocked();
+  stats_.starts.fetch_add(1, std::memory_order_relaxed);
+  (begin.delta.full ? stats_.full_starts : stats_.delta_starts)
+      .fetch_add(1, std::memory_order_relaxed);
+  return begin;
+}
+
+SnapshotDelta CommitManager::DeltaSinceLocked(
+    const BeginRequest& request) const {
+  SnapshotDelta delta;
+  delta.generation = generation_;
+  delta.epoch = epoch_;
+  bool resync = request.want_full || request.ack_generation != generation_;
+  if (!resync) {
+    delta.base = snapshot_.base();
+    for (const auto& [tid, epoch] : completed_epoch_) {
+      if (epoch > request.ack_epoch) delta.completed.push_back(tid);
+    }
+    // A delta at least as large as the full descriptor is pointless;
+    // 13 + 4 is the full form's envelope + length prefix (WireBytes()).
+    resync = delta.WireBytes() >= 13 + 4 + snapshot_.SerializedBytes();
+    if (resync) delta.completed.clear();
+  }
+  if (resync) {
+    delta.full = true;
+    delta.base = 0;
+    delta.snapshot = snapshot_;
+  }
+  return delta;
+}
+
+void CommitManager::PruneCompletedEpochsLocked() {
+  completed_epoch_.erase(completed_epoch_.begin(),
+                         completed_epoch_.upper_bound(snapshot_.base()));
+}
+
+void CommitManager::RecordCompletionLocked(Tid tid) {
+  ++epoch_;
+  if (tid > snapshot_.base()) completed_epoch_[tid] = epoch_;
+  PruneCompletedEpochsLocked();
+}
+
+void CommitManager::NoteMergedCompletionsLocked(
+    const SnapshotDescriptor& before) {
+  if (snapshot_ == before) return;
+  ++epoch_;
+  Tid highest = snapshot_.HighestCompleted();
+  for (Tid tid = snapshot_.base() + 1; tid <= highest; ++tid) {
+    if (snapshot_.CanRead(tid) && !before.CanRead(tid)) {
+      completed_epoch_[tid] = epoch_;
+    }
+  }
+  PruneCompletedEpochsLocked();
 }
 
 std::vector<Tid> CommitManager::AbortActiveOf(uint32_t pn_id) {
@@ -79,7 +172,11 @@ std::vector<Tid> CommitManager::AbortActiveOf(uint32_t pn_id) {
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->second.pn_id == pn_id) {
       aborted.push_back(it->first);
+      if (it->second.start_token != 0) {
+        token_tids_.erase(it->second.start_token);
+      }
       snapshot_.MarkCompleted(it->first);
+      RecordCompletionLocked(it->first);
       it = active_.erase(it);
     } else {
       ++it;
@@ -88,17 +185,31 @@ std::vector<Tid> CommitManager::AbortActiveOf(uint32_t pn_id) {
   return aborted;
 }
 
-Status CommitManager::Complete(Tid tid) {
+Status CommitManager::Complete(Tid tid, bool* newly) {
   if (!alive()) return Status::Unavailable("commit manager is down");
   std::lock_guard<std::mutex> lock(mutex_);
+  if (snapshot_.CanRead(tid)) {
+    // Duplicate delivery (a finish retried after an ambiguous drop): the
+    // first delivery already applied, so this one must not move the epoch
+    // or the stats.
+    *newly = false;
+    return Status::OK();
+  }
+  auto it = active_.find(tid);
+  if (it != active_.end()) {
+    if (it->second.start_token != 0) token_tids_.erase(it->second.start_token);
+    active_.erase(it);
+  }
   snapshot_.MarkCompleted(tid);
-  active_.erase(tid);
+  RecordCompletionLocked(tid);
+  *newly = true;
   return Status::OK();
 }
 
 Status CommitManager::SetCommitted(Tid tid) {
-  Status st = Complete(tid);
-  if (st.ok()) stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  bool newly = false;
+  Status st = Complete(tid, &newly);
+  if (st.ok() && newly) stats_.commits.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
@@ -106,17 +217,15 @@ Status CommitManager::SetAborted(Tid tid) {
   // Aborted transactions also count as completed for snapshot purposes:
   // their updates were reverted, so their version number can never be
   // observed, and the base must be able to advance over them.
-  Status st = Complete(tid);
-  if (st.ok()) stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  bool newly = false;
+  Status st = Complete(tid, &newly);
+  if (st.ok() && newly) stats_.aborts.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
 Tid CommitManager::Lav() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  Tid lav = snapshot_.base();
-  for (const auto& [tid, txn] : active_) lav = std::min(lav, txn.snapshot_base);
-  if (has_peer_lav_) lav = std::min(lav, peers_lav_);
-  return lav;
+  return ComputeLavLocked();
 }
 
 SnapshotDescriptor CommitManager::CurrentSnapshot() const {
@@ -153,6 +262,7 @@ Status CommitManager::SyncWithPeers(uint32_t num_peers) {
   // 2. Read and merge every peer's most recent state.
   Tid min_peer_lav = 0;
   bool saw_peer = false;
+  SnapshotDescriptor before_merge = snapshot_;
   for (uint32_t peer = 0; peer < num_peers; ++peer) {
     if (peer == manager_id_) continue;
     auto cell = cluster_->Get(state_table_, StateKey(peer));
@@ -167,6 +277,7 @@ Status CommitManager::SyncWithPeers(uint32_t num_peers) {
     min_peer_lav = saw_peer ? std::min(min_peer_lav, peer_lav) : peer_lav;
     saw_peer = true;
   }
+  NoteMergedCompletionsLocked(before_merge);
   if (saw_peer) {
     peers_lav_ = min_peer_lav;
     has_peer_lav_ = true;
@@ -203,7 +314,23 @@ Status CommitManager::RecoverFromStore(uint32_t num_peers) {
     std::memcpy(&value, counter->value.data(), sizeof(value));
     highest_assigned_ = static_cast<Tid>(value);
   }
+  // New incarnation: client-acked epochs of the previous incarnation are
+  // meaningless against the rebuilt state, so force every cached client
+  // through a full resync and rebuild the epoch map from the descriptor.
+  ++generation_;
+  ++epoch_;
+  token_tids_.clear();
+  completed_epoch_.clear();
+  Tid highest = snapshot_.HighestCompleted();
+  for (Tid tid = snapshot_.base() + 1; tid <= highest; ++tid) {
+    if (snapshot_.CanRead(tid)) completed_epoch_[tid] = epoch_;
+  }
   return Status::OK();
+}
+
+std::pair<uint32_t, uint64_t> CommitManager::SyncState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {generation_, epoch_};
 }
 
 // ---------------------------------------------------------------------------

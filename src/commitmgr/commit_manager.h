@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "commitmgr/snapshot_descriptor.h"
@@ -26,6 +27,33 @@ struct TxnBegin {
   Tid lav = 0;
 };
 
+/// Request half of a delta-protocol start() (DESIGN.md, "Snapshot delta sync
+/// & group begin/commit"): carries the snapshot state the client already
+/// holds, so the manager can answer with an incremental update instead of
+/// the full bitset.
+struct BeginRequest {
+  uint32_t pn_id = 0;
+  /// Idempotency token (0 = none): a begin retried after a lost response
+  /// re-sends the same token and receives the previously assigned tid
+  /// instead of leaking a second active entry that would hold the snapshot
+  /// base back forever.
+  uint64_t start_token = 0;
+  /// (generation, epoch) of the client's cached descriptor; generation 0
+  /// means first contact and always gets a full descriptor.
+  uint32_t ack_generation = 0;
+  uint64_t ack_epoch = 0;
+  /// Force a full descriptor even when a delta would be smaller (delta sync
+  /// disabled client-side — the ablation baseline).
+  bool want_full = false;
+};
+
+/// start() response under the delta protocol.
+struct TxnBeginDelta {
+  Tid tid = 0;
+  SnapshotDelta delta;
+  Tid lav = 0;
+};
+
 /// Point-in-time copy of one commit manager's request counters (exported
 /// into the obs::MetricsRegistry gauges `commitmgr.*` by db::TellDb).
 struct CommitManagerStats {
@@ -34,6 +62,11 @@ struct CommitManagerStats {
   uint64_t aborts = 0;
   uint64_t syncs = 0;
   uint64_t tid_range_refills = 0;
+  /// StartDelta() calls answered with an incremental delta.
+  uint64_t delta_starts = 0;
+  /// StartDelta() calls answered with the full descriptor (first contact,
+  /// generation change, forced, or delta not smaller than the bitset).
+  uint64_t full_starts = 0;
 
   void Accumulate(const CommitManagerStats& other) {
     starts += other.starts;
@@ -41,6 +74,8 @@ struct CommitManagerStats {
     aborts += other.aborts;
     syncs += other.syncs;
     tid_range_refills += other.tid_range_refills;
+    delta_starts += other.delta_starts;
+    full_starts += other.full_starts;
   }
 };
 
@@ -98,6 +133,13 @@ class CommitManager {
   /// base forever).
   Result<TxnBegin> Start(uint32_t pn_id);
 
+  /// start() under the delta protocol: same tid assignment as Start(), but
+  /// the snapshot comes back as an incremental update relative to the
+  /// client's acknowledged (generation, epoch) — or as a full descriptor on
+  /// first contact, generation change, or when the delta would not be
+  /// smaller. Idempotent per `request.start_token` (see BeginRequest).
+  Result<TxnBeginDelta> StartDelta(const BeginRequest& request);
+
   /// Marks every active transaction started by `pn_id` as aborted. Called
   /// by the recovery process after it rolled back the PN's applied writes.
   /// Returns the tids aborted.
@@ -131,6 +173,13 @@ class CommitManager {
   /// Serialized size of the state blob written on sync (tests).
   size_t StateBlobBytes() const;
 
+  /// Current (generation, epoch) of the delta protocol (tests).
+  std::pair<uint32_t, uint64_t> SyncState() const;
+
+  /// Table holding this manager's published state and the tid counter
+  /// (clients use it to label injected faults on commit-manager messages).
+  store::TableId state_table() const { return state_table_; }
+
   /// Copy of this manager's request counters. Relaxed atomics, so a snapshot
   /// racing live traffic is approximate but never torn per-counter.
   CommitManagerStats stats() const {
@@ -141,14 +190,30 @@ class CommitManager {
     s.syncs = stats_.syncs.load(std::memory_order_relaxed);
     s.tid_range_refills =
         stats_.tid_range_refills.load(std::memory_order_relaxed);
+    s.delta_starts = stats_.delta_starts.load(std::memory_order_relaxed);
+    s.full_starts = stats_.full_starts.load(std::memory_order_relaxed);
     return s;
   }
 
  private:
   Status RefillTidRangeLocked();
-  /// Shared completion path of SetCommitted / SetAborted.
-  Status Complete(Tid tid);
+  /// Shared completion path of SetCommitted / SetAborted. `*newly` reports
+  /// whether the tid was newly completed (false for a duplicate delivery,
+  /// so retried finish notifications do not double-count stats).
+  Status Complete(Tid tid, bool* newly);
+  Tid ComputeLavLocked() const;
   std::string SerializeStateLocked() const;
+  /// Records `tid` as completed at a fresh epoch and prunes entries the
+  /// base has swept past. Callers must have already marked it in snapshot_.
+  void RecordCompletionLocked(Tid tid);
+  /// After a peer merge changed snapshot_: tags every tid that became
+  /// readable (and is still above the new base) with a fresh epoch, so
+  /// deltas cover merged-in completions too.
+  void NoteMergedCompletionsLocked(const SnapshotDescriptor& before);
+  void PruneCompletedEpochsLocked();
+  /// Builds the delta (or full) response for a client acked at
+  /// (request.ack_generation, request.ack_epoch).
+  SnapshotDelta DeltaSinceLocked(const BeginRequest& request) const;
 
   const uint32_t manager_id_;
   store::Cluster* const cluster_;
@@ -162,6 +227,8 @@ class CommitManager {
     std::atomic<uint64_t> aborts{0};
     std::atomic<uint64_t> syncs{0};
     std::atomic<uint64_t> tid_range_refills{0};
+    std::atomic<uint64_t> delta_starts{0};
+    std::atomic<uint64_t> full_starts{0};
   };
   mutable AtomicStats stats_;
 
@@ -176,6 +243,7 @@ class CommitManager {
   struct ActiveTxn {
     Tid snapshot_base;
     uint32_t pn_id;
+    uint64_t start_token = 0;
   };
   /// Active transactions started here, keyed by tid.
   std::map<Tid, ActiveTxn> active_;
@@ -183,6 +251,17 @@ class CommitManager {
   Tid peers_lav_ = 0;
   bool has_peer_lav_ = false;
   Tid highest_assigned_ = 0;
+
+  // Delta-sync bookkeeping. Invariant: completed_epoch_'s keys are exactly
+  // the set bits of snapshot_ above its current base, each tagged with the
+  // epoch at which it became readable here. A client acked at epoch E holds
+  // our descriptor as of E, so {current base} ∪ {tids with epoch > E}
+  // reconstructs the current descriptor exactly.
+  uint32_t generation_ = 1;
+  uint64_t epoch_ = 0;
+  std::map<Tid, uint64_t> completed_epoch_;
+  /// Start-token dedup map (entries die with their active transaction).
+  std::map<uint64_t, Tid> token_tids_;
 };
 
 /// A cluster of commit managers sharing one storage-backed state, with an

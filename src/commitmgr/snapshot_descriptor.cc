@@ -60,6 +60,17 @@ bool SnapshotDescriptor::IsSubsetOf(const SnapshotDescriptor& super) const {
   return true;
 }
 
+void SnapshotDescriptor::ApplyDelta(const SnapshotDelta& delta) {
+  if (delta.full) {
+    *this = delta.snapshot;
+    return;
+  }
+  // The base advance subsumes every completion that already fell below it;
+  // merging an empty descriptor at delta.base drops our own covered bits.
+  MergeFrom(SnapshotDescriptor(delta.base));
+  for (Tid tid : delta.completed) MarkCompleted(tid);
+}
+
 std::string SnapshotDescriptor::Serialize() const {
   BufferWriter writer;
   writer.PutU64(base_);
@@ -80,6 +91,58 @@ Result<SnapshotDescriptor> SnapshotDescriptor::Deserialize(
   }
   snapshot.AdvanceBase();
   return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotDelta
+
+size_t SnapshotDelta::WireBytes() const {
+  // generation + epoch + form flag.
+  size_t envelope = 4 + 8 + 1;
+  if (full) {
+    return envelope + 4 + snapshot.SerializedBytes();  // u32 length prefix
+  }
+  return envelope + 8 + 4 + 4 * completed.size();
+}
+
+std::string SnapshotDelta::Serialize() const {
+  BufferWriter writer;
+  writer.PutU32(generation);
+  writer.PutU64(epoch);
+  writer.PutU8(full ? 1 : 0);
+  if (full) {
+    writer.PutString(snapshot.Serialize());
+  } else {
+    writer.PutU64(base);
+    writer.PutU32(static_cast<uint32_t>(completed.size()));
+    for (Tid tid : completed) {
+      // tid > base always holds (the manager prunes at-or-below-base tids).
+      writer.PutU32(static_cast<uint32_t>(tid - base - 1));
+    }
+  }
+  return writer.Release();
+}
+
+Result<SnapshotDelta> SnapshotDelta::Deserialize(std::string_view data) {
+  BufferReader reader(data);
+  SnapshotDelta delta;
+  TELL_ASSIGN_OR_RETURN(delta.generation, reader.GetU32());
+  TELL_ASSIGN_OR_RETURN(delta.epoch, reader.GetU64());
+  TELL_ASSIGN_OR_RETURN(uint8_t full, reader.GetU8());
+  delta.full = full != 0;
+  if (delta.full) {
+    TELL_ASSIGN_OR_RETURN(std::string_view blob, reader.GetString());
+    TELL_ASSIGN_OR_RETURN(delta.snapshot, SnapshotDescriptor::Deserialize(blob));
+  } else {
+    TELL_ASSIGN_OR_RETURN(delta.base, reader.GetU64());
+    TELL_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+    delta.completed.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      TELL_ASSIGN_OR_RETURN(uint32_t offset, reader.GetU32());
+      delta.completed.push_back(delta.base + 1 + offset);
+    }
+  }
+  return delta;
 }
 
 }  // namespace tell::commitmgr

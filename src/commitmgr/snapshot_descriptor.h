@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bitset.h"
 #include "common/result.h"
 #include "common/status.h"
 
 namespace tell::commitmgr {
+
+struct SnapshotDelta;
 
 /// Transaction id; doubles as the version number of data items the
 /// transaction writes (paper §4.2: "tids and version numbers are synonyms").
@@ -61,9 +64,20 @@ class SnapshotDescriptor {
   /// entry's version set, V_tx ⊆ B).
   bool IsSubsetOf(const SnapshotDescriptor& super) const;
 
+  /// Applies a delta received from a commit manager: replaces the whole
+  /// descriptor for a full resync, otherwise merges the base advance and
+  /// marks the newly completed tids. Exact — not merely an approximation —
+  /// under the delta protocol's invariant: the caller holds the manager's
+  /// descriptor as of the acknowledged epoch, and the delta lists every
+  /// above-base completion recorded after that epoch.
+  void ApplyDelta(const SnapshotDelta& delta);
+
   /// Wire format: base, bit count, words.
   std::string Serialize() const;
   static Result<SnapshotDescriptor> Deserialize(std::string_view data);
+
+  /// Size of Serialize()'s output without building the string (cost model).
+  size_t SerializedBytes() const { return 16 + completed_.ByteSize(); }
 
   bool operator==(const SnapshotDescriptor& other) const {
     return base_ == other.base_ && completed_ == other.completed_;
@@ -74,6 +88,40 @@ class SnapshotDescriptor {
 
   Tid base_ = 0;
   DenseBitset completed_;
+};
+
+/// Incremental snapshot update (DESIGN.md, "Snapshot delta sync & group
+/// begin/commit"): either the full descriptor — first contact, manager
+/// generation change, or when a delta would not be smaller — or the
+/// manager's current base plus the tids completed since the client's
+/// acknowledged epoch that are still above that base. Completed tids are
+/// encoded as 32-bit offsets from the base; the completed window is bounded
+/// by the bitset the paper sizes at ~13 KB (§4.2), far below 2^32.
+struct SnapshotDelta {
+  /// Manager incarnation. A mismatch with the client's cached generation
+  /// means the epoch counters are not comparable, so the manager answers
+  /// with `full` instead.
+  uint32_t generation = 0;
+  /// Manager epoch this delta brings the client up to (the next ack).
+  uint64_t epoch = 0;
+  bool full = false;
+  /// Delta form: the manager's current base.
+  Tid base = 0;
+  /// Delta form: completed tids above `base` recorded after the ack epoch.
+  std::vector<Tid> completed;
+  /// Full form: the whole descriptor.
+  SnapshotDescriptor snapshot;
+
+  /// Size of Serialize()'s output without building the string (cost model).
+  size_t WireBytes() const;
+  std::string Serialize() const;
+  static Result<SnapshotDelta> Deserialize(std::string_view data);
+
+  bool operator==(const SnapshotDelta& other) const {
+    return generation == other.generation && epoch == other.epoch &&
+           full == other.full && base == other.base &&
+           completed == other.completed && snapshot == other.snapshot;
+  }
 };
 
 }  // namespace tell::commitmgr

@@ -330,6 +330,8 @@ void TellDb::ExportStats(obs::MetricsRegistry* registry) const {
   registry->SetGauge("commitmgr.aborts", cm.aborts);
   registry->SetGauge("commitmgr.syncs", cm.syncs);
   registry->SetGauge("commitmgr.tid_range_refills", cm.tid_range_refills);
+  registry->SetGauge("commitmgr.delta_starts", cm.delta_starts);
+  registry->SetGauge("commitmgr.full_starts", cm.full_starts);
 
   tx::BufferStats buf;
   {
@@ -390,6 +392,8 @@ TellDb::PerNodeStats() const {
                           {"aborts", s.aborts},
                           {"syncs", s.syncs},
                           {"tid_range_refills", s.tid_range_refills},
+                          {"delta_starts", s.delta_starts},
+                          {"full_starts", s.full_starts},
                       });
   }
   {

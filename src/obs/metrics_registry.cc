@@ -36,6 +36,10 @@ const BuiltinGauge kBuiltinGauges[] = {
     {"commitmgr.syncs", "rounds", "peer synchronization rounds"},
     {"commitmgr.tid_range_refills", "refills",
      "tid ranges acquired from the storage counter"},
+    {"commitmgr.delta_starts", "txns",
+     "delta-protocol starts answered with an incremental snapshot delta"},
+    {"commitmgr.full_starts", "txns",
+     "delta-protocol starts answered with the full descriptor"},
     // Shared record buffer (SB/SBVS) stats, summed over processing nodes.
     {"buffer.shared.hits", "reads", "shared-buffer probes served locally"},
     {"buffer.shared.misses", "reads",

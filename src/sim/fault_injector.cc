@@ -12,6 +12,8 @@ const char* FaultOpClassName(FaultOpClass op) {
     case FaultOpClass::kConditionalErase: return "conditional_erase";
     case FaultOpClass::kScan: return "scan";
     case FaultOpClass::kAtomicIncrement: return "atomic_increment";
+    case FaultOpClass::kCommitMgrStart: return "commitmgr_start";
+    case FaultOpClass::kCommitMgrFinish: return "commitmgr_finish";
   }
   return "unknown";
 }

@@ -22,6 +22,11 @@ enum class FaultOpClass : uint32_t {
   kConditionalErase,
   kScan,
   kAtomicIncrement,
+  /// Commit-manager begin (delta-protocol start, possibly carrying
+  /// piggybacked finish notifications in the same coalesced message).
+  kCommitMgrStart,
+  /// Commit-manager finish notification (setCommitted / setAborted).
+  kCommitMgrFinish,
 };
 
 const char* FaultOpClassName(FaultOpClass op);

@@ -87,6 +87,27 @@ struct WorkerMetrics {
   /// Virtual time saved by overlapping the requests of a flush versus
   /// issuing them one synchronous round trip at a time.
   uint64_t pipeline_overlap_saved_ns = 0;
+  /// Coalesced commit-manager messages sent (a begin plus any piggybacked
+  /// finish notifications count as one).
+  uint64_t cm_messages = 0;
+  /// Logical commit-manager ops (begins + finish notifications) carried in
+  /// those messages.
+  uint64_t cm_ops = 0;
+  /// Request + response bytes of commit-manager messages (incl. framing).
+  uint64_t cm_bytes = 0;
+  /// Commit-manager begins re-issued after Unavailable (RetryPolicy).
+  uint64_t cm_retries = 0;
+  /// Begins answered with a delta-encoded snapshot.
+  uint64_t cm_delta_syncs = 0;
+  /// Begins answered with the full descriptor (first contact, manager
+  /// generation change, forced, or delta not smaller).
+  uint64_t cm_full_syncs = 0;
+  /// Response bytes avoided by delta-encoded snapshots vs shipping the full
+  /// descriptor on every begin.
+  uint64_t cm_delta_bytes_saved = 0;
+  /// Virtual time saved by carrying finish notifications on the next begin
+  /// versus paying each op its own round trip.
+  uint64_t cm_batch_saved_ns = 0;
 
   /// Transaction response time distribution (virtual ns).
   Histogram response_time;
@@ -96,6 +117,8 @@ struct WorkerMetrics {
   Histogram pipeline_batch_size;
   /// Ops outstanding in the pipeline when a flush was triggered.
   Histogram pipeline_in_flight;
+  /// Logical ops per coalesced commit-manager message.
+  Histogram cm_batch_size;
   /// Per-phase virtual time, one sample per transaction per touched phase.
   std::array<Histogram, kNumTxnPhases> phase_ns;
 
@@ -191,6 +214,30 @@ inline const std::vector<WorkerCounterField>& WorkerCounterFields() {
       {"store.pipeline.overlap_saved_ns", "ns",
        "virtual time saved by overlapping pipelined requests vs serial issue",
        &WorkerMetrics::pipeline_overlap_saved_ns},
+      {"commitmgr.rpc_messages", "messages",
+       "coalesced commit-manager messages (begin + piggybacked finishes)",
+       &WorkerMetrics::cm_messages},
+      {"commitmgr.rpc_ops", "ops",
+       "logical commit-manager ops carried in those messages",
+       &WorkerMetrics::cm_ops},
+      {"commitmgr.rpc_bytes", "bytes",
+       "request + response bytes of commit-manager messages",
+       &WorkerMetrics::cm_bytes},
+      {"commitmgr.retries", "requests",
+       "commit-manager begins re-issued after Unavailable",
+       &WorkerMetrics::cm_retries},
+      {"commitmgr.delta.syncs", "begins",
+       "begins answered with a delta-encoded snapshot",
+       &WorkerMetrics::cm_delta_syncs},
+      {"commitmgr.delta.full_syncs", "begins",
+       "begins answered with the full snapshot descriptor",
+       &WorkerMetrics::cm_full_syncs},
+      {"commitmgr.delta.bytes_saved", "bytes",
+       "response bytes avoided by delta-encoded snapshots vs full descriptors",
+       &WorkerMetrics::cm_delta_bytes_saved},
+      {"commitmgr.batch.saved_ns", "ns",
+       "virtual time saved by piggybacking finish notifications on begins",
+       &WorkerMetrics::cm_batch_saved_ns},
   };
   return kFields;
 }
@@ -208,6 +255,9 @@ inline const std::vector<WorkerHistogramField>& WorkerHistogramFields() {
         {"store.pipeline.in_flight", "ops",
          "ops outstanding in the pipeline at flush time",
          &WorkerMetrics::pipeline_in_flight, -1},
+        {"commitmgr.batch.size", "ops",
+         "logical ops per coalesced commit-manager message",
+         &WorkerMetrics::cm_batch_size, -1},
     };
     static const std::array<const char*, kNumTxnPhases> kPhaseMetricNames = {
         "tx.phase.begin",    "tx.phase.index_lookup", "tx.phase.read",

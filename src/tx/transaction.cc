@@ -58,20 +58,16 @@ Status Transaction::Begin() {
   tracer_->BeginTxn();
   obs::PhaseScope span(tracer_, sim::TxnPhase::kBegin);
   // Each processing node talks to one dedicated commit manager (§4.2);
-  // fail-over to the next manager is handled inside ManagerFor.
-  commit_manager_ = session_->commit_managers()->ManagerFor(
-      session_->pn_id());
-  if (commit_manager_ == nullptr) {
-    return Status::Unavailable("no live commit manager");
-  }
+  // fail-over, fault injection, retries and the delta-sync/batching wire
+  // accounting all live in the session's CommitManagerClient. The response
+  // carries the snapshot as a delta against the session's cached descriptor
+  // (or the full descriptor on first contact / resync).
   TELL_ASSIGN_OR_RETURN(commitmgr::TxnBegin begin,
-                        commit_manager_->Start(session_->pn_id()));
+                        session_->commitmgr_client()->Begin(session_->pn_id()));
+  commit_manager_ = session_->commitmgr_client()->last_manager();
   tid_ = begin.tid;
   snapshot_ = std::move(begin.snapshot);
   lav_ = begin.lav;
-  // One round trip to the commit manager; the response carries the snapshot
-  // descriptor (base + bitset + lav).
-  client_->ChargeRpc(16, 24 + snapshot_.BitsetBytes());
   session_->record_buffer()->OnTransactionStart(snapshot_);
   state_ = TxnState::kRunning;
   return Status::OK();
@@ -630,7 +626,8 @@ Transaction::FilteredScan(
 }
 
 Status Transaction::FinishCommitEmpty() {
-  Status st = commit_manager_->SetCommitted(tid_);
+  Status st = session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                                   /*committed=*/true);
   state_ = TxnState::kCommitted;
   client_->metrics()->committed += 1;
   return st;
@@ -657,7 +654,8 @@ Status Transaction::Commit() {
   for (const RecordKey& key : dirty) entry.write_set.push_back(key);
   Status log_status = session_->log()->Append(client_, entry);
   if (!log_status.ok()) {
-    (void)commit_manager_->SetAborted(tid_);
+    (void)session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                               /*committed=*/false);
     state_ = TxnState::kAborted;
     client_->metrics()->aborted += 1;
     return log_status;
@@ -695,7 +693,8 @@ Status Transaction::Commit() {
       // reported failure, and RollbackApplied skips records without our
       // version after one read.
       RollbackApplied(dirty);
-      (void)commit_manager_->SetAborted(tid_);
+      (void)session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                               /*committed=*/false);
       state_ = TxnState::kAborted;
       client_->metrics()->aborted += 1;
       if (failure.IsConditionFailed()) {
@@ -710,7 +709,8 @@ Status Transaction::Commit() {
       Status valid = ValidateReadSet();
       if (!valid.ok()) {
         RollbackApplied(dirty);
-        (void)commit_manager_->SetAborted(tid_);
+        (void)session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                               /*committed=*/false);
         state_ = TxnState::kAborted;
         client_->metrics()->aborted += 1;
         return valid;
@@ -729,7 +729,8 @@ Status Transaction::Commit() {
     // even turn it into a permanent InternalError for the racing winner's
     // key).
     RollbackApplied(dirty);
-    (void)commit_manager_->SetAborted(tid_);
+    (void)session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                               /*committed=*/false);
     state_ = TxnState::kAborted;
     client_->metrics()->aborted += 1;
     if (index_status.IsAlreadyExists()) {
@@ -752,12 +753,14 @@ Status Transaction::Commit() {
                     << mark.ToString() << "); aborting";
     RollbackIndexInserts(index_ops_.size());
     RollbackApplied(dirty);
-    (void)commit_manager_->SetAborted(tid_);
+    (void)session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                               /*committed=*/false);
     state_ = TxnState::kAborted;
     client_->metrics()->aborted += 1;
     return Status::Aborted("commit flag write failed: " + mark.ToString());
   }
-  (void)commit_manager_->SetCommitted(tid_);
+  (void)session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                             /*committed=*/true);
 
   // 5. Write-through to the PN's shared buffer (if any).
   {
@@ -889,7 +892,8 @@ Status Transaction::Abort() {
   }
   // Manual abort: nothing was applied (we never reached Try-Commit), so only
   // the commit manager needs to know (§4.3 step 4b).
-  (void)commit_manager_->SetAborted(tid_);
+  (void)session_->commitmgr_client()->Finish(commit_manager_, tid_,
+                                               /*committed=*/false);
   state_ = TxnState::kAborted;
   client_->metrics()->aborted += 1;
   return Status::OK();

@@ -16,6 +16,7 @@
 #include "schema/versioned_record.h"
 #include "store/storage_client.h"
 #include "tx/catalog.h"
+#include "tx/commit_manager_client.h"
 #include "tx/record_buffer.h"
 #include "tx/transaction_log.h"
 
@@ -27,6 +28,17 @@ struct SessionOptions {
   /// Rids are allocated from a per-table counter in ranges of this size,
   /// cached per session.
   uint32_t rid_range_size = 512;
+  /// Delta-encoded snapshot sync with the commit manager: Begin
+  /// acknowledges the last received (generation, epoch) and gets only the
+  /// base advance + newly completed tids instead of the full bitset (full
+  /// resync on first contact or after a manager recovery). Off = every
+  /// begin ships the full descriptor (the ablation baseline).
+  bool commit_delta = true;
+  /// Group begin/finish: setCommitted/setAborted notifications ride in the
+  /// same coalesced message as the worker's next begin — one commit-manager
+  /// round trip per transaction instead of two. Off = every finish pays its
+  /// own round trip.
+  bool commit_batching = true;
 };
 
 /// Per-worker execution context on a processing node: the storage client
@@ -45,6 +57,8 @@ class Session {
         worker_id_(worker_id),
         client_(cluster, management, client_options, &clock_, &metrics_),
         commit_managers_(commit_managers),
+        cm_client_(commit_managers, &client_,
+                   {options.commit_delta, options.commit_batching}),
         log_(log),
         record_buffer_(record_buffer),
         options_(options) {}
@@ -63,6 +77,8 @@ class Session {
   commitmgr::CommitManagerGroup* commit_managers() {
     return commit_managers_;
   }
+  /// The session's delta-sync/batching window to the commit managers.
+  CommitManagerClient* commitmgr_client() { return &cm_client_; }
 
   /// Allocates a fresh rid for `table` from the session's cached range.
   Result<uint64_t> AllocateRid(const TableMeta* table);
@@ -79,6 +95,9 @@ class Session {
   obs::TxnTracer tracer_{&clock_, &metrics_};
   store::StorageClient client_;
   commitmgr::CommitManagerGroup* const commit_managers_;
+  /// Declared after client_: constructed with it alive, destroyed first
+  /// (its destructor charges deferred finish costs through the client).
+  CommitManagerClient cm_client_;
   const TransactionLog* const log_;
   RecordBuffer* const record_buffer_;
   const SessionOptions options_;

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "commitmgr/commit_manager.h"
 #include "commitmgr/snapshot_descriptor.h"
+#include "common/random.h"
 #include "store/cluster.h"
 #include "tests/test_util.h"
 
@@ -317,6 +319,209 @@ TEST_F(CommitManagerTest, ConcurrentStartsUniqueTids) {
     }
   }
   EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// Delta protocol (StartDelta / SnapshotDelta).
+
+/// What tx::CommitManagerClient keeps per manager: the acked (generation,
+/// epoch) and the descriptor reconstructed from deltas.
+struct ClientCache {
+  uint32_t generation = 0;
+  uint64_t epoch = 0;
+  SnapshotDescriptor snapshot;
+};
+
+/// Issues a delta-protocol begin and applies the response to `cache`, the way
+/// the client library does.
+Result<TxnBeginDelta> BeginVia(CommitManager* cm, ClientCache* cache,
+                               uint64_t token = 0) {
+  BeginRequest request;
+  request.pn_id = 0;
+  request.start_token = token;
+  request.ack_generation = cache->generation;
+  request.ack_epoch = cache->epoch;
+  auto begin = cm->StartDelta(request);
+  if (begin.ok()) {
+    cache->snapshot.ApplyDelta(begin->delta);
+    cache->generation = begin->delta.generation;
+    cache->epoch = begin->delta.epoch;
+  }
+  return begin;
+}
+
+TEST_F(CommitManagerTest, StartDeltaFirstContactIsFull) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ClientCache cache;
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta begin, BeginVia(cm, &cache));
+  EXPECT_TRUE(begin.delta.full);
+  EXPECT_EQ(cache.snapshot, cm->CurrentSnapshot());
+  EXPECT_EQ(cm->stats().full_starts, 1u);
+  EXPECT_EQ(cm->stats().delta_starts, 0u);
+}
+
+TEST_F(CommitManagerTest, StartDeltaIncrementalReconstructsDescriptor) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ClientCache cache;
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta t1, BeginVia(cm, &cache));
+
+  // A gap keeps the base back so the next delta carries above-base tids.
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta hole, BeginVia(cm, &cache));
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta t3, BeginVia(cm, &cache));
+  ASSERT_OK(cm->SetCommitted(t3.tid));
+  ASSERT_OK(cm->SetAborted(t1.tid));
+
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta t4, BeginVia(cm, &cache));
+  EXPECT_FALSE(t4.delta.full);
+  EXPECT_EQ(cache.snapshot, cm->CurrentSnapshot());
+  EXPECT_TRUE(cache.snapshot.CanRead(t3.tid));
+  EXPECT_FALSE(cache.snapshot.CanRead(hole.tid));
+  EXPECT_GE(cm->stats().delta_starts, 1u);
+}
+
+TEST_F(CommitManagerTest, StartDeltaBaseAdvanceOnly) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ClientCache cache;
+  // Commit everything so the next delta is a pure base advance.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(TxnBeginDelta begin, BeginVia(cm, &cache));
+    ASSERT_OK(cm->SetCommitted(begin.tid));
+  }
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta next, BeginVia(cm, &cache));
+  EXPECT_FALSE(next.delta.full);
+  EXPECT_TRUE(next.delta.completed.empty());
+  EXPECT_EQ(next.delta.base, 5u);
+  EXPECT_EQ(cache.snapshot, cm->CurrentSnapshot());
+}
+
+TEST_F(CommitManagerTest, StartDeltaStaleGenerationForcesFullResync) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ClientCache cache;
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta t1, BeginVia(cm, &cache));
+  ASSERT_OK(cm->SetCommitted(t1.tid));
+  ASSERT_OK(cm->SyncWithPeers(1));
+
+  // Recovery bumps the generation: the client's acked epoch is no longer
+  // comparable and the next begin must resync with a full descriptor.
+  auto [gen_before, epoch_before] = cm->SyncState();
+  ASSERT_OK(cm->RecoverFromStore(1));
+  auto [gen_after, epoch_after] = cm->SyncState();
+  EXPECT_GT(gen_after, gen_before);
+
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta t2, BeginVia(cm, &cache));
+  EXPECT_TRUE(t2.delta.full);
+  EXPECT_EQ(cache.snapshot, cm->CurrentSnapshot());
+}
+
+TEST_F(CommitManagerTest, StartDeltaFallsBackToFullWhenDeltaIsLarger) {
+  auto group = MakeGroup(1, /*range=*/512);
+  CommitManager* cm = group->manager(0);
+  ClientCache cache;
+  // An open transaction pins the base while many tids complete above it, so
+  // the per-tid delta encoding (4 bytes each) overtakes the bitset.
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta pin, BeginVia(cm, &cache));
+  std::vector<Tid> committed;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(TxnBeginDelta begin, cm->StartDelta({}));
+    committed.push_back(begin.tid);
+    ASSERT_OK(cm->SetCommitted(begin.tid));
+  }
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta next, BeginVia(cm, &cache));
+  EXPECT_TRUE(next.delta.full);
+  EXPECT_EQ(cache.snapshot, cm->CurrentSnapshot());
+  for (Tid tid : committed) EXPECT_TRUE(cache.snapshot.CanRead(tid));
+  EXPECT_FALSE(cache.snapshot.CanRead(pin.tid));
+}
+
+TEST_F(CommitManagerTest, StartTokenRetryReturnsSameTid) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ClientCache cache;
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta first, BeginVia(cm, &cache, /*token=*/77));
+  // The response was lost: the client re-sends the same token and must get
+  // the same tid back instead of leaking a second active entry.
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta retry, BeginVia(cm, &cache, /*token=*/77));
+  EXPECT_EQ(retry.tid, first.tid);
+  ASSERT_OK(cm->SetCommitted(first.tid));
+  // Completion releases the token; re-use after that is a fresh begin.
+  ASSERT_OK_AND_ASSIGN(TxnBeginDelta fresh, BeginVia(cm, &cache, /*token=*/77));
+  EXPECT_NE(fresh.tid, first.tid);
+  ASSERT_OK(cm->SetCommitted(fresh.tid));
+  // No leaked active entries: the base catches up to the last tid.
+  EXPECT_EQ(cm->CurrentSnapshot().base(), fresh.tid);
+}
+
+TEST_F(CommitManagerTest, DuplicateFinishIsIdempotent) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin t1, cm->Start(0));
+  ASSERT_OK(cm->SetCommitted(t1.tid));
+  // A retried finish whose first delivery actually landed must not
+  // double-count stats or disturb the snapshot.
+  auto [gen, epoch_after_first] = cm->SyncState();
+  ASSERT_OK(cm->SetCommitted(t1.tid));
+  ASSERT_OK(cm->SetAborted(t1.tid));
+  EXPECT_EQ(cm->stats().commits, 1u);
+  EXPECT_EQ(cm->stats().aborts, 0u);
+  EXPECT_EQ(cm->SyncState().second, epoch_after_first);
+  EXPECT_EQ(cm->CurrentSnapshot().base(), t1.tid);
+}
+
+TEST_F(CommitManagerTest, DeltaPropertyRandomInterleavings) {
+  // Property: under any interleaving of begins, commits and aborts, a client
+  // that applies every delta it is handed reconstructs the manager's exact
+  // descriptor, and SnapshotDelta survives a serialize/deserialize round
+  // trip with WireBytes() telling the truth.
+  for (uint64_t seed : {1u, 7u, 42u, 1337u}) {
+    store::ClusterOptions cluster_options;
+    cluster_options.num_storage_nodes = 2;
+    store::Cluster cluster(cluster_options);
+    CommitManagerOptions options;
+    options.tid_range_size = 8;
+    CommitManagerGroup group(&cluster, 1, options, /*sync_interval_ms=*/0);
+    CommitManager* cm = group.manager(0);
+
+    Random rng(seed);
+    ClientCache cache;
+    std::vector<Tid> open;
+    for (int step = 0; step < 400; ++step) {
+      uint64_t action = rng.Uniform(4);
+      if (action == 0 || open.empty()) {
+        BeginRequest request;
+        request.ack_generation = cache.generation;
+        request.ack_epoch = cache.epoch;
+        // Randomly drop the ack to exercise the resync path mid-stream.
+        if (rng.Bernoulli(0.05)) request.ack_generation = 0;
+        ASSERT_OK_AND_ASSIGN(TxnBeginDelta begin, cm->StartDelta(request));
+
+        std::string wire = begin.delta.Serialize();
+        EXPECT_EQ(wire.size(), begin.delta.WireBytes());
+        ASSERT_OK_AND_ASSIGN(SnapshotDelta decoded,
+                             SnapshotDelta::Deserialize(wire));
+        EXPECT_EQ(decoded, begin.delta);
+
+        cache.snapshot.ApplyDelta(begin.delta);
+        cache.generation = begin.delta.generation;
+        cache.epoch = begin.delta.epoch;
+        ASSERT_EQ(cache.snapshot, cm->CurrentSnapshot())
+            << "seed " << seed << " step " << step;
+        open.push_back(begin.tid);
+      } else {
+        size_t pick = rng.Uniform(open.size());
+        Tid tid = open[pick];
+        open.erase(open.begin() + static_cast<long>(pick));
+        if (rng.Bernoulli(0.3)) {
+          ASSERT_OK(cm->SetAborted(tid));
+        } else {
+          ASSERT_OK(cm->SetCommitted(tid));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -696,6 +696,71 @@ TEST_P(ChaosSuite, InvariantsHoldUnderRandomizedFaults) {
          "unresolved";
 }
 
+// ---------------------------------------------------------------------------
+// Commit-manager path under injected faults (delta-protocol begins now run
+// through the fault-injectable, retry-covered client like storage requests)
+// ---------------------------------------------------------------------------
+
+TEST(CommitMgrFaultTest, BeginRetriesThroughDroppedStarts) {
+  sim::FaultInjector injector(
+      FaultPlan{.seed = 5,
+                .rules = {FaultRule{.kind = FaultRule::Kind::kDropRequest,
+                                    .op = FaultOpClass::kCommitMgrStart,
+                                    .probability = 1.0,
+                                    .max_fires = 2}}});
+  injector.Disarm();
+  db::TellDbOptions options;
+  options.network = sim::NetworkModel::Instant();
+  options.fault_injector = &injector;
+  db::TellDb db(options);
+  auto session = db.OpenSession(0, 0);
+
+  injector.Arm();
+  Transaction txn(session.get());
+  ASSERT_OK(txn.Begin());
+  ASSERT_OK(txn.Commit());
+  injector.Disarm();
+
+  EXPECT_EQ(injector.stats().dropped_requests, 2u);
+  EXPECT_GE(session->metrics()->cm_retries, 2u);
+}
+
+TEST(CommitMgrFaultTest, AmbiguousBeginDoesNotLeakTids) {
+  // A begin whose response is lost was already executed at the manager: the
+  // retried begin re-sends the same start token and must get the original
+  // tid back instead of leaking an active entry that pins the snapshot base
+  // (and thus the GC horizon) forever.
+  sim::FaultInjector injector(
+      FaultPlan{.seed = 7,
+                .rules = {FaultRule{.kind = FaultRule::Kind::kDropResponse,
+                                    .op = FaultOpClass::kCommitMgrStart,
+                                    .probability = 1.0,
+                                    .max_fires = 1}}});
+  injector.Disarm();
+  db::TellDbOptions options;
+  options.network = sim::NetworkModel::Instant();
+  options.fault_injector = &injector;
+  db::TellDb db(options);
+  auto session = db.OpenSession(0, 0);
+
+  injector.Arm();
+  Transaction txn(session.get());
+  ASSERT_OK(txn.Begin());
+  ASSERT_OK(txn.Commit());
+  injector.Disarm();
+  ASSERT_EQ(injector.stats().dropped_responses, 1u);
+
+  // Flush any finish notification still riding with the next begin, then
+  // check nothing is pinning the base: it must equal the last tid issued.
+  Transaction probe(session.get());
+  ASSERT_OK(probe.Begin());
+  ASSERT_OK(probe.Commit());
+  session->commitmgr_client()->FlushPendingAccounting();
+  commitmgr::CommitManager* cm = db.commit_managers()->manager(0);
+  EXPECT_EQ(cm->CurrentSnapshot().base(), probe.tid())
+      << "a lost begin response leaked an active tid";
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSuite,
                          ::testing::Values(uint64_t{0x5EED0001},
                                            uint64_t{0x5EED0002},

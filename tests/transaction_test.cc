@@ -382,5 +382,115 @@ TEST_F(TransactionTest, LostUpdateAnomalyPreventedUnderConcurrency) {
   ASSERT_OK(check.Commit());
 }
 
+TEST_F(TransactionTest, GcHorizonHonorsDeltaCachedReaderSnapshot) {
+  // Regression test for the delta-sync protocol: a reader whose session
+  // reconstructs snapshots from cached deltas must still hold the GC horizon
+  // back — lazy GC must never reclaim a version the reader can see.
+  uint64_t rid = MustInsert(1, "a", 1.0);
+  auto session2 = db_->OpenSession(1, 0);
+  // Warm both sessions' delta caches past the first-contact full sync.
+  for (int i = 0; i < 3; ++i) {
+    Transaction t1(session_.get());
+    ASSERT_OK(t1.Begin());
+    ASSERT_OK(t1.Commit());
+    Transaction t2(session2.get());
+    ASSERT_OK(t2.Begin());
+    ASSERT_OK(t2.Commit());
+  }
+
+  Transaction reader(session2.get());
+  ASSERT_OK(reader.Begin());
+  ASSERT_OK_AND_ASSIGN(std::optional<Tuple> before, reader.Read(table_, rid));
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->GetDouble(2), 1.0);
+
+  // Meanwhile the other session commits newer versions through its warm
+  // delta cache.
+  for (int i = 1; i <= 10; ++i) {
+    Transaction writer(session_.get());
+    ASSERT_OK(writer.Begin());
+    ASSERT_OK(writer.Update(table_, rid, Account(1, "a", 100.0 + i)));
+    ASSERT_OK(writer.Commit());
+  }
+
+  // The GC horizon must not pass the open reader's snapshot.
+  EXPECT_LE(db_->commit_managers()->GlobalLav(), reader.tid());
+  ASSERT_OK(db_->RunGarbageCollection().status());
+
+  // The reader's version survived the sweep.
+  ASSERT_OK_AND_ASSIGN(std::optional<Tuple> after, reader.Read(table_, rid));
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->GetDouble(2), 1.0) << "GC reclaimed a visible version";
+  ASSERT_OK(reader.Commit());
+
+  // With the reader gone the horizon is free to advance and reclaim.
+  Transaction check(session_.get());
+  ASSERT_OK(check.Begin());
+  ASSERT_OK_AND_ASSIGN(std::optional<Tuple> latest, check.Read(table_, rid));
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->GetDouble(2), 110.0);
+  ASSERT_OK(check.Commit());
+}
+
+TEST_F(TransactionTest, DeltaAndBatchingOffMatchesOnOutcomes) {
+  // The delta/batching client is a transport optimization: with the same
+  // seeds and the same scripted workload, commit/abort outcomes and tids
+  // must be identical with the optimization on and off.
+  auto run = [&](bool delta, bool batching) {
+    db::TellDbOptions options;
+    options.num_processing_nodes = 2;
+    options.num_storage_nodes = 3;
+    options.network = sim::NetworkModel::Instant();
+    options.session.commit_delta = delta;
+    options.session.commit_batching = batching;
+    db::TellDb db(options);
+    EXPECT_TRUE(db.CreateTable("accounts",
+                               schema::SchemaBuilder()
+                                   .AddInt64("id")
+                                   .AddString("name")
+                                   .AddDouble("balance")
+                                   .SetPrimaryKey({"id"})
+                                   .Build(),
+                               {})
+                    .ok());
+    auto table = db.GetTable(0, "accounts");
+    EXPECT_TRUE(table.ok());
+    auto s1 = db.OpenSession(0, 0);
+    auto s2 = db.OpenSession(1, 0);
+
+    std::vector<std::pair<Tid, bool>> outcomes;
+    uint64_t rid = 0;
+    {
+      Transaction seedtxn(s1.get());
+      EXPECT_TRUE(seedtxn.Begin().ok());
+      auto r = seedtxn.Insert(*table, Account(1, "a", 0.0));
+      EXPECT_TRUE(r.ok());
+      rid = *r;
+      EXPECT_TRUE(seedtxn.Commit().ok());
+      outcomes.emplace_back(seedtxn.tid(), true);
+    }
+    // Scripted conflicting interleaving: both sessions race updates to the
+    // same row; first committer wins, second aborts on the write conflict.
+    for (int round = 0; round < 8; ++round) {
+      Transaction a(s1.get());
+      Transaction b(s2.get());
+      EXPECT_TRUE(a.Begin().ok());
+      EXPECT_TRUE(b.Begin().ok());
+      EXPECT_TRUE(a.Update(*table, rid, Account(1, "a", round)).ok());
+      EXPECT_TRUE(b.Update(*table, rid, Account(1, "a", -round)).ok());
+      Status sa = a.Commit();
+      Status sb = b.Commit();
+      outcomes.emplace_back(a.tid(), sa.ok());
+      outcomes.emplace_back(b.tid(), sb.ok());
+    }
+    return outcomes;
+  };
+
+  auto baseline = run(false, false);
+  EXPECT_EQ(run(true, false), baseline);
+  EXPECT_EQ(run(false, true), baseline);
+  EXPECT_EQ(run(true, true), baseline);
+}
+
 }  // namespace
 }  // namespace tell::tx
