@@ -96,6 +96,12 @@ inline std::vector<std::pair<std::string, double>> DerivedOf(
       {"p99_response_ms", r.p99_response_ms},
       {"p999_response_ms", r.p999_response_ms},
       {"virtual_seconds", r.virtual_seconds},
+      // Wall-clock axis (host-dependent, unlike everything above): how long
+      // the run really took and the committed-txn rate in real time. This
+      // is what real-thread scalability work (storage-engine striping)
+      // moves; the virtual-time numbers deliberately cannot see it.
+      {"wall_seconds", r.wall_seconds},
+      {"wall_tps", r.wall_tps},
   };
 }
 

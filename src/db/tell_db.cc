@@ -35,6 +35,7 @@ TellDb::TellDb(const TellDbOptions& options)
   cluster_options.replication_factor = options_.replication_factor;
   cluster_options.partitions_per_node = options_.partitions_per_storage_node;
   cluster_options.memory_per_node_bytes = options_.memory_per_storage_node;
+  cluster_options.stripes_per_partition = options_.stripes_per_partition;
   cluster_ = std::make_unique<store::Cluster>(cluster_options);
   management_ = std::make_unique<store::ManagementNode>(cluster_.get());
   commit_managers_ = std::make_unique<commitmgr::CommitManagerGroup>(
@@ -320,6 +321,8 @@ void TellDb::ExportStats(obs::MetricsRegistry* registry) const {
   registry->SetGauge("store.node.scans", sn.scans);
   registry->SetGauge("store.node.cells_scanned", sn.cells_scanned);
   registry->SetGauge("store.node.atomic_increments", sn.atomic_increments);
+  registry->SetGauge("store.node.stripe_conflicts", sn.stripe_conflicts);
+  registry->SetGauge("store.node.lock_wait_ns", sn.lock_wait_ns);
 
   commitmgr::CommitManagerStats cm;
   for (uint32_t i = 0; i < commit_managers_->size(); ++i) {
@@ -381,6 +384,8 @@ TellDb::PerNodeStats() const {
             {"scans", s.scans},
             {"cells_scanned", s.cells_scanned},
             {"atomic_increments", s.atomic_increments},
+            {"stripe_conflicts", s.stripe_conflicts},
+            {"lock_wait_ns", s.lock_wait_ns},
         });
   }
   for (uint32_t i = 0; i < commit_managers_->size(); ++i) {

@@ -65,6 +65,10 @@ struct TellDbOptions {
 
   uint64_t memory_per_storage_node = 4ULL << 30;
   uint32_t partitions_per_storage_node = 4;
+  /// Lock stripes per partition on each storage node (power of two; see
+  /// DESIGN.md "Storage engine"). More stripes let concurrent workers write
+  /// disjoint keys of one partition in parallel; 1 = one lock per partition.
+  uint32_t stripes_per_partition = store::kDefaultStripesPerPartition;
 
   /// Retry/backoff policy every worker's StorageClient uses on Unavailable
   /// (fail-over, injected faults).

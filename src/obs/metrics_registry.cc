@@ -29,6 +29,10 @@ const BuiltinGauge kBuiltinGauges[] = {
      "cells examined while serving scans"},
     {"store.node.atomic_increments", "ops",
      "atomic counter increments served"},
+    {"store.node.stripe_conflicts", "acquisitions",
+     "stripe-lock acquisitions that found the lock held (collisions)"},
+    {"store.node.lock_wait_ns", "ns",
+     "wall-clock time threads spent blocked on stripe locks"},
     // CommitManager counters, summed over the group.
     {"commitmgr.starts", "txns", "start() calls served"},
     {"commitmgr.commits", "txns", "setCommitted() calls served"},

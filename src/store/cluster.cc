@@ -13,8 +13,8 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   TELL_CHECK(options_.replication_factor <= options_.num_storage_nodes);
   nodes_.reserve(options_.num_storage_nodes);
   for (uint32_t i = 0; i < options_.num_storage_nodes; ++i) {
-    nodes_.push_back(
-        std::make_unique<StorageNode>(i, options_.memory_per_node_bytes));
+    nodes_.push_back(std::make_unique<StorageNode>(
+        i, options_.memory_per_node_bytes, options_.stripes_per_partition));
   }
 }
 

@@ -24,6 +24,9 @@ struct ClusterOptions {
   uint32_t partitions_per_node = 4;
   /// DRAM budget per storage node.
   uint64_t memory_per_node_bytes = 4ULL << 30;
+  /// Lock stripes per table partition on each storage node (rounded up to a
+  /// power of two). 1 reproduces the old monolithic per-partition lock.
+  uint32_t stripes_per_partition = kDefaultStripesPerPartition;
 };
 
 /// The distributed storage system: a set of storage nodes, the partition

@@ -1,5 +1,7 @@
 #include "store/storage_node.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
@@ -8,14 +10,36 @@
 
 namespace tell::store {
 
-StorageNode::StorageNode(uint32_t node_id, uint64_t memory_capacity_bytes)
-    : node_id_(node_id), memory_capacity_(memory_capacity_bytes) {}
+namespace {
+
+uint32_t RoundUpPowerOfTwo(uint32_t n) {
+  if (n <= 1) return 1;
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+StorageNode::StorageNode(uint32_t node_id, uint64_t memory_capacity_bytes,
+                         uint32_t stripes_per_partition)
+    : node_id_(node_id),
+      memory_capacity_(memory_capacity_bytes),
+      stripes_per_partition_(RoundUpPowerOfTwo(stripes_per_partition)) {}
 
 void StorageNode::CreatePartition(TableId table, uint32_t partition) {
   std::unique_lock lock(partitions_mutex_);
   uint64_t key = PartitionKey(table, partition);
   if (partitions_.find(key) == partitions_.end()) {
-    partitions_.emplace(key, std::make_unique<Partition>());
+    partitions_.emplace(key,
+                        std::make_unique<Partition>(stripes_per_partition_));
   }
 }
 
@@ -34,15 +58,109 @@ Status StorageNode::CheckAlive() const {
   return Status::OK();
 }
 
+std::shared_lock<std::shared_mutex> StorageNode::LockShared(
+    const Stripe& stripe) const {
+  std::shared_lock<std::shared_mutex> lock(stripe.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    stats_.stripe_conflicts.fetch_add(1, std::memory_order_relaxed);
+    uint64_t start = MonotonicNowNs();
+    lock.lock();
+    stats_.lock_wait_ns.fetch_add(MonotonicNowNs() - start,
+                                  std::memory_order_relaxed);
+  }
+  return lock;
+}
+
+std::unique_lock<std::shared_mutex> StorageNode::LockExclusive(
+    const Stripe& stripe) const {
+  std::unique_lock<std::shared_mutex> lock(stripe.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    stats_.stripe_conflicts.fetch_add(1, std::memory_order_relaxed);
+    uint64_t start = MonotonicNowNs();
+    lock.lock();
+    stats_.lock_wait_ns.fetch_add(MonotonicNowNs() - start,
+                                  std::memory_order_relaxed);
+  }
+  return lock;
+}
+
+std::vector<std::shared_lock<std::shared_mutex>> StorageNode::LockAllShared(
+    const Partition& part) const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(part.stripes.size());
+  for (const Stripe& stripe : part.stripes) {
+    locks.push_back(LockShared(stripe));
+  }
+  return locks;
+}
+
+std::vector<std::unique_lock<std::shared_mutex>> StorageNode::LockAllExclusive(
+    const Partition& part) const {
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(part.stripes.size());
+  for (const Stripe& stripe : part.stripes) {
+    locks.push_back(LockExclusive(stripe));
+  }
+  return locks;
+}
+
+template <typename Emit>
+void StorageNode::MergeScan(const Partition& part, std::string_view start_key,
+                            std::string_view end_key, bool reverse,
+                            Emit&& emit) {
+  using Iter =
+      std::map<std::string, VersionedCell, std::less<>>::const_iterator;
+  const size_t n = part.stripes.size();
+  std::vector<Iter> lo(n), hi(n), cur(n);
+  for (size_t s = 0; s < n; ++s) {
+    const auto& cells = part.stripes[s].cells;
+    lo[s] = cells.lower_bound(start_key);
+    hi[s] = end_key.empty() ? cells.end() : cells.lower_bound(end_key);
+  }
+  // Linear min/max pick across the per-stripe runs. Stripe counts are small
+  // (<= a few dozen), so this beats a heap in both simplicity and constant
+  // factor; with one stripe it degenerates to the old single-map walk.
+  if (!reverse) {
+    cur = lo;
+    for (;;) {
+      size_t best = n;
+      for (size_t s = 0; s < n; ++s) {
+        if (cur[s] == hi[s]) continue;
+        if (best == n || cur[s]->first < cur[best]->first) best = s;
+      }
+      if (best == n) return;
+      if (!emit(cur[best]->first, cur[best]->second)) return;
+      ++cur[best];
+    }
+  } else {
+    cur = hi;  // cur[s] is one past the next cell to emit from stripe s
+    for (;;) {
+      size_t best = n;
+      for (size_t s = 0; s < n; ++s) {
+        if (cur[s] == lo[s]) continue;
+        if (best == n ||
+            std::prev(cur[s])->first > std::prev(cur[best])->first) {
+          best = s;
+        }
+      }
+      if (best == n) return;
+      Iter pick = std::prev(cur[best]);
+      if (!emit(pick->first, pick->second)) return;
+      cur[best] = pick;
+    }
+  }
+}
+
 Result<VersionedCell> StorageNode::Get(TableId table, uint32_t partition,
                                        std::string_view key) const {
   TELL_RETURN_NOT_OK(CheckAlive());
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::shared_lock lock(part->mutex);
-  auto it = part->cells.find(key);
-  if (it == part->cells.end()) return Status::NotFound();
+  const Stripe& stripe = part->StripeOf(key);
+  auto lock = LockShared(stripe);
+  auto it = stripe.cells.find(key);
+  if (it == stripe.cells.end()) return Status::NotFound();
   return it->second;
 }
 
@@ -53,10 +171,11 @@ Result<uint64_t> StorageNode::Put(TableId table, uint32_t partition,
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::unique_lock lock(part->mutex);
-  auto it = part->cells.find(key);
-  uint64_t stamp = part->next_stamp++;
-  if (it == part->cells.end()) {
+  Stripe& stripe = part->StripeOf(key);
+  auto lock = LockExclusive(stripe);
+  auto it = stripe.cells.find(key);
+  uint64_t stamp = part->next_stamp.fetch_add(1, std::memory_order_relaxed);
+  if (it == stripe.cells.end()) {
     uint64_t bytes = key.size() + value.size() + sizeof(VersionedCell);
     if (memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes >
         memory_capacity_) {
@@ -64,7 +183,8 @@ Result<uint64_t> StorageNode::Put(TableId table, uint32_t partition,
       return Status::CapacityExceeded("storage node " +
                                       std::to_string(node_id_) + " is full");
     }
-    part->cells.emplace(std::string(key), VersionedCell{std::string(value), stamp});
+    stripe.cells.emplace(std::string(key),
+                         VersionedCell{std::string(value), stamp});
   } else {
     int64_t delta = static_cast<int64_t>(value.size()) -
                     static_cast<int64_t>(it->second.value.size());
@@ -84,17 +204,18 @@ Result<uint64_t> StorageNode::ConditionalPut(TableId table, uint32_t partition,
   stats_.conditional_puts.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::unique_lock lock(part->mutex);
-  auto it = part->cells.find(key);
-  uint64_t current = it == part->cells.end() ? kStampAbsent : it->second.stamp;
+  Stripe& stripe = part->StripeOf(key);
+  auto lock = LockExclusive(stripe);
+  auto it = stripe.cells.find(key);
+  uint64_t current = it == stripe.cells.end() ? kStampAbsent : it->second.stamp;
   if (current != expected_stamp) {
     stats_.llsc_failures.fetch_add(1, std::memory_order_relaxed);
     return Status::ConditionFailed("stamp mismatch: expected " +
                                    std::to_string(expected_stamp) + ", have " +
                                    std::to_string(current));
   }
-  uint64_t stamp = part->next_stamp++;
-  if (it == part->cells.end()) {
+  uint64_t stamp = part->next_stamp.fetch_add(1, std::memory_order_relaxed);
+  if (it == stripe.cells.end()) {
     uint64_t bytes = key.size() + value.size() + sizeof(VersionedCell);
     if (memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes >
         memory_capacity_) {
@@ -102,8 +223,8 @@ Result<uint64_t> StorageNode::ConditionalPut(TableId table, uint32_t partition,
       return Status::CapacityExceeded("storage node " +
                                       std::to_string(node_id_) + " is full");
     }
-    part->cells.emplace(std::string(key),
-                        VersionedCell{std::string(value), stamp});
+    stripe.cells.emplace(std::string(key),
+                         VersionedCell{std::string(value), stamp});
   } else {
     int64_t delta = static_cast<int64_t>(value.size()) -
                     static_cast<int64_t>(it->second.value.size());
@@ -122,9 +243,10 @@ Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
   stats_.erases.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::unique_lock lock(part->mutex);
-  auto it = part->cells.find(key);
-  if (it == part->cells.end()) return Status::NotFound();
+  Stripe& stripe = part->StripeOf(key);
+  auto lock = LockExclusive(stripe);
+  auto it = stripe.cells.find(key);
+  if (it == stripe.cells.end()) return Status::NotFound();
   if (it->second.stamp != expected_stamp) {
     stats_.llsc_failures.fetch_add(1, std::memory_order_relaxed);
     return Status::ConditionFailed();
@@ -132,7 +254,7 @@ Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
   memory_used_.fetch_sub(key.size() + it->second.value.size() +
                              sizeof(VersionedCell),
                          std::memory_order_relaxed);
-  part->cells.erase(it);
+  stripe.cells.erase(it);
   return Status::OK();
 }
 
@@ -142,13 +264,14 @@ Status StorageNode::Erase(TableId table, uint32_t partition,
   stats_.erases.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::unique_lock lock(part->mutex);
-  auto it = part->cells.find(key);
-  if (it == part->cells.end()) return Status::NotFound();
+  Stripe& stripe = part->StripeOf(key);
+  auto lock = LockExclusive(stripe);
+  auto it = stripe.cells.find(key);
+  if (it == stripe.cells.end()) return Status::NotFound();
   memory_used_.fetch_sub(key.size() + it->second.value.size() +
                              sizeof(VersionedCell),
                          std::memory_order_relaxed);
-  part->cells.erase(it);
+  stripe.cells.erase(it);
   return Status::OK();
 }
 
@@ -162,24 +285,20 @@ Result<std::vector<KeyCell>> StorageNode::Scan(TableId table,
   stats_.scans.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::shared_lock lock(part->mutex);
+  auto locks = LockAllShared(*part);
+  size_t total = 0;
+  for (const Stripe& stripe : part->stripes) total += stripe.cells.size();
   std::vector<KeyCell> out;
-  auto lo = part->cells.lower_bound(start_key);
-  auto hi = end_key.empty() ? part->cells.end()
-                            : part->cells.lower_bound(end_key);
-  if (!reverse) {
-    for (auto it = lo; it != hi; ++it) {
-      out.push_back({it->first, it->second.value, it->second.stamp});
-      if (limit != 0 && out.size() >= limit) break;
-    }
-  } else {
-    auto it = hi;
-    while (it != lo) {
-      --it;
-      out.push_back({it->first, it->second.value, it->second.stamp});
-      if (limit != 0 && out.size() >= limit) break;
-    }
+  if (limit != 0) {
+    out.reserve(std::min(limit, total));
+  } else if (start_key.empty() && end_key.empty()) {
+    out.reserve(total);  // full walk (log replay, bootstrap): exact size
   }
+  MergeScan(*part, start_key, end_key, reverse,
+            [&](const std::string& key, const VersionedCell& cell) {
+              out.push_back({key, cell.value, cell.stamp});
+              return limit == 0 || out.size() < limit;
+            });
   stats_.cells_scanned.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
@@ -193,18 +312,17 @@ Result<std::vector<KeyCell>> StorageNode::ScanFiltered(
   stats_.scans.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::shared_lock lock(part->mutex);
+  auto locks = LockAllShared(*part);
   std::vector<KeyCell> out;
-  auto lo = part->cells.lower_bound(start_key);
-  auto hi = end_key.empty() ? part->cells.end()
-                            : part->cells.lower_bound(end_key);
+  if (limit != 0) out.reserve(limit);
   uint64_t examined = 0;
-  for (auto it = lo; it != hi; ++it) {
-    ++examined;
-    if (!predicate(it->first, it->second.value)) continue;
-    out.push_back({it->first, it->second.value, it->second.stamp});
-    if (limit != 0 && out.size() >= limit) break;
-  }
+  MergeScan(*part, start_key, end_key, /*reverse=*/false,
+            [&](const std::string& key, const VersionedCell& cell) {
+              ++examined;
+              if (!predicate(key, cell.value)) return true;
+              out.push_back({key, cell.value, cell.stamp});
+              return limit == 0 || out.size() < limit;
+            });
   if (scanned != nullptr) *scanned += examined;
   stats_.cells_scanned.fetch_add(examined, std::memory_order_relaxed);
   return out;
@@ -217,20 +335,21 @@ Result<int64_t> StorageNode::AtomicIncrement(TableId table, uint32_t partition,
   stats_.atomic_increments.fetch_add(1, std::memory_order_relaxed);
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::unique_lock lock(part->mutex);
-  auto it = part->cells.find(key);
+  Stripe& stripe = part->StripeOf(key);
+  auto lock = LockExclusive(stripe);
+  auto it = stripe.cells.find(key);
   int64_t current = 0;
-  if (it != part->cells.end() && it->second.value.size() == sizeof(int64_t)) {
+  if (it != stripe.cells.end() && it->second.value.size() == sizeof(int64_t)) {
     std::memcpy(&current, it->second.value.data(), sizeof(int64_t));
   }
   int64_t updated = current + delta;
   std::string encoded(sizeof(int64_t), '\0');
   std::memcpy(encoded.data(), &updated, sizeof(int64_t));
-  uint64_t stamp = part->next_stamp++;
-  if (it == part->cells.end()) {
+  uint64_t stamp = part->next_stamp.fetch_add(1, std::memory_order_relaxed);
+  if (it == stripe.cells.end()) {
     memory_used_.fetch_add(key.size() + encoded.size() + sizeof(VersionedCell),
                            std::memory_order_relaxed);
-    part->cells.emplace(std::string(key), VersionedCell{encoded, stamp});
+    stripe.cells.emplace(std::string(key), VersionedCell{encoded, stamp});
   } else {
     it->second.value = encoded;
     it->second.stamp = stamp;
@@ -245,12 +364,16 @@ Result<std::vector<KeyCell>> StorageNode::DumpPartition(
   // what a crashed node held.
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::shared_lock lock(part->mutex);
+  auto locks = LockAllShared(*part);
+  size_t total = 0;
+  for (const Stripe& stripe : part->stripes) total += stripe.cells.size();
   std::vector<KeyCell> out;
-  out.reserve(part->cells.size());
-  for (const auto& [key, cell] : part->cells) {
-    out.push_back({key, cell.value, cell.stamp});
-  }
+  out.reserve(total);
+  MergeScan(*part, "", "", /*reverse=*/false,
+            [&](const std::string& key, const VersionedCell& cell) {
+              out.push_back({key, cell.value, cell.stamp});
+              return true;
+            });
   return out;
 }
 
@@ -259,21 +382,22 @@ Status StorageNode::InstallPartition(TableId table, uint32_t partition,
   TELL_RETURN_NOT_OK(CheckAlive());
   CreatePartition(table, partition);
   Partition* part = FindPartition(table, partition);
-  std::unique_lock lock(part->mutex);
-  uint64_t max_stamp = part->next_stamp;
-  for (const auto& cell : cells) {
-    auto [it, inserted] = part->cells.insert_or_assign(
+  auto locks = LockAllExclusive(*part);
+  uint64_t max_stamp = 0;
+  for (const KeyCell& cell : cells) {
+    Stripe& stripe = part->StripeOf(cell.key);
+    auto [it, inserted] = stripe.cells.insert_or_assign(
         cell.key, VersionedCell{cell.value, cell.stamp});
     if (inserted) {
       memory_used_.fetch_add(cell.key.size() + cell.value.size() +
                                  sizeof(VersionedCell),
                              std::memory_order_relaxed);
     }
-    if (cell.stamp >= max_stamp) max_stamp = cell.stamp + 1;
+    max_stamp = std::max(max_stamp, cell.stamp);
   }
   // Keep the stamp source ahead of every installed stamp so post-fail-over
   // writes remain ABA-safe.
-  part->next_stamp = max_stamp;
+  part->AdvanceStampPast(max_stamp);
   return Status::OK();
 }
 
@@ -284,18 +408,19 @@ Status StorageNode::ApplyReplicatedPut(TableId table, uint32_t partition,
   TELL_RETURN_NOT_OK(CheckAlive());
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::unique_lock lock(part->mutex);
-  auto it = part->cells.find(key);
-  if (it == part->cells.end()) {
+  Stripe& stripe = part->StripeOf(key);
+  auto lock = LockExclusive(stripe);
+  auto it = stripe.cells.find(key);
+  if (it == stripe.cells.end()) {
     memory_used_.fetch_add(key.size() + value.size() + sizeof(VersionedCell),
                            std::memory_order_relaxed);
-    part->cells.emplace(std::string(key),
-                        VersionedCell{std::string(value), stamp});
+    stripe.cells.emplace(std::string(key),
+                         VersionedCell{std::string(value), stamp});
   } else {
     it->second.value.assign(value);
     it->second.stamp = stamp;
   }
-  if (stamp >= part->next_stamp) part->next_stamp = stamp + 1;
+  part->AdvanceStampPast(stamp);
   return Status::OK();
 }
 
@@ -304,13 +429,14 @@ Status StorageNode::ApplyReplicatedErase(TableId table, uint32_t partition,
   TELL_RETURN_NOT_OK(CheckAlive());
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return Status::NotFound("no such partition");
-  std::unique_lock lock(part->mutex);
-  auto it = part->cells.find(key);
-  if (it != part->cells.end()) {
+  Stripe& stripe = part->StripeOf(key);
+  auto lock = LockExclusive(stripe);
+  auto it = stripe.cells.find(key);
+  if (it != stripe.cells.end()) {
     memory_used_.fetch_sub(key.size() + it->second.value.size() +
                                sizeof(VersionedCell),
                            std::memory_order_relaxed);
-    part->cells.erase(it);
+    stripe.cells.erase(it);
   }
   return Status::OK();
 }
@@ -318,8 +444,10 @@ Status StorageNode::ApplyReplicatedErase(TableId table, uint32_t partition,
 size_t StorageNode::PartitionSize(TableId table, uint32_t partition) const {
   Partition* part = FindPartition(table, partition);
   if (part == nullptr) return 0;
-  std::shared_lock lock(part->mutex);
-  return part->cells.size();
+  auto locks = LockAllShared(*part);
+  size_t total = 0;
+  for (const Stripe& stripe : part->stripes) total += stripe.cells.size();
+  return total;
 }
 
 }  // namespace tell::store

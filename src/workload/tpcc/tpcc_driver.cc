@@ -1,6 +1,7 @@
 #include "workload/tpcc/tpcc_driver.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -43,6 +44,7 @@ Result<DriverResult> RunTpcc(TpccBackend* backend,
   std::vector<std::thread> threads;
   std::vector<Status> statuses(options.num_workers);
   std::mutex status_mutex;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   for (uint32_t w = 0; w < options.num_workers; ++w) {
     threads.emplace_back([&, w] {
@@ -72,11 +74,16 @@ Result<DriverResult> RunTpcc(TpccBackend* backend,
     });
   }
   for (std::thread& thread : threads) thread.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   for (const Status& status : statuses) {
     TELL_RETURN_NOT_OK(status);
   }
 
   DriverResult result;
+  result.wall_seconds = wall_seconds;
   result.virtual_seconds =
       static_cast<double>(options.duration_virtual_ms) / 1000.0;
   double tpmc = 0;
@@ -93,6 +100,9 @@ Result<DriverResult> RunTpcc(TpccBackend* backend,
     result.merged.Merge(*metrics);
   }
   result.committed = result.merged.committed;
+  if (wall_seconds > 0) {
+    result.wall_tps = static_cast<double>(result.committed) / wall_seconds;
+  }
   result.aborted = result.merged.aborted;
   result.committed_new_order = result.merged.committed_new_order;
   result.tpmc = tpmc;

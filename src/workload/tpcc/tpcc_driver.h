@@ -68,6 +68,14 @@ struct DriverResult {
   uint64_t aborted = 0;
   uint64_t committed_new_order = 0;
   double virtual_seconds = 0;  // per worker (the horizon)
+  /// Wall-clock seconds the run actually took (thread launch to last join).
+  /// Unlike every virtual-time number this IS host-dependent: it is the
+  /// real-concurrency axis — how fast the real threads got through the real
+  /// shared data structures — reported alongside virtual time so engine
+  /// scalability changes (e.g. storage-node lock striping) are visible.
+  double wall_seconds = 0;
+  /// Committed transactions per wall-clock second (all workers combined).
+  double wall_tps = 0;
   /// New-order transactions per virtual minute (the TPC-C metric).
   double tpmc = 0;
   /// Committed transactions per virtual second.

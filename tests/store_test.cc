@@ -31,6 +31,25 @@ TEST_F(StorageNodeTest, GetMissingIsNotFound) {
   EXPECT_TRUE(node_.Get(1, 0, "nope").status().IsNotFound());
 }
 
+TEST_F(StorageNodeTest, HighPartitionIdsDoNotAlias) {
+  // Regression: the partition map key used to be (table << 16) | partition,
+  // which silently aliased partition 65536 of a table onto partition 0 —
+  // writes meant for one landed in the other. The key now keeps the full
+  // 32-bit partition id.
+  node_.CreatePartition(1, 65536);
+  ASSERT_OK(node_.Put(1, 0, "k", "low").status());
+  ASSERT_OK(node_.Put(1, 65536, "k", "high").status());
+  ASSERT_OK_AND_ASSIGN(VersionedCell low, node_.Get(1, 0, "k"));
+  ASSERT_OK_AND_ASSIGN(VersionedCell high, node_.Get(1, 65536, "k"));
+  EXPECT_EQ(low.value, "low");
+  EXPECT_EQ(high.value, "high");
+  EXPECT_EQ(node_.PartitionSize(1, 0), 1u);
+  EXPECT_EQ(node_.PartitionSize(1, 65536), 1u);
+  // And a neighbouring table's partition 0 is its own partition too.
+  node_.CreatePartition(2, 0);
+  EXPECT_TRUE(node_.Get(2, 0, "k").status().IsNotFound());
+}
+
 TEST_F(StorageNodeTest, ConditionalPutInsertSemantics) {
   // kStampAbsent means "must not exist".
   ASSERT_OK_AND_ASSIGN(uint64_t stamp,

@@ -9,7 +9,7 @@ threshold percentage.
 
 Direction is inferred from the metric name: anything that reads like a
 latency, abort or cost ("latency", "resp", "abort", "_ms", "_ns", "_us",
-"requests_per_txn") is lower-is-better; everything else (throughput-like:
+"requests_per_txn", "wall_seconds") is lower-is-better; everything else (throughput-like:
 tpmc, tps, hit rates, speedups) is higher-is-better. Override per metric
 with --lower-is-better / --higher-is-better.
 
@@ -33,6 +33,7 @@ LOWER_IS_BETTER_HINTS = (
     "_ns",
     "_us",
     "requests_per_txn",
+    "wall_seconds",
 )
 
 

@@ -91,6 +91,35 @@ def _check_histogram(errors, path, name, hist):
                       f"histograms[{name!r}]: {a} {va} > {b} {vb}")
 
 
+def _check_wall_clock(errors, path, derived):
+    """Wall-clock derived fields: benches that report real elapsed time must
+    report it coherently. wall_seconds must be a positive duration, and every
+    wall-clock rate (wall_tps, wall_ops_per_sec, ...) must be non-negative
+    and accompanied by the wall_seconds it was computed from."""
+    if not isinstance(derived, dict):
+        return
+    wall_seconds = derived.get("wall_seconds")
+    if wall_seconds is not None:
+        if isinstance(wall_seconds, bool) or \
+                not isinstance(wall_seconds, (int, float)):
+            return  # type error already reported by _check_str_map
+        if wall_seconds <= 0:
+            _fail(errors, path,
+                  f"derived['wall_seconds'] must be > 0, got {wall_seconds!r}")
+    for rate_key in ("wall_tps", "wall_ops_per_sec", "wall_tpmc"):
+        rate = derived.get(rate_key)
+        if rate is None:
+            continue
+        if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+            continue  # type error already reported
+        if rate < 0:
+            _fail(errors, path,
+                  f"derived[{rate_key!r}] must be >= 0, got {rate!r}")
+        if wall_seconds is None:
+            _fail(errors, path,
+                  f"derived[{rate_key!r}] present without 'wall_seconds'")
+
+
 def _check_run(errors, path, index, run):
     rpath = f"{path} runs[{index}]"
     if not isinstance(run, dict):
@@ -103,6 +132,7 @@ def _check_run(errors, path, index, run):
         if section not in run:
             _fail(errors, rpath, f"missing {section!r}")
     _check_str_map(errors, rpath, run.get("derived", {}), (int, float), "derived")
+    _check_wall_clock(errors, rpath, run.get("derived", {}))
     _check_str_map(errors, rpath, run.get("counters", {}), int, "counters")
     _check_str_map(errors, rpath, run.get("gauges", {}), int, "gauges")
     hists = run.get("histograms", {})
@@ -172,7 +202,7 @@ def selftest():
         "config": {"mix": "x"},
         "runs": [{
             "label": "r",
-            "derived": {"tpmc": 1.5},
+            "derived": {"tpmc": 1.5, "wall_seconds": 0.25, "wall_tps": 88.0},
             "counters": {"tx.committed": 3},
             "gauges": {"g": 0},
             "histograms": {"h": {"unit": "ns", "count": 1, "min": 2,
@@ -197,6 +227,15 @@ def selftest():
         ("unknown run key", lambda d: d["runs"][0].update(bogus=1)),
         ("node counter str",
          lambda d: d["runs"][0]["nodes"]["sn0"].update(gets="no")),
+        ("wall_seconds zero",
+         lambda d: d["runs"][0]["derived"].update(wall_seconds=0)),
+        ("wall_seconds negative",
+         lambda d: d["runs"][0]["derived"].update(wall_seconds=-1.5)),
+        ("wall_tps negative",
+         lambda d: d["runs"][0]["derived"].update(wall_tps=-2.0)),
+        ("wall rate without wall_seconds",
+         lambda d: (d["runs"][0]["derived"].pop("wall_seconds"),
+                    d["runs"][0]["derived"].update(wall_ops_per_sec=10.0))),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)
