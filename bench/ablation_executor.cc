@@ -1,0 +1,165 @@
+// Ablation: thread-per-core executor runtime (docs/RUNTIME.md).
+// The paper's processing nodes turn many concurrent client sessions into
+// pipelined storage traffic (§4.1); the legacy driver models a session as a
+// blocking OS thread, so in-flight transactions = OS threads and the
+// PR-5 striped storage engine never sees more runnable work than cores
+// unless the OS oversubscribes. The executor runtime breaks that coupling:
+// workers become fiber tasks that park at pipeline flushes and
+// commit-manager begins, multiplexed onto a fixed pool of core-pinned
+// executor threads with per-core run queues and work stealing.
+//
+// This bench sweeps executor threads 1/2/4/8 x in-flight transactions and
+// reports both axes:
+//   * wall_tps (host-dependent, real concurrency) — should scale with
+//     executor threads on a multi-core host until cores or contention run
+//     out; `host_cores` in the config makes 1-core hosts interpretable.
+//   * virtual-time TpmC (host-independent) — must stay in the same band as
+//     the legacy driver: the modelled costs per worker do not change with
+//     the scheduler.
+// A legacy thread-per-worker baseline per in-flight count anchors the
+// comparison, and the exec.* scheduler gauges (yields, steals, parks,
+// per-core busy time) land in the artifact next to the per-core exec<i>
+// node rows.
+//
+// Quick mode: set TELL_EXECUTOR_QUICK=1 for a small sweep (used by the
+// ctest JSON round trip, where wall-clock budget matters more).
+#include <cstdlib>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+using namespace tell;
+using namespace tell::bench;
+
+namespace {
+
+void PrintRow(const char* label, uint32_t threads, uint32_t workers,
+              const tpcc::DriverResult& r) {
+  const exec::RuntimeStats& es = r.exec_stats;
+  const double util =
+      (es.threads > 0 && es.wall_ns > 0)
+          ? static_cast<double>(es.Total(
+                &exec::RuntimeStats::PerCore::busy_ns)) /
+                (static_cast<double>(es.threads) * es.wall_ns)
+          : 0.0;
+  std::printf("%-12s %8u %8u %12.0f %9.2f%% %10.3f %10.0f %10llu %8llu %7.0f%%\n",
+              label, threads, workers, r.tpmc, r.abort_rate * 100,
+              r.wall_seconds, r.wall_tps,
+              static_cast<unsigned long long>(
+                  es.Total(&exec::RuntimeStats::PerCore::yields)),
+              static_cast<unsigned long long>(
+                  es.Total(&exec::RuntimeStats::PerCore::steals)),
+              util * 100);
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("TELL_EXECUTOR_QUICK") != nullptr;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  PrintHeader("Ablation", "Thread-per-core executor runtime "
+              "(workers as fiber tasks vs thread-per-worker)",
+              "PNs multiplex many sessions into pipelined storage traffic; "
+              "decoupling in-flight transactions from OS threads lets "
+              "wall-clock throughput scale with executor threads");
+
+  const uint64_t virtual_ms = quick ? 30 : kVirtualMs;
+  const std::vector<uint32_t> thread_counts =
+      quick ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4, 8};
+  // In-flight transactions = PNs x workers-per-PN; 2 PNs fixed so the
+  // pipeline coalescing pattern matches the paper benches.
+  const uint32_t pns = 2;
+  const std::vector<uint32_t> workers_per_pn_counts =
+      quick ? std::vector<uint32_t>{4} : std::vector<uint32_t>{4, 16};
+
+  BenchJson json("ablation_executor");
+  json.AddConfig("mix", "write_intensive");
+  json.AddConfig("processing_nodes", uint64_t{pns});
+  json.AddConfig("virtual_ms", virtual_ms);
+  json.AddConfig("host_cores", uint64_t{cores});
+  json.AddConfig("quick", quick ? uint64_t{1} : uint64_t{0});
+
+  std::printf("%-12s %8s %8s %12s %10s %10s %10s %10s %8s %8s\n", "driver",
+              "threads", "inflight", "TpmC", "abort%", "wall_s", "wall_tps",
+              "yields", "steals", "util");
+
+  // One fresh fixture per sweep point (the ablation_storage_stripes idiom):
+  // the driver reuses the seed, so re-running on mutated data replays the
+  // same keys into changed state and the abort rate stops meaning anything.
+  auto run_point = [&](uint32_t wpp, uint32_t threads)
+      -> Result<tpcc::DriverResult> {
+    db::TellDbOptions options;
+    options.num_processing_nodes = pns;
+    options.num_storage_nodes = 3;
+    TellFixture fixture(options, BenchScale());
+    auto result =
+        fixture.Run(pns, tpcc::Mix::kWriteIntensive, wpp, virtual_ms, threads);
+    if (result.ok()) {
+      json.Add((threads == 0
+                    ? "legacy_w" + std::to_string(pns * wpp)
+                    : "exec_t" + std::to_string(threads) + "_w" +
+                          std::to_string(pns * wpp)),
+               *result, fixture.db());
+    }
+    return result;
+  };
+
+  // wall_tps by executor thread count, for the shape check (last in-flight
+  // sweep, i.e. the most loaded one).
+  std::vector<std::pair<uint32_t, double>> wall_curve;
+  for (uint32_t wpp : workers_per_pn_counts) {
+    const uint32_t inflight = pns * wpp;
+    wall_curve.clear();
+
+    auto legacy = run_point(wpp, 0);
+    if (!legacy.ok()) {
+      std::fprintf(stderr, "legacy run failed: %s\n",
+                   legacy.status().ToString().c_str());
+      return 1;
+    }
+    PrintRow("legacy", 0, inflight, *legacy);
+
+    for (uint32_t threads : thread_counts) {
+      auto result = run_point(wpp, threads);
+      if (!result.ok()) {
+        std::fprintf(stderr, "executor run failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      PrintRow("executor", threads, inflight, *result);
+      wall_curve.emplace_back(threads, result->wall_tps);
+    }
+  }
+
+  // Shape check on the most loaded sweep: wall_tps should rise 1 -> 4
+  // executor threads where the hardware can actually run them in parallel.
+  double tps_1 = 0, tps_top = 0;
+  uint32_t top_threads = 0;
+  for (const auto& [threads, tps] : wall_curve) {
+    if (threads == 1) tps_1 = tps;
+    if (threads <= 4 && threads > top_threads) {
+      top_threads = threads;
+      tps_top = tps;
+    }
+  }
+  if (tps_1 > 0 && top_threads > 1) {
+    std::printf("\nshape checks: wall_tps, %u executor threads / 1 thread = "
+                "%.2fx on %u core(s) — expect a monotonic rise 1->4 threads "
+                "on multi-core hosts; on a single core the extra threads "
+                "only add scheduler handoffs, so the curve is flat to "
+                "slightly negative there (host_cores in the artifact says "
+                "which regime this is)\n",
+                top_threads, tps_top / tps_1, cores);
+  }
+  std::printf("shape checks: virtual TpmC and abort rate stay flat across "
+              "executor thread counts — parking is free in virtual time. "
+              "Versus the legacy driver the abort rate can differ at high "
+              "in-flight counts: preemptive OS interleaving opens conflict "
+              "windows anywhere, while tasks only switch at park points, so "
+              "the executor sees fewer write-write conflicts.\n");
+
+  json.Write();
+  PrintFooter();
+  return 0;
+}

@@ -62,9 +62,14 @@ class TellFixture {
     while (db_->num_processing_nodes() < n) db_->AddProcessingNode();
   }
 
+  /// `executor_threads` = 0 runs the legacy thread-per-worker driver; N>=1
+  /// multiplexes the workers as fiber tasks onto N executor threads
+  /// (docs/RUNTIME.md). The virtual-time numbers are the same either way;
+  /// the wall axis and the exec.* scheduler gauges are what move.
   Result<tpcc::DriverResult> Run(uint32_t num_pns, tpcc::Mix mix,
                                  uint32_t workers_per_pn = kWorkersPerPn,
-                                 uint64_t virtual_ms = kVirtualMs) {
+                                 uint64_t virtual_ms = kVirtualMs,
+                                 uint32_t executor_threads = 0) {
     EnsureProcessingNodes(num_pns);
     tpcc::TellBackend backend(db_.get());
     tpcc::DriverOptions options;
@@ -72,6 +77,7 @@ class TellFixture {
     options.mix = mix;
     options.num_workers = num_pns * workers_per_pn;
     options.duration_virtual_ms = virtual_ms;
+    options.executor_threads = executor_threads;
     return tpcc::RunTpcc(&backend, options);
   }
 
@@ -84,7 +90,7 @@ class TellFixture {
 /// object; the counters/histograms come from the registry snapshot).
 inline std::vector<std::pair<std::string, double>> DerivedOf(
     const tpcc::DriverResult& r) {
-  return {
+  std::vector<std::pair<std::string, double>> rows = {
       {"tpmc", r.tpmc},
       {"tps", r.tps},
       {"abort_rate", r.abort_rate},
@@ -103,6 +109,13 @@ inline std::vector<std::pair<std::string, double>> DerivedOf(
       {"wall_seconds", r.wall_seconds},
       {"wall_tps", r.wall_tps},
   };
+  if (r.exec_stats.threads > 0) {
+    // Executor runs: thread count next to the per-core exec<i> node rows
+    // (check_bench_json.py cross-checks the two).
+    rows.emplace_back("executor_threads",
+                      static_cast<double>(r.exec_stats.threads));
+  }
+  return rows;
 }
 
 /// Collects every run of a bench binary into the BENCH_<name>.json artifact
@@ -129,10 +142,14 @@ class BenchJson {
   /// One sweep point backed by a full DriverResult (+ node stats if `db`).
   /// Returns the run's snapshot so callers can print FROM the registry data
   /// (the artifact and the stdout table then share one source of truth).
+  /// Executor runs (result.exec_stats.threads > 0) additionally get the
+  /// exec.* scheduler gauges and per-core `exec<i>` node rows.
   const obs::MetricsSnapshot& Add(const std::string& label,
                                   const tpcc::DriverResult& result,
                                   db::TellDb* db = nullptr) {
-    return AddMetrics(label, result.merged, DerivedOf(result), db);
+    return AddMetrics(label, result.merged, DerivedOf(result), db,
+                      result.exec_stats.threads > 0 ? &result.exec_stats
+                                                    : nullptr);
   }
 
   /// Lower-level entry for benches that aggregate WorkerMetrics themselves
@@ -140,7 +157,8 @@ class BenchJson {
   const obs::MetricsSnapshot& AddMetrics(
       const std::string& label, const sim::WorkerMetrics& merged,
       std::vector<std::pair<std::string, double>> derived = {},
-      db::TellDb* db = nullptr) {
+      db::TellDb* db = nullptr,
+      const exec::RuntimeStats* exec_stats = nullptr) {
     obs::MetricsRegistry registry;
     registry.AbsorbWorker(merged);
     obs::BenchRun run;
@@ -149,6 +167,12 @@ class BenchJson {
     if (db != nullptr) {
       db->ExportStats(&registry);
       run.nodes = db->PerNodeStats();
+    }
+    if (exec_stats != nullptr) {
+      exec::ExportStats(*exec_stats, &registry);
+      for (auto& row : exec::PerCoreRows(*exec_stats)) {
+        run.nodes.push_back(std::move(row));
+      }
     }
     run.snapshot = registry.Snapshot();
     report_.AddRun(std::move(run));

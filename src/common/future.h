@@ -1,10 +1,13 @@
 #ifndef TELL_COMMON_FUTURE_H_
 #define TELL_COMMON_FUTURE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "common/exec_hooks.h"
 #include "common/logging.h"
 #include "common/result.h"
 
@@ -23,25 +26,48 @@ class PipelineFlusher {
 namespace internal {
 
 /// Shared slot between a pending request and the Future handed to the
-/// caller. Single-threaded by design — a future never crosses workers, just
-/// like the StorageClient that produced it — so there is no lock.
+/// caller. Single-owner by design — a future never crosses workers, just
+/// like the StorageClient that produced it — so there is no lock. (Under
+/// the executor runtime the owning task may migrate between executor
+/// threads, but it is never resumed on two threads at once; the scheduler
+/// provides the happens-before edge. See docs/RUNTIME.md.)
 template <typename T>
 struct FutureState {
   std::optional<Result<T>> value;
   /// Joining an unresolved future flushes this pipeline first. Not owned.
   PipelineFlusher* flusher = nullptr;
+  /// Continuations registered through Future::Then, fired in registration
+  /// order by Resolve (or inline when registered on an already-resolved
+  /// state).
+  std::vector<std::function<void(const Result<T>&)>> continuations;
+
+  /// The one way a value lands in the slot: emplaces it and fires the
+  /// continuations in registration order. A continuation that registers
+  /// another continuation sees it run inline (the state is resolved by
+  /// then), preserving overall registration order.
+  void Resolve(Result<T> v) {
+    TELL_CHECK(!value.has_value());
+    value.emplace(std::move(v));
+    std::vector<std::function<void(const Result<T>&)>> fire;
+    fire.swap(continuations);
+    for (auto& fn : fire) fn(*value);
+  }
 };
 
 }  // namespace internal
 
-/// A lightweight single-threaded future over Result<T>.
+/// A lightweight single-owner future over Result<T>.
 ///
 /// Futures are how the async StorageClient paths return: the value is not
 /// produced until the pipeline flushes, either explicitly (Flush()) or
 /// implicitly when any future from the pipeline is joined with Await().
-/// There are no callbacks and no threads — resolution happens synchronously
-/// inside Flush(), which also charges the worker's virtual clock the cost of
-/// the coalesced messages.
+/// Resolution happens synchronously inside Flush(), which also charges the
+/// worker's virtual clock the cost of the coalesced messages.
+///
+/// Under the exec::Runtime executor, Await() on an unready future is a
+/// park point: the task yields its core first (other in-flight transactions
+/// run), then performs the flush when rescheduled. Outside the executor the
+/// yield hook is null and Await blocks synchronously, exactly as before.
 template <typename T>
 class Future {
  public:
@@ -53,13 +79,35 @@ class Future {
   /// True once the pipeline has resolved this request (no flush triggered).
   bool ready() const { return state_ != nullptr && state_->value.has_value(); }
 
-  /// Joins: flushes the owning pipeline if this request is still pending,
-  /// then returns the result. Call at most once per future (the value is
-  /// moved out).
+  /// Registers a continuation observing the resolved value. On a pending
+  /// future it fires inside the resolving Flush(), before Await returns;
+  /// on an already-resolved future it fires inline, immediately.
+  /// Continuations observe (const ref) — Await still moves the value out.
+  /// Ordering is registration order in both cases.
+  Future<T>& Then(std::function<void(const Result<T>&)> fn) {
+    TELL_CHECK(state_ != nullptr);
+    if (state_->value.has_value()) {
+      fn(*state_->value);
+    } else {
+      state_->continuations.push_back(std::move(fn));
+    }
+    return *this;
+  }
+
+  /// Joins: parks (executor) then flushes the owning pipeline if this
+  /// request is still pending, then returns the result. Call at most once
+  /// per future (the value is moved out).
   Result<T> Await() {
     TELL_CHECK(state_ != nullptr);
     if (!state_->value.has_value() && state_->flusher != nullptr) {
-      state_->flusher->Flush();
+      // Park point: under the executor, give up the core before paying the
+      // flush — the runtime resumes us (possibly on another core) and the
+      // flush happens then. The re-check covers a pipeline flushed by
+      // another future's Await while we were parked.
+      exec_hooks::MaybeYield();
+      if (!state_->value.has_value()) {
+        state_->flusher->Flush();
+      }
     }
     TELL_CHECK(state_->value.has_value());
     return std::move(*state_->value);
@@ -70,7 +118,8 @@ class Future {
 };
 
 /// Producer-side handle; mainly useful for tests and for pipelines that
-/// resolve out of line. StorageClient manipulates FutureState directly.
+/// resolve out of line. StorageClient resolves FutureState directly (via
+/// FutureState::Resolve, so Then continuations fire there too).
 template <typename T>
 class Promise {
  public:
@@ -82,7 +131,7 @@ class Promise {
   }
 
   bool resolved() const { return state_->value.has_value(); }
-  void Set(Result<T> value) { state_->value.emplace(std::move(value)); }
+  void Set(Result<T> value) { state_->Resolve(std::move(value)); }
 
   std::shared_ptr<internal::FutureState<T>> state() { return state_; }
 

@@ -115,7 +115,10 @@ class TellDb {
 
   /// Opens a worker session bound to processing node `pn_id`. `worker_id`
   /// must be unique per live session (it picks the commit manager and seeds
-  /// determinism). The caller owns the session; one thread per session.
+  /// determinism). The caller owns the session; a session is single-owner:
+  /// driven by one OS thread (legacy drivers) or by one executor fiber task
+  /// (exec::Runtime — the task may migrate across executor threads between
+  /// parks, but never runs on two at once; see docs/RUNTIME.md).
   std::unique_ptr<tx::Session> OpenSession(uint32_t pn_id,
                                            uint32_t worker_id);
 

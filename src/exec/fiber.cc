@@ -1,0 +1,94 @@
+#include "exec/fiber.h"
+
+#include "common/logging.h"
+
+// TSan needs to be told about user-level context switches, otherwise every
+// datum touched from two different fibers scheduled on two different OS
+// threads looks like a race. GCC defines __SANITIZE_THREAD__; clang exposes
+// __has_feature(thread_sanitizer). Both ship <sanitizer/tsan_interface.h>.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TELL_TSAN_FIBERS 1
+#endif
+#endif
+#if !defined(TELL_TSAN_FIBERS) && defined(__SANITIZE_THREAD__)
+#define TELL_TSAN_FIBERS 1
+#endif
+#ifdef TELL_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace tell::exec {
+
+namespace {
+/// The fiber executing on this OS thread right now (nullptr between
+/// fibers). Also the handoff slot for Trampoline(): Resume() publishes
+/// `this` here before the first context switch.
+thread_local Fiber* t_current = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, size_t stack_bytes)
+    : body_(std::move(body)),
+      stack_(new char[stack_bytes]),
+      stack_bytes_(stack_bytes) {
+#ifdef TELL_TSAN_FIBERS
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+  TELL_CHECK(!started_ || finished_);
+#ifdef TELL_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
+
+Fiber* Fiber::Current() { return t_current; }
+
+void Fiber::Trampoline() {
+  Fiber* self = t_current;
+  self->body_();
+  self->finished_ = true;
+  // Hand control back to the last Resume() caller. The context must never
+  // fall off the end of Trampoline (uc_link is null), so this switch is
+  // the only way out.
+  self->SwitchOut();
+  TELL_CHECK(false);  // a finished fiber must not be resumed
+}
+
+bool Fiber::Resume() {
+  TELL_CHECK(!finished_);
+  TELL_CHECK(t_current == nullptr);  // no nested fibers
+  if (!started_) {
+    started_ = true;
+    TELL_CHECK(getcontext(&ctx_) == 0);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = nullptr;
+    makecontext(&ctx_, &Fiber::Trampoline, 0);
+  }
+  t_current = this;
+#ifdef TELL_TSAN_FIBERS
+  tsan_parent_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+  TELL_CHECK(swapcontext(&return_, &ctx_) == 0);
+  // Back here after SwitchOut (yield or completion).
+  t_current = nullptr;
+  return finished_;
+}
+
+void Fiber::SwitchOut() {
+#ifdef TELL_TSAN_FIBERS
+  __tsan_switch_to_fiber(tsan_parent_, 0);
+#endif
+  TELL_CHECK(swapcontext(&ctx_, &return_) == 0);
+}
+
+void Fiber::Yield() {
+  Fiber* self = t_current;
+  TELL_CHECK(self != nullptr);  // Yield outside a fiber is a bug
+  self->SwitchOut();
+}
+
+}  // namespace tell::exec

@@ -63,6 +63,20 @@ const BuiltinGauge kBuiltinGauges[] = {
      "obsolete index entries removed by lazy GC sweeps"},
     {"gc.log_entries_truncated", "entries",
      "transaction log entries truncated below the lav"},
+    // Executor scheduler totals (exec::Runtime::stats, exported by
+    // exec::ExportStats after a run under the thread-per-core runtime; all
+    // zero under the legacy thread-per-worker drivers).
+    {"exec.threads", "threads", "executor threads the runtime ran with"},
+    {"exec.tasks", "tasks", "tasks run to completion"},
+    {"exec.yields", "yields",
+     "task suspensions (parks on unready futures / cooperative yields)"},
+    {"exec.steals", "tasks", "tasks stolen from another core's run queue"},
+    {"exec.parks", "parks", "executor threads sleeping on an empty queue"},
+    {"exec.unparks", "wakeups", "wakeups issued to parked executor threads"},
+    {"exec.run_queue_peak", "tasks", "peak run-queue depth on any core"},
+    {"exec.busy_ns", "ns",
+     "wall-clock time executor threads spent inside task code (summed)"},
+    {"exec.wall_ns", "ns", "wall-clock duration of the executor run"},
     // Fault-injection totals (sim::FaultInjector::stats, when a fault plan
     // is attached to the database; all zero otherwise).
     {"fault.requests_seen", "requests",

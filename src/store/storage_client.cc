@@ -322,7 +322,7 @@ void StorageClient::ResolvePending(PendingOp* op,
       auto result = RetryLoop(
           sim::FaultOpClass::kGet, op->table, std::move(*op->get_result), send,
           []() -> std::optional<Result<VersionedCell>> { return std::nullopt; });
-      op->get_state->value.emplace(std::move(result));
+      op->get_state->Resolve(std::move(result));
       return;
     }
     case PendingOp::Kind::kPut: {
@@ -331,7 +331,7 @@ void StorageClient::ResolvePending(PendingOp* op,
           sim::FaultOpClass::kPut, op->table, std::move(*op->write_result),
           send, []() -> std::optional<Result<uint64_t>> { return std::nullopt; });
       if (result.ok()) ++*replicated_writes;
-      op->write_state->value.emplace(std::move(result));
+      op->write_state->Resolve(std::move(result));
       return;
     }
     case PendingOp::Kind::kConditionalPut: {
@@ -347,7 +347,7 @@ void StorageClient::ResolvePending(PendingOp* op,
                               std::move(*op->write_result), send, resolve);
       if (result.status().IsConditionFailed()) metrics_->llsc_failures += 1;
       if (result.ok()) ++*replicated_writes;
-      op->write_state->value.emplace(std::move(result));
+      op->write_state->Resolve(std::move(result));
       return;
     }
     case PendingOp::Kind::kErase: {
@@ -357,8 +357,8 @@ void StorageClient::ResolvePending(PendingOp* op,
                                               : op->write_result->status();
       Status status = RetryLoop(sim::FaultOpClass::kErase, op->table,
                                 std::move(initial), send, resolve);
-      op->write_state->value.emplace(status.ok() ? Result<uint64_t>(uint64_t{0})
-                                                 : Result<uint64_t>(status));
+      op->write_state->Resolve(status.ok() ? Result<uint64_t>(uint64_t{0})
+                                           : Result<uint64_t>(status));
       return;
     }
     case PendingOp::Kind::kConditionalErase: {
@@ -375,8 +375,8 @@ void StorageClient::ResolvePending(PendingOp* op,
       Status status = RetryLoop(sim::FaultOpClass::kConditionalErase,
                                 op->table, std::move(initial), send, resolve);
       if (status.IsConditionFailed()) metrics_->llsc_failures += 1;
-      op->write_state->value.emplace(status.ok() ? Result<uint64_t>(uint64_t{0})
-                                                 : Result<uint64_t>(status));
+      op->write_state->Resolve(status.ok() ? Result<uint64_t>(uint64_t{0})
+                                           : Result<uint64_t>(status));
       return;
     }
   }

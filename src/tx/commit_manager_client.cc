@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/exec_hooks.h"
+
 namespace tell::tx {
 
 namespace {
@@ -106,13 +108,21 @@ Status CommitManagerClient::Finish(commitmgr::CommitManager* manager,
     if (pending_.size() >= kMaxDeferredFinishes) FlushPendingAccounting();
   } else {
     // Ablation baseline: every finish pays its own round trip, like the
-    // paper's synchronous setCommitted/setAborted calls.
+    // paper's synchronous setCommitted/setAborted calls. That round trip
+    // is a park point under the executor (batched finishes ride on the
+    // next begin and park there instead).
+    exec_hooks::MaybeYield();
     ChargeMessage({{kFinishRequestBytes, kFinishResponseBytes}});
   }
   return st;
 }
 
 Result<commitmgr::TxnBegin> CommitManagerClient::Begin(uint32_t pn_id) {
+  // Park point: a begin is a commit-manager round trip, so under the
+  // executor runtime the task yields its core here and pays the modelled
+  // cost when rescheduled (no-op under the legacy thread-per-worker
+  // drivers; see docs/RUNTIME.md).
+  exec_hooks::MaybeYield();
   commitmgr::CommitManager* manager = group_->ManagerFor(pn_id);
   if (manager == nullptr) {
     return Status::Unavailable("all commit managers down");

@@ -41,39 +41,58 @@ Result<DriverResult> RunTpcc(TpccBackend* backend,
   TELL_RETURN_NOT_OK(backend->Prepare(options.num_workers));
   const uint64_t horizon_ns = options.duration_virtual_ms * 1'000'000ULL;
 
-  std::vector<std::thread> threads;
   std::vector<Status> statuses(options.num_workers);
   std::mutex status_mutex;
-  const auto wall_start = std::chrono::steady_clock::now();
 
-  for (uint32_t w = 0; w < options.num_workers; ++w) {
-    threads.emplace_back([&, w] {
-      // Terminals are bound to a home warehouse, spread evenly.
-      int64_t home =
-          static_cast<int64_t>(w % options.scale.warehouses) + 1;
-      InputGenerator generator(options.scale, options.mix,
-                               options.seed * 1000003ULL + w, home);
-      sim::VirtualClock* clock = backend->clock(w);
-      sim::WorkerMetrics* metrics = backend->metrics(w);
-      while (clock->now_ns() < horizon_ns) {
-        TxnInput input = generator.Next();
-        uint64_t start_ns = clock->now_ns();
-        auto outcome = backend->Execute(w, input);
-        if (!outcome.ok()) {
-          std::lock_guard<std::mutex> lock(status_mutex);
-          if (statuses[w].ok()) statuses[w] = outcome.status();
-          return;
-        }
-        if (outcome->committed) {
-          metrics->response_time.Record(clock->now_ns() - start_ns);
-          if (input.type == TxnType::kNewOrder) {
-            metrics->committed_new_order += 1;
-          }
+  // The per-worker terminal loop — identical under both drivers, so the
+  // virtual-time stream of a worker cannot depend on which one ran it. The
+  // executor parks/resumes inside backend->Execute (pipeline flushes,
+  // commit-manager begins); the loop body itself never blocks.
+  auto worker_body = [&](uint32_t w) {
+    // Terminals are bound to a home warehouse, spread evenly.
+    int64_t home = static_cast<int64_t>(w % options.scale.warehouses) + 1;
+    InputGenerator generator(options.scale, options.mix,
+                             options.seed * 1000003ULL + w, home);
+    sim::VirtualClock* clock = backend->clock(w);
+    sim::WorkerMetrics* metrics = backend->metrics(w);
+    while (clock->now_ns() < horizon_ns) {
+      TxnInput input = generator.Next();
+      uint64_t start_ns = clock->now_ns();
+      auto outcome = backend->Execute(w, input);
+      if (!outcome.ok()) {
+        std::lock_guard<std::mutex> lock(status_mutex);
+        if (statuses[w].ok()) statuses[w] = outcome.status();
+        return;
+      }
+      if (outcome->committed) {
+        metrics->response_time.Record(clock->now_ns() - start_ns);
+        if (input.type == TxnType::kNewOrder) {
+          metrics->committed_new_order += 1;
         }
       }
-    });
+    }
+  };
+
+  DriverResult result;
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (options.executor_threads > 0) {
+    exec::RuntimeOptions exec_options;
+    exec_options.threads = options.executor_threads;
+    exec_options.pin_cores = options.pin_cores;
+    exec::Runtime runtime(exec_options);
+    for (uint32_t w = 0; w < options.num_workers; ++w) {
+      runtime.Submit([&worker_body, w] { worker_body(w); });
+    }
+    runtime.Run();
+    result.exec_stats = runtime.stats();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(options.num_workers);
+    for (uint32_t w = 0; w < options.num_workers; ++w) {
+      threads.emplace_back([&worker_body, w] { worker_body(w); });
+    }
+    for (std::thread& thread : threads) thread.join();
   }
-  for (std::thread& thread : threads) thread.join();
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -82,7 +101,6 @@ Result<DriverResult> RunTpcc(TpccBackend* backend,
     TELL_RETURN_NOT_OK(status);
   }
 
-  DriverResult result;
   result.wall_seconds = wall_seconds;
   result.virtual_seconds =
       static_cast<double>(options.duration_virtual_ms) / 1000.0;

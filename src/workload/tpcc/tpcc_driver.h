@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "db/tell_db.h"
+#include "exec/runtime.h"
 #include "sim/metrics.h"
 #include "sim/virtual_clock.h"
 #include "workload/tpcc/tpcc_transactions.h"
@@ -14,10 +15,13 @@ namespace tell::tpcc {
 
 /// A system under test for the TPC-C driver: Tell itself, or one of the
 /// baseline engines (VoltDB-like, MySQL-Cluster-like, FoundationDB-like).
-/// Workers are numbered 0..n-1; Execute is called on the worker's own
-/// thread. Each worker owns a VirtualClock and WorkerMetrics supplied by
-/// the backend, and the driver stops a worker when its virtual clock passes
-/// the horizon.
+/// Workers are numbered 0..n-1; Execute(w, ...) is never called for the
+/// same worker concurrently — by the worker's own OS thread in legacy mode,
+/// or by whichever executor thread is running worker w's fiber task under
+/// exec::Runtime (tasks migrate between cores but never run twice at once;
+/// docs/RUNTIME.md). Each worker owns a VirtualClock and WorkerMetrics
+/// supplied by the backend, and the driver stops a worker when its virtual
+/// clock passes the horizon.
 class TpccBackend {
  public:
   virtual ~TpccBackend() = default;
@@ -59,6 +63,16 @@ struct DriverOptions {
   /// Virtual measurement interval per worker.
   uint64_t duration_virtual_ms = 1000;
   uint64_t seed = 7;
+  /// 0 = legacy thread-per-worker (one OS thread per worker, blocking
+  /// Future waits). N >= 1 = thread-per-core executor: every worker becomes
+  /// a fiber task multiplexed onto N executor threads, parking at pipeline
+  /// flushes and commit-manager begins instead of blocking (docs/RUNTIME.md).
+  /// Each worker's virtual-time stream is identical either way; only the
+  /// wall-clock axis (and, with conflicts, cross-worker interleaving)
+  /// changes. executor_threads=1 is fully deterministic.
+  uint32_t executor_threads = 0;
+  /// Pin executor threads to cores (ignored in legacy mode).
+  bool pin_cores = true;
 };
 
 /// Aggregated run results; the benches print these next to the paper's
@@ -88,12 +102,16 @@ struct DriverResult {
   double p99_response_ms = 0;
   double p999_response_ms = 0;
   double buffer_hit_rate = 0;
+  /// Scheduler counters of the executor run (threads == 0 in legacy mode).
+  exec::RuntimeStats exec_stats;
   sim::WorkerMetrics merged;
 };
 
-/// Runs the workload: spawns one OS thread per worker, each driving
-/// transactions from its own deterministic InputGenerator until its virtual
-/// clock passes the horizon. Terminals have no wait times (§6.2).
+/// Runs the workload: each worker drives transactions from its own
+/// deterministic InputGenerator until its virtual clock passes the horizon.
+/// Terminals have no wait times (§6.2). Legacy mode spawns one OS thread
+/// per worker; with `executor_threads` set, workers run as fiber tasks on
+/// the exec::Runtime thread-per-core scheduler instead.
 Result<DriverResult> RunTpcc(TpccBackend* backend,
                              const DriverOptions& options);
 

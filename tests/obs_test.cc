@@ -471,5 +471,48 @@ TEST(MetricsDocTest, DocumentCoversRegistryExactly) {
   }
 }
 
+// docs/RUNTIME.md names the executor's scheduler gauges inline; every
+// `exec.*` token it mentions must exist in the registry (so the runtime
+// doc cannot drift from the catalog), and the registry's exec.* gauges
+// must all be mentioned (the doc promises the complete list).
+TEST(MetricsDocTest, RuntimeDocExecGaugesMatchRegistry) {
+  std::string path = std::string(TELL_SOURCE_DIR) + "/docs/RUNTIME.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+
+  std::set<std::string> mentioned;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t pos = 0;
+    while ((pos = line.find("`exec.", pos)) != std::string::npos) {
+      size_t start = pos + 1;
+      size_t end = line.find('`', start);
+      if (end == std::string::npos) break;
+      std::string token = line.substr(start, end - start);
+      // Skip prose references like `exec.*`; keep concrete gauge names.
+      if (token.find('*') == std::string::npos) mentioned.insert(token);
+      pos = end + 1;
+    }
+  }
+  ASSERT_FALSE(mentioned.empty()) << "docs/RUNTIME.md no longer names the "
+                                  << "exec.* gauges";
+
+  std::set<std::string> registered;
+  obs::MetricsRegistry registry;
+  for (const obs::MetricDef& def : registry.metrics()) {
+    if (def.name.rfind("exec.", 0) == 0) registered.insert(def.name);
+  }
+
+  for (const std::string& name : mentioned) {
+    EXPECT_TRUE(registered.count(name))
+        << "docs/RUNTIME.md mentions " << name
+        << " which is not a registered gauge";
+  }
+  for (const std::string& name : registered) {
+    EXPECT_TRUE(mentioned.count(name))
+        << "exec gauge " << name << " is missing from docs/RUNTIME.md";
+  }
+}
+
 }  // namespace
 }  // namespace tell

@@ -7,11 +7,14 @@ runs by label, and diffs every derived metric the two runs share. A metric
 is a regression when it moves in its bad direction by more than the
 threshold percentage.
 
-Direction is inferred from the metric name: anything that reads like a
+Direction is inferred from the metric name. Rate-shaped names ("_tps",
+"_per_sec", "tpmc", "hit_rate") are higher-is-better and take precedence —
+a wall-clock rate like wall_tps must flag when it *drops*, even though
+other wall_* fields are durations. Otherwise anything that reads like a
 latency, abort or cost ("latency", "resp", "abort", "_ms", "_ns", "_us",
-"requests_per_txn", "wall_seconds") is lower-is-better; everything else (throughput-like:
-tpmc, tps, hit rates, speedups) is higher-is-better. Override per metric
-with --lower-is-better / --higher-is-better.
+"requests_per_txn", "wall_seconds") is lower-is-better; everything else
+(throughput-like: tpmc, tps, speedups) is higher-is-better. Override per
+metric with --lower-is-better / --higher-is-better.
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
@@ -36,11 +39,25 @@ LOWER_IS_BETTER_HINTS = (
     "wall_seconds",
 )
 
+# Checked before the lower-is-better hints: a rate is higher-is-better no
+# matter what else its name contains. This is what keeps wall-clock rates
+# (wall_tps, wall_ops_per_sec) flagged on *drops* while wall_seconds stays
+# flagged on rises.
+HIGHER_IS_BETTER_HINTS = (
+    "_tps",
+    "_per_sec",
+    "tpmc",
+    "hit_rate",
+    "speedup",
+)
+
 
 def is_lower_better(name, force_lower, force_higher):
     if name in force_lower:
         return True
     if name in force_higher:
+        return False
+    if any(hint in name for hint in HIGHER_IS_BETTER_HINTS):
         return False
     return any(hint in name for hint in LOWER_IS_BETTER_HINTS)
 
@@ -106,14 +123,19 @@ def selftest():
     import os
     import tempfile
 
-    def artifact(tpmc, resp_ms):
+    def artifact(tpmc, resp_ms, wall_tps=None, wall_seconds=None):
+        derived = {"tpmc": tpmc, "resp_ms": resp_ms}
+        if wall_tps is not None:
+            derived["wall_tps"] = wall_tps
+        if wall_seconds is not None:
+            derived["wall_seconds"] = wall_seconds
         return {
             "schema_version": 1,
             "bench": "selftest",
             "config": {},
             "runs": [{
                 "label": "run",
-                "derived": {"tpmc": tpmc, "resp_ms": resp_ms},
+                "derived": derived,
                 "counters": {}, "gauges": {}, "histograms": {},
             }],
         }
@@ -125,6 +147,13 @@ def selftest():
         (artifact(1000, 1.0), artifact(1000, 1.5), 10.0, 1),   # resp up 50%
         (artifact(1000, 1.0), artifact(950, 1.05), 10.0, 0),   # within 10%
         (artifact(1000, 1.0), artifact(700, 1.5), 10.0, 2),    # both regress
+        # wall_tps is a rate: a drop must flag even though other wall_*
+        # names (wall_seconds) are lower-is-better durations.
+        (artifact(1000, 1.0, wall_tps=500.0, wall_seconds=2.0),
+         artifact(1000, 1.0, wall_tps=300.0, wall_seconds=2.0), 10.0, 1),
+        # ...and a wall_tps rise (wall_seconds falling with it) is clean.
+        (artifact(1000, 1.0, wall_tps=500.0, wall_seconds=2.0),
+         artifact(1000, 1.0, wall_tps=800.0, wall_seconds=1.2), 10.0, 0),
     ]
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:

@@ -120,6 +120,51 @@ def _check_wall_clock(errors, path, derived):
                   f"derived[{rate_key!r}] present without 'wall_seconds'")
 
 
+EXEC_NODE_KEYS = {"tasks_completed", "steals", "yields", "parks", "unparks",
+                  "busy_ns", "queue_peak"}
+
+
+def _check_exec_nodes(errors, path, run):
+    """Executor runs: per-core `exec<i>` node rows must agree with the
+    derived executor_threads field — one row per executor thread, numbered
+    densely from exec0, each carrying the full scheduler counter set
+    (exec::PerCoreRows; docs/RUNTIME.md "Scheduler observability")."""
+    nodes = run.get("nodes")
+    derived = run.get("derived")
+    if not isinstance(nodes, dict) or not isinstance(derived, dict):
+        nodes = nodes if isinstance(nodes, dict) else {}
+        derived = derived if isinstance(derived, dict) else {}
+    exec_rows = {name: counters for name, counters in nodes.items()
+                 if name.startswith("exec") and name[4:].isdigit()}
+    threads = derived.get("executor_threads")
+    if threads is None and not exec_rows:
+        return
+    if threads is None:
+        _fail(errors, path,
+              f"exec node rows {sorted(exec_rows)} present without "
+              "derived['executor_threads']")
+        return
+    if isinstance(threads, bool) or not isinstance(threads, (int, float)):
+        return  # type error already reported by _check_str_map
+    if int(threads) != len(exec_rows):
+        _fail(errors, path,
+              f"derived['executor_threads'] is {threads} but the run has "
+              f"{len(exec_rows)} exec<i> node rows")
+    for i in range(len(exec_rows)):
+        if f"exec{i}" not in exec_rows:
+            _fail(errors, path,
+                  f"exec node rows must be numbered densely from exec0; "
+                  f"missing 'exec{i}' among {sorted(exec_rows)}")
+    for name, counters in sorted(exec_rows.items()):
+        if not isinstance(counters, dict):
+            continue  # shape error already reported
+        missing = EXEC_NODE_KEYS - set(counters)
+        if missing:
+            _fail(errors, path,
+                  f"nodes[{name!r}] missing scheduler counters "
+                  f"{sorted(missing)}")
+
+
 def _check_run(errors, path, index, run):
     rpath = f"{path} runs[{index}]"
     if not isinstance(run, dict):
@@ -149,6 +194,7 @@ def _check_run(errors, path, index, run):
             for node, counters in nodes.items():
                 _check_str_map(errors, rpath, counters, int,
                                f"nodes[{node!r}]")
+    _check_exec_nodes(errors, rpath, run)
     known = {"label", "derived", "counters", "gauges", "histograms", "nodes"}
     extra = set(run) - known
     if extra:
@@ -214,6 +260,13 @@ def selftest():
     assert validate("good", good) == [], validate("good", good)
 
     import copy
+    good_exec = copy.deepcopy(good)
+    good_exec["runs"][0]["derived"]["executor_threads"] = 2.0
+    for i in range(2):
+        good_exec["runs"][0]["nodes"][f"exec{i}"] = {
+            k: 1 for k in EXEC_NODE_KEYS}
+    assert validate("good_exec", good_exec) == [], \
+        validate("good_exec", good_exec)
     bad_cases = [
         ("schema_version", lambda d: d.update(schema_version=2)),
         ("missing bench", lambda d: d.pop("bench")),
@@ -236,12 +289,26 @@ def selftest():
         ("wall rate without wall_seconds",
          lambda d: (d["runs"][0]["derived"].pop("wall_seconds"),
                     d["runs"][0]["derived"].update(wall_ops_per_sec=10.0))),
+        ("exec rows without executor_threads",
+         lambda d: d["runs"][0]["nodes"].update(
+             exec0={k: 1 for k in EXEC_NODE_KEYS})),
+        ("executor_threads != exec row count",
+         lambda d: (d["runs"][0]["derived"].update(executor_threads=2.0),
+                    d["runs"][0]["nodes"].update(
+                        exec0={k: 1 for k in EXEC_NODE_KEYS}))),
+        ("exec rows not densely numbered",
+         lambda d: (d["runs"][0]["derived"].update(executor_threads=1.0),
+                    d["runs"][0]["nodes"].update(
+                        exec1={k: 1 for k in EXEC_NODE_KEYS}))),
+        ("exec row missing scheduler counter",
+         lambda d: (d["runs"][0]["derived"].update(executor_threads=1.0),
+                    d["runs"][0]["nodes"].update(exec0={"steals": 1}))),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)
         mutate(doc)
         assert validate(name, doc), f"selftest: {name!r} not rejected"
-    print("selftest ok:", 1 + len(bad_cases), "cases")
+    print("selftest ok:", 2 + len(bad_cases), "cases")
     return 0
 
 
