@@ -223,6 +223,49 @@ Status CommitManager::SetAborted(Tid tid) {
   return st;
 }
 
+Result<std::vector<Tid>> CommitManager::LeaseFastTids(uint32_t count) {
+  if (!alive()) return Status::Unavailable("commit manager is down");
+  if (count == 0) return Status::InvalidArgument("lease count must be > 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.interleaved_tids) {
+    // Interleaved managers never touch the counter, so a counter-leased
+    // range would collide with their strided sequences.
+    return Status::NotSupported(
+        "fast-tid leases require range-based tid assignment");
+  }
+  // From the SAME sequential stream as Start(), not a separate counter
+  // jump: version order within a record is tid order, so correctness needs
+  // tid assignment order == begin order across BOTH phases. A counter jump
+  // would leave later MVCC Starts with smaller tids from the cached range,
+  // burying their (logically newer) writes under the fast version. Leasing
+  // from the shared range keeps one monotone stream: any transaction that
+  // begins after this lease gets a larger tid, and any earlier-begun
+  // transaction that commits later fails its snapshot write check against
+  // the fast version first (tid not in its snapshot) and retries with a
+  // fresh, larger tid.
+  std::vector<Tid> tids;
+  tids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (range_next_ > range_end_) {
+      TELL_RETURN_NOT_OK(RefillTidRangeLocked());
+    }
+    tids.push_back(range_next_++);
+  }
+  highest_assigned_ = std::max(highest_assigned_, tids.back());
+  return tids;
+}
+
+Status CommitManager::CompleteFast(const std::vector<Tid>& tids) {
+  if (!alive()) return Status::Unavailable("commit manager is down");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Tid tid : tids) {
+    if (snapshot_.CanRead(tid)) continue;  // duplicate delivery
+    snapshot_.MarkCompleted(tid);
+    RecordCompletionLocked(tid);
+  }
+  return Status::OK();
+}
+
 Tid CommitManager::Lav() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return ComputeLavLocked();

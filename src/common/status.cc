@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "InternalError";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kCrossPartition:
+      return "CrossPartition";
   }
   return "Unknown";
 }

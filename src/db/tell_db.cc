@@ -42,6 +42,27 @@ TellDb::TellDb(const TellDbOptions& options)
       cluster_.get(), options_.num_commit_managers, options_.commit_manager,
       options_.commit_manager_sync_ms);
 
+  if (options_.fastpath.enabled) {
+    // The fast path needs one monotone tid stream (fast leases and MVCC
+    // begins interleave in assignment order — the basis of the "fast write
+    // is the newest version" invariant, see CommitManager::LeaseFastTids)
+    // and private transaction buffers (a fast commit never runs OnApply, so
+    // a PN-shared buffer would go stale).
+    if (options_.commit_manager.interleaved_tids) {
+      TELL_LOG(kWarn) << "fast path disabled: requires range-based tid "
+                         "assignment (interleaved_tids=false)";
+    } else if (options_.num_commit_managers != 1) {
+      TELL_LOG(kWarn) << "fast path disabled: requires a single commit "
+                         "manager (tids from one sequential stream)";
+    } else if (options_.buffer_strategy != BufferStrategy::kTransactionOnly) {
+      TELL_LOG(kWarn) << "fast path disabled: requires the TB "
+                         "(transaction-only) buffer strategy";
+    } else {
+      fastpath_ = std::make_unique<tx::FastPathCoordinator>(
+          options_.fastpath, commit_managers_.get());
+    }
+  }
+
   auto log_table = cluster_->CreateTable("__transaction_log");
   TELL_CHECK(log_table.ok());
   log_ = std::make_unique<tx::TransactionLog>(*log_table);
@@ -63,14 +84,21 @@ TellDb::TellDb(const TellDbOptions& options)
       MakeClientOptions(options_, /*pn_id=*/UINT32_MAX, /*worker_id=*/0,
                         /*with_faults=*/false),
       commit_managers_.get(), log_.get(), admin_buffer_.get(),
-      options_.session);
+      options_.session, fastpath_.get());
 
   for (uint32_t i = 0; i < options_.num_processing_nodes; ++i) {
     AddProcessingNode();
   }
 }
 
-TellDb::~TellDb() = default;
+TellDb::~TellDb() {
+  if (fastpath_ != nullptr) {
+    // Deliver any still-queued fast completions so the final commit-manager
+    // state (snapshot base, GC horizon) reflects every fast commit.
+    fastpath_->FlushPending(admin_session_->worker_id(),
+                            admin_session_->client());
+  }
+}
 
 std::unique_ptr<tx::RecordBuffer> TellDb::MakeBuffer() {
   switch (options_.buffer_strategy) {
@@ -144,7 +172,7 @@ std::unique_ptr<tx::Session> TellDb::OpenSession(uint32_t pn_id,
       pn_id, worker_id, cluster_.get(), management_.get(),
       MakeClientOptions(options_, pn_id, worker_id, /*with_faults=*/true),
       commit_managers_.get(), log_.get(), pns_[pn_id]->buffer.get(),
-      options_.session);
+      options_.session, fastpath_.get());
 }
 
 Result<tx::TableHandle*> TellDb::GetTable(uint32_t pn_id,

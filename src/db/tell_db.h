@@ -19,6 +19,7 @@
 #include "store/management_node.h"
 #include "store/storage_client.h"
 #include "tx/catalog.h"
+#include "tx/fast_path.h"
 #include "tx/garbage_collector.h"
 #include "tx/recovery.h"
 #include "tx/transaction.h"
@@ -57,6 +58,12 @@ struct TellDbOptions {
   bool operator_pushdown = false;
   BufferStrategy buffer_strategy = BufferStrategy::kTransactionOnly;
   uint64_t buffer_unit_size = 10;  // SBVS cache unit size
+
+  /// Phase-switching single-partition fast path (DESIGN.md). Requires
+  /// range-based tid assignment, a single commit manager and the TB buffer
+  /// strategy; incompatible combinations disable the fast path with a
+  /// warning.
+  tx::FastPathOptions fastpath;
 
   commitmgr::CommitManagerOptions commit_manager;
   /// <= 0 disables the background sync thread (then call SyncCommitManagers
@@ -180,6 +187,8 @@ class TellDb {
   const tx::TransactionLog* transaction_log() const { return log_.get(); }
   tx::Catalog* catalog() { return &catalog_; }
   tx::RecoveryManager* recovery() { return recovery_.get(); }
+  /// Null when the fast path is off (or was disabled at construction).
+  tx::FastPathCoordinator* fastpath() { return fastpath_.get(); }
 
  private:
   struct ProcessingNode {
@@ -195,6 +204,7 @@ class TellDb {
   std::unique_ptr<store::Cluster> cluster_;
   std::unique_ptr<store::ManagementNode> management_;
   std::unique_ptr<commitmgr::CommitManagerGroup> commit_managers_;
+  std::unique_ptr<tx::FastPathCoordinator> fastpath_;
   std::unique_ptr<tx::TransactionLog> log_;
   tx::Catalog catalog_;
   std::unique_ptr<tx::RecoveryManager> recovery_;

@@ -15,9 +15,12 @@ namespace tell::exec {
 /// A submitted task: just a fiber. The scheduler owns the allocation and
 /// frees it when the body returns.
 struct Runtime::Task {
-  explicit Task(std::function<void()> body, size_t stack_bytes)
-      : fiber(std::move(body), stack_bytes) {}
+  Task(std::function<void()> body, size_t stack_bytes, bool pinned)
+      : fiber(std::move(body), stack_bytes), pinned(pinned) {}
   Fiber fiber;
+  /// Pinned tasks stay on their submit queue: thieves skip them, so the
+  /// task only ever runs on its home core (see Submit with queue_hint).
+  const bool pinned;
 };
 
 /// One run queue. The owning worker pops from the front (FIFO — this is
@@ -44,11 +47,25 @@ Runtime::~Runtime() {
 }
 
 void Runtime::Submit(std::function<void()> body) {
-  Task* task = new Task(std::move(body), options_.stack_bytes);
+  Task* task = new Task(std::move(body), options_.stack_bytes,
+                        /*pinned=*/false);
   std::lock_guard<std::mutex> lock(mutex_);
   TELL_CHECK(!done_);
   const uint32_t target = next_queue_;
   next_queue_ = (next_queue_ + 1) % static_cast<uint32_t>(cores_.size());
+  EnqueueLocked(task, target);
+}
+
+void Runtime::Submit(std::function<void()> body, uint64_t queue_hint) {
+  Task* task = new Task(std::move(body), options_.stack_bytes,
+                        /*pinned=*/true);
+  std::lock_guard<std::mutex> lock(mutex_);
+  TELL_CHECK(!done_);
+  EnqueueLocked(task,
+                static_cast<uint32_t>(queue_hint % cores_.size()));
+}
+
+void Runtime::EnqueueLocked(Task* task, uint32_t target) {
   cores_[target]->queue.push_back(task);
   ++queued_;
   RuntimeStats::PerCore& cs = stats_.cores[target];
@@ -79,12 +96,17 @@ Runtime::Task* Runtime::FindWork(uint32_t core_id,
     }
     for (uint32_t j = 1; j < cores_.size(); ++j) {
       Core& victim = *cores_[(core_id + j) % cores_.size()];
-      if (victim.queue.empty()) continue;
-      Task* task = victim.queue.back();
-      victim.queue.pop_back();
-      --queued_;
-      ++stats_.cores[core_id].steals;
-      return task;
+      // Oldest-first from the back, skipping pinned tasks: those may only
+      // run on their home core (its own front-pop finds them; a core never
+      // parks while its queue is non-empty, so they cannot be stranded).
+      for (auto it = victim.queue.rbegin(); it != victim.queue.rend(); ++it) {
+        if ((*it)->pinned) continue;
+        Task* task = *it;
+        victim.queue.erase(std::next(it).base());
+        --queued_;
+        ++stats_.cores[core_id].steals;
+        return task;
+      }
     }
     // Nothing queued anywhere. If nothing is running either, the run is
     // over (running tasks may still Submit or yield, so both must be

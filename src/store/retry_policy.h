@@ -33,13 +33,17 @@ struct RetryPolicy {
   double jitter = 0.5;
 
   /// Backoff (virtual ns) to charge before retry number `retry` (1-based),
-  /// with jitter drawn from `rng`.
+  /// with jitter drawn from `rng`. Saturates at max_backoff_ns for any
+  /// attempt count: the growth loop stops as soon as the ceiling is reached,
+  /// so a caller spinning at attempt 2^30 neither walks the multiplier a
+  /// billion times nor overflows the double into inf/garbage delays.
   uint64_t BackoffNs(uint32_t retry, Random* rng) const {
+    const double cap = static_cast<double>(max_backoff_ns);
     double b = static_cast<double>(initial_backoff_ns);
-    for (uint32_t i = 1; i < retry; ++i) b *= multiplier;
-    if (b > static_cast<double>(max_backoff_ns)) {
-      b = static_cast<double>(max_backoff_ns);
+    if (multiplier > 1.0) {
+      for (uint32_t i = 1; i < retry && b < cap; ++i) b *= multiplier;
     }
+    if (b > cap) b = cap;
     double lo = b * (1.0 - jitter);
     return static_cast<uint64_t>(lo + (b - lo) * rng->NextDouble());
   }

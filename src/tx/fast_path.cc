@@ -1,0 +1,165 @@
+#include "tx/fast_path.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tell::tx {
+
+FastPathCoordinator::FastPathCoordinator(
+    const FastPathOptions& options, commitmgr::CommitManagerGroup* managers)
+    : options_(options),
+      managers_(managers),
+      num_lanes_(options.lanes == 0 ? 1 : options.lanes),
+      lanes_(new Lane[num_lanes_]) {
+  TELL_CHECK(managers_ != nullptr);
+}
+
+void FastPathCoordinator::AcquireFastFences(uint32_t lane,
+                                            sim::WorkerMetrics* metrics) {
+  // Lane first, reference last — the one global fence order (see class
+  // comment); every acquirer follows it, so waiting chains never cycle.
+  if (lanes_[lane].fence.Lock()) metrics->fastpath_fence_waits += 1;
+  if (reference_fence_.LockShared()) metrics->fastpath_fence_waits += 1;
+}
+
+Result<Tid> FastPathCoordinator::LeaseTid(uint32_t lane, uint32_t worker_id,
+                                          store::StorageClient* client) {
+  Lane& l = lanes_[lane];
+  // Stable while we hold the lane exclusively: no MVCC commit touching this
+  // lane can be in flight, so the epoch cannot move under us.
+  const uint64_t epoch = l.mvcc_epoch.load(std::memory_order_acquire);
+  if (l.next_leased >= l.leased.size() || l.lease_epoch != epoch) {
+    if (l.next_leased < l.leased.size()) {
+      // An MVCC commit slipped into this lane since the batch was leased,
+      // so the remaining tids may no longer exceed every settled version —
+      // discard them. They must still be COMPLETED: a leased tid that never
+      // completes would pin the snapshot base (and the GC horizon) forever.
+      QueueCompletions(l.leased.data() + l.next_leased,
+                       l.leased.size() - l.next_leased, worker_id, client);
+    }
+    l.leased.clear();
+    l.next_leased = 0;
+    commitmgr::CommitManager* manager = managers_->ManagerFor(worker_id);
+    if (manager == nullptr) {
+      return Status::Unavailable("no live commit manager for fast-tid lease");
+    }
+    TELL_ASSIGN_OR_RETURN(std::vector<Tid> fresh,
+                          manager->LeaseFastTids(options_.tid_lease_size));
+    l.leased = std::move(fresh);
+    l.lease_epoch = epoch;
+    // One small request, a response carrying the leased range.
+    client->ChargeRpc(64, 16 + 8 * options_.tid_lease_size);
+    client->metrics()->fastpath_tid_leases += 1;
+  }
+  return l.leased[l.next_leased++];
+}
+
+void FastPathCoordinator::ReleaseFastCommit(uint32_t lane, Tid tid,
+                                            uint64_t begin_vns,
+                                            uint32_t worker_id,
+                                            store::StorageClient* client,
+                                            sim::VirtualClock* clock) {
+  Lane& l = lanes_[lane];
+  // The lane is ONE serial resource. Workers run on independent virtual
+  // clocks, so two fast commits that overlapped in real time must still
+  // serialize in virtual time or the lane's capacity would be counted
+  // twice: queue this commit behind the lane's busy horizon.
+  const uint64_t now = clock->now_ns();
+  const uint64_t service = now - begin_vns;
+  const uint64_t start = std::max(begin_vns, l.busy_until_ns);
+  l.busy_until_ns = start + service;
+  clock->AdvanceTo(l.busy_until_ns);
+  if (tid != 0) QueueCompletions(&tid, 1, worker_id, client);
+  reference_fence_.UnlockShared();
+  l.fence.Unlock();
+}
+
+void FastPathCoordinator::ReleaseFastAbort(uint32_t lane, Tid tid) {
+  if (tid != 0) {
+    // Queue without flushing (no client here): the next commit or MVCC
+    // begin carries it out.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.push_back(tid);
+  }
+  reference_fence_.UnlockShared();
+  lanes_[lane].fence.Unlock();
+}
+
+FastPathCoordinator::MvccFenceGuard FastPathCoordinator::AcquireMvccFences(
+    std::vector<uint32_t> lanes, bool reference_exclusive,
+    sim::WorkerMetrics* metrics) {
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+  for (uint32_t lane : lanes) {
+    if (lanes_[lane].fence.LockShared()) metrics->fastpath_fence_waits += 1;
+  }
+  if (reference_exclusive) {
+    if (reference_fence_.Lock()) metrics->fastpath_fence_waits += 1;
+  }
+  MvccFenceGuard guard;
+  guard.coordinator_ = this;
+  guard.lanes_ = std::move(lanes);
+  guard.reference_exclusive_ = reference_exclusive;
+  return guard;
+}
+
+void FastPathCoordinator::MvccFenceGuard::Release() {
+  if (coordinator_ == nullptr) return;
+  if (reference_exclusive_) coordinator_->reference_fence_.Unlock();
+  for (uint32_t lane : lanes_) {
+    Lane& l = coordinator_->lanes_[lane];
+    // Invalidate cached fast-tid batches BEFORE the fence release: the next
+    // fast transaction on this lane reads the epoch after acquiring the
+    // fence exclusively, so it always sees this bump.
+    l.mvcc_epoch.fetch_add(1, std::memory_order_release);
+    l.fence.UnlockShared();
+  }
+  coordinator_ = nullptr;
+  lanes_.clear();
+  reference_exclusive_ = false;
+}
+
+void FastPathCoordinator::QueueCompletions(const Tid* tids, size_t count,
+                                           uint32_t worker_id,
+                                           store::StorageClient* client) {
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.insert(pending_.end(), tids, tids + count);
+    flush = pending_.size() >= options_.completion_flush;
+  }
+  if (flush) FlushPending(worker_id, client);
+}
+
+void FastPathCoordinator::FlushPending(uint32_t worker_id,
+                                       store::StorageClient* client) {
+  std::vector<Tid> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    batch.swap(pending_);
+  }
+  if (batch.empty()) return;
+  commitmgr::CommitManager* manager = managers_->ManagerFor(worker_id);
+  Status st = manager == nullptr
+                  ? Status::Unavailable("no live commit manager")
+                  : manager->CompleteFast(batch);
+  if (manager != nullptr) {
+    // One batched message: header + one tid each, tiny ack back.
+    client->ChargeRpc(16 + 8 * batch.size(), 16);
+    client->metrics()->fastpath_flushes += 1;
+  }
+  if (!st.ok()) {
+    // Keep the tids queued: uncompleted tids pin the snapshot base, which
+    // is safe; a later flush retries.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.insert(pending_.end(), batch.begin(), batch.end());
+  }
+}
+
+size_t FastPathCoordinator::PendingCompletions() const {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  return pending_.size();
+}
+
+}  // namespace tell::tx

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "tx/fast_path.h"
 
 namespace tell::tx {
 
@@ -57,6 +58,29 @@ Status Transaction::Begin() {
   TELL_CHECK(state_ == TxnState::kPending);
   tracer_->BeginTxn();
   obs::PhaseScope span(tracer_, sim::TxnPhase::kBegin);
+  FastPathCoordinator* fastpath = session_->fastpath();
+  if (fastpath != nullptr && options_.home_partition >= 0) {
+    // Fast phase: no commit-manager begin, no snapshot. The home lane's
+    // fence is held exclusively until commit/abort — the lane is a serial
+    // execution queue, so every version in the partition is settled and
+    // Newest() is the consistent read (see Visible()). The tid is leased
+    // lazily on first write; read-only fast transactions never contact the
+    // commit manager at all.
+    fast_ = true;
+    lane_ = fastpath->LaneFor(options_.home_partition);
+    fastpath->AcquireFastFences(lane_, client_->metrics());
+    fast_begin_vns_ = session_->clock()->now_ns();
+    state_ = TxnState::kRunning;
+    return Status::OK();
+  }
+  if (fastpath != nullptr) {
+    // MVCC begin with the fast path live: earlier fast commits must be
+    // completed at the manager BEFORE this snapshot is fetched, or the
+    // snapshot could miss a fast write this very worker already made
+    // (read-your-writes across phases, and the on/off determinism
+    // guarantee).
+    fastpath->FlushPending(session_->worker_id(), client_);
+  }
   // Each processing node talks to one dedicated commit manager (§4.2);
   // fail-over, fault injection, retries and the delta-sync/batching wire
   // accounting all live in the session's CommitManagerClient. The response
@@ -82,6 +106,25 @@ Result<Transaction::RecordState*> Transaction::EnsureFetched(
   obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
   RecordState state;
   state.table = table;
+  if (fast_) {
+    // Fast reads bypass the PN-level buffer: the buffer layers label
+    // records with snapshots, which a fast transaction does not have. One
+    // direct fetch from the owning storage node (TellDb only enables the
+    // fast path under the passthrough strategy, so there is no shared
+    // state to go stale).
+    auto cell = client_->Get(table->meta->data_table, RidKey(rid));
+    client_->metrics()->buffer_misses += 1;
+    if (cell.ok()) {
+      TELL_ASSIGN_OR_RETURN(state.record,
+                            schema::VersionedRecord::Deserialize(cell->value));
+      state.stamp = cell->stamp;
+      state.exists = true;
+    } else if (!cell.status().IsNotFound()) {
+      return cell.status();
+    }
+    auto [inserted, _] = buffer_.emplace(key, std::move(state));
+    return &inserted->second;
+  }
   auto fetched = session_->record_buffer()->Read(
       client_, table->meta->data_table, rid, snapshot_);
   if (fetched.ok()) {
@@ -97,18 +140,65 @@ Result<Transaction::RecordState*> Transaction::EnsureFetched(
   return &inserted->second;
 }
 
+Status Transaction::CheckFastTuple(TableHandle* table,
+                                   const schema::Tuple& tuple,
+                                   bool for_write) {
+  const int32_t column = table->meta->partition_column;
+  if (column < 0) {
+    // Unpartitioned reference table: reads are safe under the shared
+    // reference fence; writes would need it exclusive — MVCC's job.
+    if (!for_write) return Status::OK();
+    fallback_ = true;
+    return Status::CrossPartition("write to unpartitioned table '" +
+                                  table->meta->name + "'");
+  }
+  const int64_t* partition = std::get_if<int64_t>(&tuple.at(column));
+  if (partition == nullptr || *partition != options_.home_partition) {
+    fallback_ = true;
+    return Status::CrossPartition(
+        "touch in partition " +
+        (partition == nullptr ? std::string("<non-int>")
+                              : std::to_string(*partition)) +
+        " outside declared home " + std::to_string(options_.home_partition) +
+        " ('" + table->meta->name + "')");
+  }
+  return Status::OK();
+}
+
+Status Transaction::EnsureFastTid() {
+  if (tid_ != 0) return Status::OK();
+  auto leased = session_->fastpath()->LeaseTid(lane_, session_->worker_id(),
+                                               client_);
+  if (!leased.ok()) return leased.status();
+  tid_ = *leased;
+  return Status::OK();
+}
+
+void Transaction::RecordPartition(RecordState* state, TableHandle* table,
+                                  const schema::Tuple& tuple) {
+  const int32_t column = table->meta->partition_column;
+  state->partitioned = false;
+  if (column < 0) return;
+  if (const int64_t* partition = std::get_if<int64_t>(&tuple.at(column))) {
+    state->partitioned = true;
+    state->partition = *partition;
+  }
+}
+
 Result<std::optional<schema::Tuple>> Transaction::Read(TableHandle* table,
                                                        uint64_t rid) {
   TELL_CHECK(state_ == TxnState::kRunning);
   obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
   TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
-  const schema::RecordVersion* visible =
-      state->record.VisibleVersion(snapshot_, tid_);
+  const schema::RecordVersion* visible = Visible(*state);
   if (visible == nullptr || visible->tombstone) return std::optional<schema::Tuple>{};
   client_->ChargeCpu(client_->options().cpu.per_record_ns);
   TELL_ASSIGN_OR_RETURN(
       schema::Tuple tuple,
       schema::Tuple::Deserialize(table->meta->schema, visible->payload));
+  if (fast_) {
+    TELL_RETURN_NOT_OK(CheckFastTuple(table, tuple, /*for_write=*/false));
+  }
   return std::optional<schema::Tuple>(std::move(tuple));
 }
 
@@ -203,6 +293,12 @@ Result<uint64_t> Transaction::Insert(TableHandle* table,
                                      "' must not be NULL");
     }
   }
+  if (fast_) {
+    // Check the partition BEFORE any side effect (rid allocation, tid
+    // lease): a cross-partition insert must fall back with nothing leaked.
+    TELL_RETURN_NOT_OK(CheckFastTuple(table, tuple, /*for_write=*/true));
+    TELL_RETURN_NOT_OK(EnsureFastTid());
+  }
   if (check_unique) {
     std::vector<schema::Value> key;
     for (uint32_t column : table->meta->primary.def.key_columns) {
@@ -221,6 +317,7 @@ Result<uint64_t> Transaction::Insert(TableHandle* table,
   state.is_new = true;
   state.dirty = true;
   state.exists = false;
+  RecordPartition(&state, table, tuple);
   state.record.PutVersion(tid_, tuple.Serialize(table->meta->schema));
   buffer_[{table->meta->data_table, rid}] = std::move(state);
   TELL_RETURN_NOT_OK(QueueIndexInserts(table, rid, tuple, nullptr));
@@ -232,15 +329,24 @@ Status Transaction::Update(TableHandle* table, uint64_t rid,
   TELL_CHECK(state_ == TxnState::kRunning);
   obs::PhaseScope span(tracer_, sim::TxnPhase::kWrite);
   TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
-  TELL_RETURN_NOT_OK(CheckWritable(*state));
-  const schema::RecordVersion* visible =
-      state->record.VisibleVersion(snapshot_, tid_);
+  // Fast mode is trivially write-safe (the lane is serial) — and has no
+  // snapshot for CheckWritable to compare against.
+  if (!fast_) TELL_RETURN_NOT_OK(CheckWritable(*state));
+  const schema::RecordVersion* visible = Visible(*state);
   if (visible == nullptr || visible->tombstone) {
     return Status::NotFound("record not visible in this snapshot");
   }
   TELL_ASSIGN_OR_RETURN(
       schema::Tuple old_tuple,
       schema::Tuple::Deserialize(table->meta->schema, visible->payload));
+  if (fast_) {
+    // Both the record's current home and the new image must be in the
+    // declared partition, checked before the write is buffered.
+    TELL_RETURN_NOT_OK(CheckFastTuple(table, old_tuple, /*for_write=*/true));
+    TELL_RETURN_NOT_OK(CheckFastTuple(table, tuple, /*for_write=*/true));
+    TELL_RETURN_NOT_OK(EnsureFastTid());
+  }
+  RecordPartition(state, table, tuple);
   state->record.PutVersion(tid_, tuple.Serialize(table->meta->schema));
   state->dirty = true;
   return QueueIndexInserts(table, rid, tuple, &old_tuple);
@@ -250,12 +356,19 @@ Status Transaction::Delete(TableHandle* table, uint64_t rid) {
   TELL_CHECK(state_ == TxnState::kRunning);
   obs::PhaseScope span(tracer_, sim::TxnPhase::kWrite);
   TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
-  TELL_RETURN_NOT_OK(CheckWritable(*state));
-  const schema::RecordVersion* visible =
-      state->record.VisibleVersion(snapshot_, tid_);
+  if (!fast_) TELL_RETURN_NOT_OK(CheckWritable(*state));
+  const schema::RecordVersion* visible = Visible(*state);
   if (visible == nullptr || visible->tombstone) {
     return Status::NotFound("record not visible in this snapshot");
   }
+  TELL_ASSIGN_OR_RETURN(
+      schema::Tuple old_tuple,
+      schema::Tuple::Deserialize(table->meta->schema, visible->payload));
+  if (fast_) {
+    TELL_RETURN_NOT_OK(CheckFastTuple(table, old_tuple, /*for_write=*/true));
+    TELL_RETURN_NOT_OK(EnsureFastTid());
+  }
+  RecordPartition(state, table, old_tuple);
   state->record.PutVersion(tid_, "", /*tombstone=*/true);
   state->dirty = true;
   // Index entries stay; version-unaware indexes drop them via GC once no
@@ -290,8 +403,10 @@ Result<std::optional<schema::Tuple>> Transaction::ValidateIndexHit(
 
   TELL_ASSIGN_OR_RETURN(RecordState * state, EnsureFetched(table, rid));
   if (!state->exists && !state->dirty) {
-    // Record gone entirely: the entry is orphaned — index GC (§5.4).
-    if (!own_pending) {
+    // Record gone entirely: the entry is orphaned — index GC (§5.4). Fast
+    // transactions leave GC to the MVCC phase: no LL/SC index writes on
+    // the fast lane.
+    if (!own_pending && !fast_) {
       (void)tree->Remove(client_, key, rid);
     }
     return std::optional<schema::Tuple>{};
@@ -300,8 +415,7 @@ Result<std::optional<schema::Tuple>> Transaction::ValidateIndexHit(
   // (V_a \ G = ∅ approximation: no live version contains a).
   bool key_in_some_version = false;
   std::optional<schema::Tuple> match;
-  const schema::RecordVersion* visible =
-      state->record.VisibleVersion(snapshot_, tid_);
+  const schema::RecordVersion* visible = Visible(*state);
   for (const schema::RecordVersion& version : state->record.versions()) {
     if (version.tombstone) continue;
     auto tuple = schema::Tuple::Deserialize(table->meta->schema,
@@ -316,8 +430,14 @@ Result<std::optional<schema::Tuple>> Transaction::ValidateIndexHit(
       }
     }
   }
-  if (!key_in_some_version && !own_pending) {
+  if (!key_in_some_version && !own_pending && !fast_) {
     (void)tree->Remove(client_, key, rid);
+  }
+  if (fast_ && match.has_value()) {
+    // A secondary-index hit may land anywhere — e.g. a customer looked up
+    // by name whose record lives in another warehouse. Validate the hit's
+    // partition before the caller can act on it.
+    TELL_RETURN_NOT_OK(CheckFastTuple(table, *match, /*for_write=*/false));
   }
   return match;
 }
@@ -570,6 +690,11 @@ Transaction::FilteredScan(
     const std::function<bool(const schema::Tuple&)>& predicate) {
   TELL_CHECK(state_ == TxnState::kRunning);
   obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
+  if (fast_) {
+    // A pushdown scan covers every partition of the table by design.
+    fallback_ = true;
+    return Status::CrossPartition("pushdown scans run on the MVCC path");
+  }
   const schema::Schema& schema = table->meta->schema;
   // The closure below executes on the storage nodes: visibility check plus
   // the pushed-down predicate, so non-matching records never hit the wire.
@@ -637,6 +762,7 @@ Status Transaction::Commit() {
   if (state_ != TxnState::kRunning) {
     return Status::InvalidArgument("transaction not running");
   }
+  if (fast_) return CommitFast();
   obs::PhaseScope commit_span(tracer_, sim::TxnPhase::kCommit);
   client_->ChargeCpu(client_->options().cpu.per_txn_ns);
 
@@ -645,6 +771,28 @@ Status Transaction::Commit() {
     if (state.dirty) dirty.push_back(key);
   }
   if (dirty.empty()) return FinishCommitEmpty();
+
+  // Phase fence: hold the touched lanes shared for the WHOLE commit (log
+  // append through finish or rollback), so a fast transaction never
+  // observes a half-applied MVCC write set. Released by the guard on every
+  // exit path below, bumping the lanes' epochs so cached fast-tid batches
+  // are invalidated.
+  FastPathCoordinator::MvccFenceGuard fence_guard;
+  if (FastPathCoordinator* fastpath = session_->fastpath()) {
+    std::vector<uint32_t> lanes;
+    bool reference_exclusive = false;
+    for (const RecordKey& key : dirty) {
+      const RecordState& state = buffer_[key];
+      if (state.partitioned) {
+        lanes.push_back(fastpath->LaneFor(state.partition));
+      } else {
+        reference_exclusive = true;
+      }
+    }
+    fence_guard = fastpath->AcquireMvccFences(std::move(lanes),
+                                              reference_exclusive,
+                                              client_->metrics());
+  }
 
   // 1. Try-Commit: append the log entry with the write set (§4.3 step 3).
   LogEntry entry;
@@ -778,7 +926,77 @@ Status Transaction::Commit() {
   return Status::OK();
 }
 
-void Transaction::RollbackApplied(const std::vector<RecordKey>& dirty) {
+Status Transaction::CommitFast() {
+  obs::PhaseScope commit_span(tracer_, sim::TxnPhase::kCommit);
+  client_->ChargeCpu(client_->options().cpu.per_txn_ns);
+  FastPathCoordinator* fastpath = session_->fastpath();
+
+  std::vector<RecordKey> dirty;
+  for (auto& [key, state] : buffer_) {
+    if (state.dirty) dirty.push_back(key);
+  }
+  if (dirty.empty()) {
+    // Read-only fast transaction: no tid was ever leased (writes lease
+    // lazily) and the commit manager is not contacted at all.
+    fastpath->ReleaseFastCommit(lane_, tid_, fast_begin_vns_,
+                                session_->worker_id(), client_,
+                                session_->clock());
+    state_ = TxnState::kCommitted;
+    client_->metrics()->committed += 1;
+    client_->metrics()->fastpath_hits += 1;
+    return Status::OK();
+  }
+
+  // With the lane fenced, this transaction owns every record it wrote: no
+  // log append, no LL/SC — one coalesced unconditional batch write to the
+  // owning storage node. No eager GC either: without a commit-manager Begin
+  // there is no lav_, so nothing can be proven collectible; the MVCC path's
+  // lazy GC picks these versions up later.
+  std::vector<store::WriteOp> ops;
+  ops.reserve(dirty.size());
+  for (const RecordKey& key : dirty) {
+    RecordState& state = buffer_[key];
+    ops.push_back({key.first, RidKey(key.second), state.record.Serialize(),
+                   store::kStampAbsent, /*conditional=*/false,
+                   /*erase=*/false});
+  }
+  std::vector<Result<uint64_t>> results = client_->BatchWrite(ops);
+  Status failure;
+  for (const Result<uint64_t>& r : results) {
+    if (!r.ok() && failure.ok()) failure = r.status();
+  }
+  // Data before index, same as the MVCC path: an index entry must never
+  // point at a rid whose record write has not landed.
+  Status index_status = failure.ok() ? ApplyIndexInserts() : Status::OK();
+  if (!failure.ok() || !index_status.ok()) {
+    // Storage failure mid-apply (write-write races cannot happen on the
+    // fenced lane, but unconditional writes still fail on a dead node):
+    // revert what made it in. ApplyIndexInserts already removed its own
+    // entries. If any record could not be reverted, leave the tid
+    // UNCOMPLETED — it then pins the snapshot base below the orphan
+    // version, so no MVCC snapshot can ever read it.
+    bool reverted = RollbackApplied(dirty);
+    fastpath->ReleaseFastAbort(lane_, reverted ? tid_ : 0);
+    state_ = TxnState::kAborted;
+    client_->metrics()->aborted += 1;
+    if (!failure.ok()) return failure;
+    if (index_status.IsAlreadyExists()) {
+      return Status::Aborted("unique index conflict on commit");
+    }
+    return index_status;
+  }
+
+  fastpath->ReleaseFastCommit(lane_, tid_, fast_begin_vns_,
+                              session_->worker_id(), client_,
+                              session_->clock());
+  state_ = TxnState::kCommitted;
+  client_->metrics()->committed += 1;
+  client_->metrics()->fastpath_hits += 1;
+  return Status::OK();
+}
+
+bool Transaction::RollbackApplied(const std::vector<RecordKey>& dirty) {
+  bool all_resolved = true;
   for (const RecordKey& key : dirty) {
     bool resolved = false;
     for (int retry = 0; retry < kMaxRollbackRetries; ++retry) {
@@ -814,8 +1032,12 @@ void Transaction::RollbackApplied(const std::vector<RecordKey>& dirty) {
       // retry. Any other failure exhausted the client's retries already.
       if (!st.IsConditionFailed()) break;
     }
-    if (!resolved) client_->metrics()->rollback_unresolved += 1;
+    if (!resolved) {
+      client_->metrics()->rollback_unresolved += 1;
+      all_resolved = false;
+    }
   }
+  return all_resolved;
 }
 
 Status Transaction::ApplyIndexInserts() {
@@ -889,6 +1111,19 @@ void Transaction::RollbackIndexInserts(size_t count) {
 Status Transaction::Abort() {
   if (state_ != TxnState::kRunning) {
     return Status::InvalidArgument("transaction not running");
+  }
+  if (fast_) {
+    // Nothing was applied (fast writes only land in CommitFast). A fallback
+    // is not a real abort — the caller re-runs the transaction on the MVCC
+    // path — so it is counted separately.
+    session_->fastpath()->ReleaseFastAbort(lane_, tid_);
+    state_ = TxnState::kAborted;
+    if (fallback_) {
+      client_->metrics()->fastpath_fallbacks += 1;
+    } else {
+      client_->metrics()->aborted += 1;
+    }
+    return Status::OK();
   }
   // Manual abort: nothing was applied (we never reached Try-Commit), so only
   // the commit manager needs to know (§4.3 step 4b).

@@ -524,5 +524,63 @@ TEST_F(CommitManagerTest, DeltaPropertyRandomInterleavings) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fast-path tid leases (single-partition fast path)
+
+TEST_F(CommitManagerTest, LeaseFastTidsContinuesTheStartStream) {
+  auto group = MakeGroup(1, /*range=*/8);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(TxnBegin before, cm->Start(0));
+  // Leased tids are distinct, increasing, and all above every tid Start
+  // handed out earlier — one monotone assignment stream across both phases.
+  ASSERT_OK_AND_ASSIGN(std::vector<Tid> leased, cm->LeaseFastTids(12));
+  ASSERT_EQ(leased.size(), 12u);
+  Tid prev = before.tid;
+  for (Tid tid : leased) {
+    EXPECT_GT(tid, prev);
+    prev = tid;
+  }
+  // A Start after the lease continues above it (the lease crossed a range
+  // refill boundary with range=8, so this checks the refill path too).
+  ASSERT_OK_AND_ASSIGN(TxnBegin after, cm->Start(0));
+  EXPECT_GT(after.tid, leased.back());
+  EXPECT_EQ(cm->HighestAssignedTid(), after.tid);
+}
+
+TEST_F(CommitManagerTest, CompleteFastMakesLeasedTidsReadable) {
+  auto group = MakeGroup(1);
+  CommitManager* cm = group->manager(0);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tid> leased, cm->LeaseFastTids(3));
+  // Until completed, the leased tids hold the snapshot base back.
+  ASSERT_OK_AND_ASSIGN(TxnBegin blocked, cm->Start(0));
+  EXPECT_FALSE(blocked.snapshot.CanRead(leased[0]));
+  ASSERT_OK(cm->SetCommitted(blocked.tid));
+
+  ASSERT_OK(cm->CompleteFast(leased));
+  // Duplicate delivery is harmless (a failed flush gets re-queued).
+  ASSERT_OK(cm->CompleteFast(leased));
+  ASSERT_OK_AND_ASSIGN(TxnBegin begin, cm->Start(0));
+  for (Tid tid : leased) {
+    EXPECT_TRUE(begin.snapshot.CanRead(tid)) << "tid " << tid;
+  }
+  ASSERT_OK(cm->SetCommitted(begin.tid));
+  EXPECT_GE(cm->Lav(), leased.back());
+}
+
+TEST_F(CommitManagerTest, LeaseFastTidsRejectsInterleavedMode) {
+  CommitManagerOptions options;
+  options.interleaved_tids = true;
+  auto group = std::make_unique<CommitManagerGroup>(cluster_.get(), 2, options,
+                                                    /*sync_interval_ms=*/0);
+  EXPECT_EQ(group->manager(0)->LeaseFastTids(4).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(CommitManagerTest, LeaseFastTidsRejectsZeroCount) {
+  auto group = MakeGroup(1);
+  EXPECT_EQ(group->manager(0)->LeaseFastTids(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace tell::commitmgr

@@ -283,6 +283,144 @@ TEST(StoreStripesTest, SingleThreadedBitIdenticalAcrossStripeCounts) {
   }
 }
 
+/// Ordered scans over a heavily-striped partition holding only a handful of
+/// keys: most per-stripe runs are empty, so the k-way merge must skip
+/// exhausted runs cleanly in both directions and under limits/bounds.
+TEST(StoreStripesTest, ScanMergeSkipsEmptyStripes) {
+  StorageNode node(0, 64 << 20, /*stripes_per_partition=*/64);
+  node.CreatePartition(kTable, kPart);
+  const std::vector<std::string> keys = {"ant", "bee", "cat",
+                                         "dog", "elk", "fox"};
+  // Insert out of order so merge order cannot accidentally be insert order.
+  for (const auto& key : {"fox", "bee", "elk", "ant", "dog", "cat"}) {
+    ASSERT_OK(node.Put(kTable, kPart, key, std::string("v_") + key).status());
+  }
+
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> all,
+                       node.Scan(kTable, kPart, "", "", 0));
+  ASSERT_EQ(all.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(all[i].key, keys[i]);
+    EXPECT_EQ(all[i].value, "v_" + keys[i]);
+  }
+
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> rev,
+                       node.Scan(kTable, kPart, "", "", 0, /*reverse=*/true));
+  ASSERT_EQ(rev.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(rev[i].key, keys[keys.size() - 1 - i]);
+  }
+
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> limited,
+                       node.Scan(kTable, kPart, "", "", 2));
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[0].key, "ant");
+  EXPECT_EQ(limited[1].key, "bee");
+
+  // Half-open [bee, elk): end key excluded, start key included.
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> ranged,
+                       node.Scan(kTable, kPart, "bee", "elk", 0));
+  ASSERT_EQ(ranged.size(), 3u);
+  EXPECT_EQ(ranged[0].key, "bee");
+  EXPECT_EQ(ranged[1].key, "cat");
+  EXPECT_EQ(ranged[2].key, "dog");
+}
+
+/// Byte-adjacent keys hash to different stripes, so consecutive cells in
+/// sort order straddle stripe boundaries; and each key is overwritten
+/// several times, so a merge that surfaced a stale per-stripe copy would
+/// emit duplicates. Scan must match a reference std::map walk exactly:
+/// every key once, newest value, strictly ascending.
+TEST(StoreStripesTest, ScanMergeDeduplicatesOverwritesAcrossStripeBoundaries) {
+  StorageNode node(0, 64 << 20, /*stripes_per_partition=*/8);
+  node.CreatePartition(kTable, kPart);
+  // Tightly-clustered key shapes: shared prefixes, embedded NULs, and a
+  // dense numeric run — worst case for merge tie-breaking at boundaries.
+  std::vector<std::string> keys = {std::string("k"), std::string("k\0", 2),
+                                   std::string("k\0\0", 3),
+                                   std::string("k\1", 2), "k0", "k00", "k1"};
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("n" + std::to_string(1000 + i));
+  }
+  std::map<std::string, std::string> reference;
+  // Three overwrite rounds in varying orders.
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const std::string& key =
+          keys[round % 2 == 0 ? i : keys.size() - 1 - i];
+      const std::string value = key + "@" + std::to_string(round);
+      ASSERT_OK(node.Put(kTable, kPart, key, value).status());
+      reference[key] = value;
+    }
+  }
+
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> cells,
+                       node.Scan(kTable, kPart, "", "", 0));
+  ASSERT_EQ(cells.size(), reference.size());
+  auto it = reference.begin();
+  for (size_t i = 0; i < cells.size(); ++i, ++it) {
+    ASSERT_EQ(cells[i].key, it->first) << "position " << i;
+    ASSERT_EQ(cells[i].value, it->second) << cells[i].key;
+    if (i > 0) ASSERT_LT(cells[i - 1].key, cells[i].key);
+  }
+
+  ASSERT_OK_AND_ASSIGN(std::vector<KeyCell> rev,
+                       node.Scan(kTable, kPart, "", "", 0, /*reverse=*/true));
+  ASSERT_EQ(rev.size(), reference.size());
+  auto rit = reference.rbegin();
+  for (size_t i = 0; i < rev.size(); ++i, ++rit) {
+    ASSERT_EQ(rev[i].key, rit->first) << "reverse position " << i;
+  }
+}
+
+/// ScanFiltered pushes the predicate through the same merge: `scanned`
+/// counts every cell examined in the range (not just matches), the limit
+/// applies to *matching* cells, and empty stripes contribute nothing.
+TEST(StoreStripesTest, ScanFilteredMergeCountsExaminedCellsWithEmptyStripes) {
+  StorageNode node(0, 64 << 20, /*stripes_per_partition=*/32);
+  node.CreatePartition(kTable, kPart);
+  constexpr int kKeys = 30;
+  for (int k = 0; k < kKeys; ++k) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key_%03d", k);
+    ASSERT_OK(node
+                  .Put(kTable, kPart, buf,
+                       k % 3 == 0 ? "match" : "miss")
+                  .status());
+  }
+
+  uint64_t scanned = 0;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<KeyCell> matches,
+      node.ScanFiltered(kTable, kPart, "", "", 0,
+                        [](std::string_view, std::string_view value) {
+                          return value == "match";
+                        },
+                        &scanned));
+  ASSERT_EQ(matches.size(), 10u);
+  EXPECT_EQ(scanned, static_cast<uint64_t>(kKeys));
+  for (size_t i = 0; i < matches.size(); ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key_%03d", static_cast<int>(i) * 3);
+    EXPECT_EQ(matches[i].key, buf);
+  }
+
+  // Limit counts matches: stop after 2 matching cells, having examined
+  // everything up to and including the second match (keys 000..003).
+  scanned = 0;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<KeyCell> two,
+      node.ScanFiltered(kTable, kPart, "", "", 2,
+                        [](std::string_view, std::string_view value) {
+                          return value == "match";
+                        },
+                        &scanned));
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].key, "key_000");
+  EXPECT_EQ(two[1].key, "key_003");
+  EXPECT_EQ(scanned, 4u);
+}
+
 /// Contention counters move when threads actually collide on one stripe.
 TEST(StoreStripesTest, ContentionCountersRecordCollisions) {
   StorageNode node(0, 64 << 20, /*stripes_per_partition=*/1);

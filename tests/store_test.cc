@@ -426,5 +426,46 @@ TEST_F(StorageClientTest, MetricsCountBytes) {
   EXPECT_GT(metrics_.bytes_sent, 1000u);
 }
 
+// Regression (PR 7): the exponential backoff used to multiply the base once
+// per attempt with no early exit, so huge attempt counters both took O(retry)
+// time and overflowed the double past the cap into garbage delays. The
+// computed backoff must saturate at max_backoff_ns for ANY attempt number and
+// never come back as zero (or wrapped-negative) virtual time.
+TEST(RetryPolicyTest, BackoffSaturatesAtHighAttemptCounts) {
+  RetryPolicy policy;
+  policy.jitter = 0;  // deterministic: backoff == computed b exactly
+  Random rng(7);
+  uint64_t at_cap = policy.BackoffNs(/*retry=*/20, &rng);
+  EXPECT_EQ(at_cap, policy.max_backoff_ns);
+  // The old code left-shifted (multiplied) once per attempt: attempt 63+ and
+  // beyond overflowed. These must all still be exactly the ceiling — and
+  // return promptly (the loop exits at the cap instead of iterating 2^31
+  // times).
+  for (uint32_t retry : {63u, 64u, 100u, 1u << 20, UINT32_MAX}) {
+    EXPECT_EQ(policy.BackoffNs(retry, &rng), policy.max_backoff_ns)
+        << "retry=" << retry;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffJitterStaysWithinBandAtHighAttempts) {
+  RetryPolicy policy;  // jitter = 0.5
+  Random rng(11);
+  for (uint32_t retry : {70u, 1000u, UINT32_MAX}) {
+    uint64_t b = policy.BackoffNs(retry, &rng);
+    EXPECT_GE(b, policy.max_backoff_ns / 2) << "retry=" << retry;
+    EXPECT_LE(b, policy.max_backoff_ns) << "retry=" << retry;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffHandlesDegenerateMultipliers) {
+  RetryPolicy policy;
+  policy.jitter = 0;
+  policy.multiplier = 1.0;  // no growth: every retry waits the initial delay
+  Random rng(3);
+  EXPECT_EQ(policy.BackoffNs(UINT32_MAX, &rng), policy.initial_backoff_ns);
+  policy.multiplier = 0.5;  // shrinking multipliers must not loop either
+  EXPECT_EQ(policy.BackoffNs(UINT32_MAX, &rng), policy.initial_backoff_ns);
+}
+
 }  // namespace
 }  // namespace tell::store

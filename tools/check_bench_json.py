@@ -31,6 +31,7 @@ dependencies — standard library only.
 
 import glob
 import json
+import math
 import os
 import subprocess
 import sys
@@ -93,31 +94,53 @@ def _check_histogram(errors, path, name, hist):
 
 def _check_wall_clock(errors, path, derived):
     """Wall-clock derived fields: benches that report real elapsed time must
-    report it coherently. wall_seconds must be a positive duration, and every
-    wall-clock rate (wall_tps, wall_ops_per_sec, ...) must be non-negative
-    and accompanied by the wall_seconds it was computed from."""
+    report it coherently. wall_seconds must be a positive finite duration,
+    and every wall-clock rate (wall_tps, wall_ops_per_sec, ...) must be
+    finite, non-negative and accompanied by a usable wall_seconds it was
+    computed from. Guards the "division guard emits inf" producer bug:
+    Python's json.load happily parses the non-standard Infinity/NaN literals,
+    and a rate of inf with wall_seconds == 0 used to sail through the
+    plain < 0 comparison."""
     if not isinstance(derived, dict):
         return
     wall_seconds = derived.get("wall_seconds")
+    wall_seconds_usable = False
     if wall_seconds is not None:
         if isinstance(wall_seconds, bool) or \
                 not isinstance(wall_seconds, (int, float)):
             return  # type error already reported by _check_str_map
-        if wall_seconds <= 0:
+        if not math.isfinite(wall_seconds):
+            _fail(errors, path,
+                  f"derived['wall_seconds'] must be finite, "
+                  f"got {wall_seconds!r}")
+        elif wall_seconds <= 0:
             _fail(errors, path,
                   f"derived['wall_seconds'] must be > 0, got {wall_seconds!r}")
+        else:
+            wall_seconds_usable = True
     for rate_key in ("wall_tps", "wall_ops_per_sec", "wall_tpmc"):
         rate = derived.get(rate_key)
         if rate is None:
             continue
         if isinstance(rate, bool) or not isinstance(rate, (int, float)):
             continue  # type error already reported
+        if not math.isfinite(rate):
+            _fail(errors, path,
+                  f"derived[{rate_key!r}] must be finite, got {rate!r} "
+                  "(a division-by-zero guard upstream emitted a non-finite "
+                  "rate; fix the producer, not the artifact)")
+            continue
         if rate < 0:
             _fail(errors, path,
                   f"derived[{rate_key!r}] must be >= 0, got {rate!r}")
         if wall_seconds is None:
             _fail(errors, path,
                   f"derived[{rate_key!r}] present without 'wall_seconds'")
+        elif rate > 0 and not wall_seconds_usable:
+            _fail(errors, path,
+                  f"derived[{rate_key!r}] is {rate!r} but "
+                  f"wall_seconds is {wall_seconds!r}: a positive wall-clock "
+                  "rate cannot come from a non-positive elapsed time")
 
 
 EXEC_NODE_KEYS = {"tasks_completed", "steals", "yields", "parks", "unparks",
@@ -286,6 +309,16 @@ def selftest():
          lambda d: d["runs"][0]["derived"].update(wall_seconds=-1.5)),
         ("wall_tps negative",
          lambda d: d["runs"][0]["derived"].update(wall_tps=-2.0)),
+        ("wall_tps positive with wall_seconds zero",
+         lambda d: d["runs"][0]["derived"].update(wall_seconds=0,
+                                                  wall_tps=88.0)),
+        ("wall_tps infinite",
+         lambda d: d["runs"][0]["derived"].update(wall_tps=math.inf)),
+        ("wall_seconds NaN",
+         lambda d: d["runs"][0]["derived"].update(wall_seconds=math.nan)),
+        ("wall_tpmc infinite with wall_seconds zero",
+         lambda d: d["runs"][0]["derived"].update(wall_seconds=0.0,
+                                                  wall_tpmc=math.inf)),
         ("wall rate without wall_seconds",
          lambda d: (d["runs"][0]["derived"].pop("wall_seconds"),
                     d["runs"][0]["derived"].update(wall_ops_per_sec=10.0))),
