@@ -247,7 +247,20 @@ Result<std::vector<Tid>> CommitManager::LeaseFastTids(uint32_t count) {
   tids.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     if (range_next_ > range_end_) {
-      TELL_RETURN_NOT_OK(RefillTidRangeLocked());
+      Status refill = RefillTidRangeLocked();
+      if (!refill.ok()) {
+        // The tids drawn so far were consumed from the range but will never
+        // be handed out: mark them completed here, or they would pin the
+        // snapshot base and the GC horizon forever.
+        for (Tid tid : tids) {
+          snapshot_.MarkCompleted(tid);
+          RecordCompletionLocked(tid);
+        }
+        if (!tids.empty()) {
+          highest_assigned_ = std::max(highest_assigned_, tids.back());
+        }
+        return refill;
+      }
     }
     tids.push_back(range_next_++);
   }

@@ -73,7 +73,15 @@ void Runtime::EnqueueLocked(Task* task, uint32_t target) {
                            static_cast<uint64_t>(cores_[target]->queue.size()));
   if (parked_ > 0) {
     ++cs.unparks;
-    work_cv_.notify_one();
+    if (task->pinned) {
+      // A pinned task runs only on its home core, but notify_one may land on
+      // a core that skips it in the steal loop, finds nothing and re-parks —
+      // consuming the wakeup while the home core stays parked, stranding the
+      // task. Wake everyone; non-home cores simply re-park.
+      work_cv_.notify_all();
+    } else {
+      work_cv_.notify_one();
+    }
   }
 }
 

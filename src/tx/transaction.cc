@@ -177,11 +177,19 @@ Status Transaction::EnsureFastTid() {
 void Transaction::RecordPartition(RecordState* state, TableHandle* table,
                                   const schema::Tuple& tuple) {
   const int32_t column = table->meta->partition_column;
-  state->partitioned = false;
-  if (column < 0) return;
+  if (column < 0) {
+    state->unpartitioned = true;
+    return;
+  }
   if (const int64_t* partition = std::get_if<int64_t>(&tuple.at(column))) {
-    state->partitioned = true;
-    state->partition = *partition;
+    if (std::find(state->partitions.begin(), state->partitions.end(),
+                  *partition) == state->partitions.end()) {
+      state->partitions.push_back(*partition);
+    }
+  } else {
+    // Non-integer partition value: no lane to map it to — fall back to the
+    // exclusive reference fence.
+    state->unpartitioned = true;
   }
 }
 
@@ -346,6 +354,12 @@ Status Transaction::Update(TableHandle* table, uint64_t rid,
     TELL_RETURN_NOT_OK(CheckFastTuple(table, tuple, /*for_write=*/true));
     TELL_RETURN_NOT_OK(EnsureFastTid());
   }
+  // Fence the union of old and new partitions: an update that changes the
+  // partition column moves the row from lane(old) to lane(new), and a fast
+  // transaction homed on EITHER partition may hold the record buffered — the
+  // MVCC commit must hold both lanes shared or a concurrent fast commit
+  // could clobber its version.
+  RecordPartition(state, table, old_tuple);
   RecordPartition(state, table, tuple);
   state->record.PutVersion(tid_, tuple.Serialize(table->meta->schema));
   state->dirty = true;
@@ -783,10 +797,11 @@ Status Transaction::Commit() {
     bool reference_exclusive = false;
     for (const RecordKey& key : dirty) {
       const RecordState& state = buffer_[key];
-      if (state.partitioned) {
-        lanes.push_back(fastpath->LaneFor(state.partition));
-      } else {
+      if (state.unpartitioned || state.partitions.empty()) {
         reference_exclusive = true;
+      }
+      for (int64_t partition : state.partitions) {
+        lanes.push_back(fastpath->LaneFor(partition));
       }
     }
     fence_guard = fastpath->AcquireMvccFences(std::move(lanes),

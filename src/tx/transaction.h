@@ -264,12 +264,15 @@ class Transaction {
     bool dirty = false;
     bool is_new = false;  // first version written by this transaction
     TableHandle* table = nullptr;
-    /// Partition of the written tuple (valid when `partitioned`); drives
-    /// which lane fences an MVCC commit takes shared. Unpartitioned (or
-    /// non-integer partition values) conservatively take the reference
-    /// fence exclusive instead.
-    int64_t partition = -1;
-    bool partitioned = false;
+    /// Partitions of every tuple image this transaction wrote for the
+    /// record — for an update, BOTH the old and the new image, so a
+    /// partition-column change fences the lanes of both the source and the
+    /// destination partition at commit (a fast transaction homed on either
+    /// may hold the record buffered). Drives which lane fences an MVCC
+    /// commit takes shared. Unpartitioned tables (or non-integer partition
+    /// values) conservatively take the reference fence exclusive instead.
+    std::vector<int64_t> partitions;
+    bool unpartitioned = false;
   };
 
   struct IndexOp {
@@ -305,8 +308,8 @@ class Transaction {
   /// Fast path: leases this transaction's tid on first write.
   Status EnsureFastTid();
 
-  /// Records the partition of a written tuple in `state` (for the MVCC
-  /// commit's fence set).
+  /// Records the partition of a written tuple image in `state`
+  /// (accumulating — the MVCC commit fences every recorded lane).
   void RecordPartition(RecordState* state, TableHandle* table,
                        const schema::Tuple& tuple);
 

@@ -582,5 +582,38 @@ TEST_F(CommitManagerTest, LeaseFastTidsRejectsZeroCount) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(CommitManagerTest, LeaseFastTidsRefillFailureDoesNotPinSnapshotBase) {
+  // Regression: a lease that crosses a range boundary draws tids from the
+  // remaining range BEFORE the refill; if the refill fails (storage down),
+  // those drawn tids were discarded by the error return but stayed consumed
+  // from the range — never handed out, never completed — permanently
+  // pinning the snapshot base and GC horizon. They must be marked completed
+  // on the failure path.
+  auto group = MakeGroup(1, /*range=*/4);
+  CommitManager* cm = group->manager(0);
+  // Consume tid 1 of range [1,4] so the lease below exhausts the remainder.
+  ASSERT_OK_AND_ASSIGN(TxnBegin first, cm->Start(0));
+  ASSERT_OK(cm->SetCommitted(first.tid));
+
+  for (uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+    cluster_->node(i)->Kill();
+  }
+  // Draws tids 2..4, then fails refilling for the rest.
+  EXPECT_FALSE(cm->LeaseFastTids(8).ok());
+  for (uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+    cluster_->node(i)->Revive();
+  }
+
+  // The discarded tids must not hold the base back: a transaction begun and
+  // completed now lets the base advance contiguously over them.
+  ASSERT_OK_AND_ASSIGN(TxnBegin after, cm->Start(0));
+  ASSERT_OK(cm->SetCommitted(after.tid));
+  ASSERT_OK_AND_ASSIGN(TxnBegin probe, cm->Start(0));
+  EXPECT_GE(probe.snapshot.base(), after.tid)
+      << "discarded lease tids still pin the snapshot base";
+  ASSERT_OK(cm->SetCommitted(probe.tid));
+  EXPECT_GE(cm->Lav(), after.tid);
+}
+
 }  // namespace
 }  // namespace tell::commitmgr

@@ -172,6 +172,36 @@ TEST(RuntimeTest, NoLostWakeupsOnParkUnpark) {
   EXPECT_GT(stats.Total(&RuntimeStats::PerCore::unparks), 0u);
 }
 
+TEST(RuntimeTest, InTaskPinnedSubmitWakesTheHomeCore) {
+  // Regression: a pinned task's enqueue used notify_one, which may wake a
+  // core that skips pinned work in its steal loop — that core finds
+  // nothing, re-parks, and the notification is consumed while the task's
+  // home core stays parked, stranding the task until an unrelated enqueue.
+  // Submitting pinned tasks from INSIDE a task after the other cores have
+  // drained and parked hits exactly that window; completing the full count
+  // is the proof the home core was woken.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  Runtime runtime(RuntimeOptions{.threads = kThreads, .pin_cores = false});
+  std::atomic<int> completed{0};
+  runtime.Submit([&runtime, &completed] {
+    for (int round = 0; round < kRounds; ++round) {
+      // Give the other cores time to go idle and park.
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      for (int core = 0; core < kThreads; ++core) {
+        runtime.Submit(
+            [&completed] {
+              completed.fetch_add(1, std::memory_order_relaxed);
+            },
+            /*queue_hint=*/static_cast<uint64_t>(core));
+      }
+    }
+    completed.fetch_add(1, std::memory_order_relaxed);
+  });
+  runtime.Run();
+  EXPECT_EQ(completed.load(), kThreads * kRounds + 1);
+}
+
 TEST(RuntimeTest, YieldAndInTaskAreSafeOutsideTheExecutor) {
   // Shared driver code calls Runtime::Yield() unconditionally; outside a
   // task it must be a no-op, not a crash (that is what keeps the legacy

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <iomanip>
 #include <sstream>
 #include <thread>
@@ -402,6 +403,62 @@ TEST_F(FastPathTest, DisabledWithInterleavedTids) {
 
 // ---------------------------------------------------------------------------
 // Fence races: fast lanes vs MVCC commits, concurrently (tsan target).
+
+TEST_F(FastPathTest, PartitionMovingMvccUpdateFencesBothLanes) {
+  // Regression: an MVCC update that changes the partition column (moving a
+  // row from partition 1 to 2) used to record only the NEW partition for
+  // its commit fence set, so it held only lane(2) shared. A fast
+  // transaction homed on partition 1 — lane(1) held exclusively, the record
+  // buffered — could then have its CommitFast clobber the MVCC version
+  // (unconditional write), silently losing a committed MVCC update. The
+  // commit must fence the union of old and new partitions: with lane(1) in
+  // the set, the mover blocks until the fast transaction releases its lane.
+  SeedRow(1, 1, 10, 100);
+
+  Transaction fast(session_.get(), FastHome(1));
+  ASSERT_OK(fast.Begin());
+  ASSERT_OK_AND_ASSIGN(auto row,
+                       fast.ReadByKeyWithRid(counters_, {Value(int64_t{1}),
+                                                         Value(int64_t{1})}));
+  ASSERT_TRUE(row.has_value());
+  const uint64_t rid = row->first;
+  Tuple fast_image = row->second;
+  fast_image.Set(3, int64_t{101});
+  ASSERT_OK(fast.Update(counters_, rid, fast_image));  // buffered, not applied
+
+  std::atomic<bool> mover_committed{false};
+  Status mover_status;
+  std::thread mover([&] {
+    auto session = db_->OpenSession(0, 1);
+    Transaction mvcc(session.get());
+    Status begin = mvcc.Begin();
+    ASSERT_OK(begin);
+    auto cell = mvcc.ReadByKeyWithRid(counters_, {Value(int64_t{1}),
+                                                  Value(int64_t{1})});
+    ASSERT_TRUE(cell.ok() && cell->has_value());
+    Tuple moved = (*cell)->second;
+    moved.Set(0, int64_t{2});  // partition move: 1 -> 2
+    Status update = mvcc.Update(counters_, (*cell)->first, moved);
+    ASSERT_OK(update);
+    mover_status = mvcc.Commit();
+    mover_committed.store(true, std::memory_order_release);
+  });
+
+  // The mover's commit needs lane(1) shared — held exclusively by `fast` —
+  // so it must still be blocked on the fence.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(mover_committed.load(std::memory_order_acquire))
+      << "the partition-moving commit bypassed the source lane's fence";
+
+  ASSERT_OK(fast.Commit());
+  mover.join();
+  // Unblocked after the fast commit, the mover's conditional put sees the
+  // fast write's fresh stamp and aborts — the fast update is never lost.
+  EXPECT_TRUE(mover_status.IsAborted()) << mover_status.ToString();
+  ASSERT_OK_AND_ASSIGN(int64_t val, ReadVal(session_.get(), 1, 1));
+  EXPECT_EQ(val, 101);
+  EXPECT_TRUE(ReadVal(session_.get(), 2, 1).status().IsNotFound());
+}
 
 TEST_F(FastPathTest, ConcurrentFastAndMvccPhasesKeepCountersExact) {
   constexpr int kThreads = 4;
