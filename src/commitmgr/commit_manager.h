@@ -11,12 +11,30 @@
 #include <utility>
 #include <vector>
 
+#include "commitmgr/replication.h"
 #include "commitmgr/snapshot_descriptor.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "store/cluster.h"
 
 namespace tell::commitmgr {
+
+/// Role of one replica inside a replicated manager slot (docs/RECOVERY.md).
+/// Standalone managers (replication off) are leaders with no change log.
+enum class ReplicaRole { kLeader, kFollower };
+
+/// Aggregated replication counters of a CommitManagerGroup, exported as the
+/// commitmgr.repl.* gauges by db::TellDb.
+struct GroupReplicationStats {
+  uint64_t log_appends = 0;
+  uint64_t log_bytes = 0;
+  uint64_t snapshots = 0;
+  uint64_t log_truncated = 0;
+  uint64_t snapshot_installs = 0;
+  uint64_t records_replayed = 0;
+  uint64_t elections = 0;
+  uint64_t term = 0;
+};
 
 /// What a transaction receives from start() (paper §4.2): a system-wide
 /// unique tid, the snapshot it may read, and the lowest active version
@@ -127,6 +145,40 @@ class CommitManager {
   void Revive() { alive_.store(true, std::memory_order_release); }
   bool alive() const { return alive_.load(std::memory_order_acquire); }
 
+  /// Wires this instance into a replicated slot (CommitManagerGroup does
+  /// this once at construction). The leader appends a ChangeRecord for every
+  /// state change while holding its own mutex; followers replay the log.
+  void AttachReplication(ReplicationLog* log, ReplicaRole role);
+
+  ReplicaRole role() const;
+
+  /// Demotes to follower (election bookkeeping: a revived old leader must
+  /// not serve — the slot's current leader owns the tid stream).
+  void Demote();
+
+  /// Follower side: installs the latest log snapshot if this replica fell
+  /// behind it, then replays the log tail. No-op without replication.
+  Status CatchUpFromLog();
+
+  /// Promotes this replica to slot leader: catch up from the log, complete
+  /// the dead leader's granted-but-never-assigned tid range (so the snapshot
+  /// base and GC horizon can advance past it), bump the generation so every
+  /// cached client re-syncs, and publish a fresh snapshot to the log.
+  /// KEEPS active transactions and start tokens: a begin retried against the
+  /// new leader resolves to the tid the old leader assigned (BeginRequest
+  /// token idempotency), so fail-over cannot leak active tids. Leased
+  /// fast-path tids stay pending until their lane flushes CompleteFast() to
+  /// this new leader.
+  Status PromoteToLeader();
+
+  /// Replication counters of this replica (aggregated by the group).
+  uint64_t ReplSnapshotInstalls() const {
+    return repl_snapshot_installs_.load(std::memory_order_relaxed);
+  }
+  uint64_t ReplRecordsReplayed() const {
+    return repl_records_replayed_.load(std::memory_order_relaxed);
+  }
+
   /// start(): new tid + snapshot + lav. `pn_id` identifies the processing
   /// node starting the transaction, so that a PN failure can abort its
   /// in-flight transactions (otherwise their tids would block the snapshot
@@ -220,6 +272,22 @@ class CommitManager {
 
  private:
   Status RefillTidRangeLocked();
+  /// Leader side: appends one change record (no-op for standalone and
+  /// follower roles) and snapshots the state into the log when due. Called
+  /// AFTER the state change it describes, so a log snapshot taken here is
+  /// always consistent.
+  void EmitLocked(const ChangeRecord& record);
+  /// Follower side: applies one leader change record in log order.
+  void ApplyChangeLocked(const ChangeRecord& record);
+  Status CatchUpLocked();
+  /// Full replica state (descriptor, active txns, tokens, range mirror) for
+  /// log snapshots.
+  std::string SerializeReplicaStateLocked() const;
+  Status InstallReplicaStateLocked(std::string_view blob);
+  /// Resets completed_epoch_ to "every readable tid became readable at the
+  /// current epoch" — used when the epoch history is discarded (promotion,
+  /// snapshot install), always together with a generation change.
+  void RebuildCompletedEpochsLocked();
   /// Shared completion path of SetCommitted / SetAborted. `*newly` reports
   /// whether the tid was newly completed (false for a duplicate delivery,
   /// so retried finish notifications do not double-count stats).
@@ -285,44 +353,104 @@ class CommitManager {
   std::map<Tid, uint64_t> completed_epoch_;
   /// Start-token dedup map (entries die with their active transaction).
   std::map<uint64_t, Tid> token_tids_;
+
+  // Replication (docs/RECOVERY.md). Lock order: mutex_ before the log's own
+  // mutex — the leader appends while holding mutex_, which makes log order
+  // identical to state-machine order.
+  ReplicationLog* repl_log_ = nullptr;
+  ReplicaRole role_ = ReplicaRole::kLeader;
+  /// Next log index this replica has not applied yet.
+  uint64_t repl_applied_ = 0;
+  std::atomic<uint64_t> repl_snapshot_installs_{0};
+  std::atomic<uint64_t> repl_records_replayed_{0};
 };
 
 /// A cluster of commit managers sharing one storage-backed state, with an
 /// optional background synchronization thread (default interval 1 ms, the
 /// paper's setting). PN workers are assigned managers round-robin.
+///
+/// With `replication.replicas` > 1 each manager slot is a replicated state
+/// machine (docs/RECOVERY.md): one leader serves requests and streams a
+/// change log; when a kill is detected the group deterministically elects a
+/// live follower (seeded tie-break), which catches up from the log — bounded
+/// by periodic snapshots — and takes over the slot's tid stream. A slot is
+/// unavailable only when ALL of its replicas are dead.
 class CommitManagerGroup {
  public:
-  /// Creates `num_managers` managers over `cluster`. Creates the state
+  /// Creates `num_managers` manager slots over `cluster`. Creates the state
   /// table. `sync_interval` <= 0 disables the background thread (callers
   /// then drive SyncAll() manually; single-manager setups need no sync).
   CommitManagerGroup(store::Cluster* cluster, uint32_t num_managers,
                      const CommitManagerOptions& options,
-                     double sync_interval_ms = 1.0);
+                     double sync_interval_ms = 1.0,
+                     const ReplicationOptions& replication = {});
   ~CommitManagerGroup();
 
   CommitManagerGroup(const CommitManagerGroup&) = delete;
   CommitManagerGroup& operator=(const CommitManagerGroup&) = delete;
 
-  uint32_t size() const { return static_cast<uint32_t>(managers_.size()); }
+  uint32_t size() const { return static_cast<uint32_t>(slots_.size()); }
+
+  /// Replicas per slot (1 = replication off).
+  uint32_t num_replicas() const { return replication_.replicas; }
 
   /// Manager serving a given PN worker (round-robin by worker id). Skips
-  /// dead managers — PNs "automatically switch to the next one" (§4.4.3).
-  CommitManager* ManagerFor(uint32_t worker_id);
+  /// dead slots — PNs "automatically switch to the next one" (§4.4.3). If
+  /// the probed slot's leader is dead but a live follower exists, an
+  /// election promotes it first; `election_ns` (when non-null) accumulates
+  /// the virtual election timeout so the caller can charge its clock.
+  CommitManager* ManagerFor(uint32_t worker_id, uint64_t* election_ns);
+  CommitManager* ManagerFor(uint32_t worker_id) {
+    return ManagerFor(worker_id, nullptr);
+  }
 
-  CommitManager* manager(uint32_t id) { return managers_[id].get(); }
+  /// Current leader of a slot.
+  CommitManager* manager(uint32_t id) {
+    Slot& slot = *slots_[id];
+    return slot.replicas[slot.leader.load(std::memory_order_acquire)].get();
+  }
 
-  /// One synchronization round across all live managers.
+  /// A specific replica of a slot (tests).
+  CommitManager* replica(uint32_t slot, uint32_t index) {
+    return slots_[slot]->replicas[index].get();
+  }
+
+  /// Index of a slot's current leader replica (tests).
+  uint32_t leader_index(uint32_t slot) const {
+    return slots_[slot]->leader.load(std::memory_order_acquire);
+  }
+
+  /// One synchronization round: live slot leaders publish + merge peer
+  /// state, followers catch up from their slot's change log.
   Status SyncAll();
 
-  /// Global lav (min across managers) — used by the lazy GC task.
+  /// Global lav (min across slot leaders) — used by the lazy GC task.
   Tid GlobalLav() const;
 
+  /// Aggregated replication counters (commitmgr.repl.* gauges).
+  GroupReplicationStats ReplStats() const;
+
  private:
+  struct Slot {
+    std::vector<std::unique_ptr<CommitManager>> replicas;
+    std::unique_ptr<ReplicationLog> log;  // null when replication is off
+    std::atomic<uint32_t> leader{0};
+    uint64_t term = 0;  // guarded by election_mutex
+    std::mutex election_mutex;
+  };
+
+  /// Returns the slot's live leader, electing one first if the current
+  /// leader is dead and a live follower exists; nullptr when all replicas
+  /// of the slot are dead.
+  CommitManager* EnsureLeader(Slot& slot, uint64_t* election_ns);
   void SyncLoop();
 
   store::Cluster* const cluster_;
   store::TableId state_table_ = 0;
-  std::vector<std::unique_ptr<CommitManager>> managers_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  ReplicationOptions replication_;
+  std::atomic<uint64_t> elections_{0};
+  std::atomic<uint64_t> max_term_{0};
   std::atomic<bool> stop_{false};
   double sync_interval_ms_;
   std::thread sync_thread_;

@@ -40,26 +40,34 @@ TellDb::TellDb(const TellDbOptions& options)
   management_ = std::make_unique<store::ManagementNode>(cluster_.get());
   commit_managers_ = std::make_unique<commitmgr::CommitManagerGroup>(
       cluster_.get(), options_.num_commit_managers, options_.commit_manager,
-      options_.commit_manager_sync_ms);
+      options_.commit_manager_sync_ms, options_.commit_replication);
 
   if (options_.fastpath.enabled) {
     // The fast path needs one monotone tid stream (fast leases and MVCC
     // begins interleave in assignment order — the basis of the "fast write
     // is the newest version" invariant, see CommitManager::LeaseFastTids)
     // and private transaction buffers (a fast commit never runs OnApply, so
-    // a PN-shared buffer would go stale).
+    // a PN-shared buffer would go stale). Incompatible configurations are a
+    // HARD disable: fastpath_ stays null, every transaction runs MVCC-only,
+    // and the reason is queryable (fastpath_disabled_reason). Replication
+    // of the single slot is fine — a promoted leader restarts the range
+    // strictly above every granted tid, so the stream stays monotone.
     if (options_.commit_manager.interleaved_tids) {
-      TELL_LOG(kWarn) << "fast path disabled: requires range-based tid "
-                         "assignment (interleaved_tids=false)";
+      fastpath_disabled_reason_ =
+          "requires range-based tid assignment (interleaved_tids=false)";
     } else if (options_.num_commit_managers != 1) {
-      TELL_LOG(kWarn) << "fast path disabled: requires a single commit "
-                         "manager (tids from one sequential stream)";
+      fastpath_disabled_reason_ =
+          "requires a single commit manager (tids from one sequential "
+          "stream)";
     } else if (options_.buffer_strategy != BufferStrategy::kTransactionOnly) {
-      TELL_LOG(kWarn) << "fast path disabled: requires the TB "
-                         "(transaction-only) buffer strategy";
+      fastpath_disabled_reason_ =
+          "requires the TB (transaction-only) buffer strategy";
     } else {
       fastpath_ = std::make_unique<tx::FastPathCoordinator>(
           options_.fastpath, commit_managers_.get());
+    }
+    if (fastpath_ == nullptr) {
+      TELL_LOG(kWarn) << "fast path disabled: " << fastpath_disabled_reason_;
     }
   }
 
@@ -364,6 +372,26 @@ void TellDb::ExportStats(obs::MetricsRegistry* registry) const {
   registry->SetGauge("commitmgr.delta_starts", cm.delta_starts);
   registry->SetGauge("commitmgr.full_starts", cm.full_starts);
 
+  commitmgr::GroupReplicationStats repl = commit_managers_->ReplStats();
+  registry->SetGauge("commitmgr.repl.log_appends", repl.log_appends);
+  registry->SetGauge("commitmgr.repl.log_bytes", repl.log_bytes);
+  registry->SetGauge("commitmgr.repl.snapshots", repl.snapshots);
+  registry->SetGauge("commitmgr.repl.log_truncated", repl.log_truncated);
+  registry->SetGauge("commitmgr.repl.snapshot_installs",
+                     repl.snapshot_installs);
+  registry->SetGauge("commitmgr.repl.records_replayed",
+                     repl.records_replayed);
+  registry->SetGauge("commitmgr.repl.elections", repl.elections);
+  registry->SetGauge("commitmgr.repl.term", repl.term);
+
+  store::MigrationStats mig = management_->migration_stats();
+  registry->SetGauge("store.migration.started", mig.started);
+  registry->SetGauge("store.migration.completed", mig.completed);
+  registry->SetGauge("store.migration.cells_copied", mig.cells_copied);
+  registry->SetGauge("store.migration.delta_rounds", mig.delta_rounds);
+  registry->SetGauge("store.migration.delta_cells", mig.delta_cells);
+  registry->SetGauge("store.migration.erases_applied", mig.erases_applied);
+
   tx::BufferStats buf;
   {
     std::lock_guard<std::mutex> lock(pns_mutex_);
@@ -391,6 +419,7 @@ void TellDb::ExportStats(obs::MetricsRegistry* registry) const {
     registry->SetGauge("fault.dropped_responses", fs.dropped_responses);
     registry->SetGauge("fault.latency_spikes", fs.latency_spikes);
     registry->SetGauge("fault.node_kills", fs.node_kills);
+    registry->SetGauge("fault.leader_kills", fs.leader_kills);
   }
 }
 

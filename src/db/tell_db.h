@@ -69,6 +69,12 @@ struct TellDbOptions {
   /// <= 0 disables the background sync thread (then call SyncCommitManagers
   /// manually; irrelevant with one manager).
   double commit_manager_sync_ms = 1.0;
+  /// Commit-manager replication (docs/RECOVERY.md): `replicas` > 1 runs
+  /// each commit-manager slot as a leader + followers group with a change
+  /// log and deterministic re-election on leader death. Requires range-based
+  /// tid assignment (interleaved_tids=false). Orthogonal to the fast path:
+  /// a replicated single slot still supports it.
+  commitmgr::ReplicationOptions commit_replication;
 
   uint64_t memory_per_storage_node = 4ULL << 30;
   uint32_t partitions_per_storage_node = 4;
@@ -189,6 +195,13 @@ class TellDb {
   tx::RecoveryManager* recovery() { return recovery_.get(); }
   /// Null when the fast path is off (or was disabled at construction).
   tx::FastPathCoordinator* fastpath() { return fastpath_.get(); }
+  /// Why the fast path is off despite fastpath.enabled=true: empty when it
+  /// is running (or was never requested). The incompatible configurations
+  /// are a hard disable — MVCC-only operation, never a half-armed fast
+  /// path.
+  const std::string& fastpath_disabled_reason() const {
+    return fastpath_disabled_reason_;
+  }
 
  private:
   struct ProcessingNode {
@@ -205,6 +218,7 @@ class TellDb {
   std::unique_ptr<store::ManagementNode> management_;
   std::unique_ptr<commitmgr::CommitManagerGroup> commit_managers_;
   std::unique_ptr<tx::FastPathCoordinator> fastpath_;
+  std::string fastpath_disabled_reason_;
   std::unique_ptr<tx::TransactionLog> log_;
   tx::Catalog catalog_;
   std::unique_ptr<tx::RecoveryManager> recovery_;

@@ -33,6 +33,19 @@ const BuiltinGauge kBuiltinGauges[] = {
      "stripe-lock acquisitions that found the lock held (collisions)"},
     {"store.node.lock_wait_ns", "ns",
      "wall-clock time threads spent blocked on stripe locks"},
+    // Live partition migration totals (management node; docs/RECOVERY.md).
+    {"store.migration.started", "migrations",
+     "live partition migrations started"},
+    {"store.migration.completed", "migrations",
+     "live partition migrations completed (master moved)"},
+    {"store.migration.cells_copied", "cells",
+     "cells moved by migration bulk copies"},
+    {"store.migration.delta_rounds", "rounds",
+     "migration catch-up delta rounds (including the sealed final round)"},
+    {"store.migration.delta_cells", "cells",
+     "put cells shipped by migration catch-up deltas"},
+    {"store.migration.erases_applied", "erases",
+     "journaled erases applied on migration destinations"},
     // CommitManager counters, summed over the group.
     {"commitmgr.starts", "txns", "start() calls served"},
     {"commitmgr.commits", "txns", "setCommitted() calls served"},
@@ -44,6 +57,24 @@ const BuiltinGauge kBuiltinGauges[] = {
      "delta-protocol starts answered with an incremental snapshot delta"},
     {"commitmgr.full_starts", "txns",
      "delta-protocol starts answered with the full descriptor"},
+    // Commit-manager replication totals (docs/RECOVERY.md; all zero with
+    // replicas=1).
+    {"commitmgr.repl.log_appends", "records",
+     "change records appended to replication logs by slot leaders"},
+    {"commitmgr.repl.log_bytes", "bytes",
+     "wire bytes of appended change records"},
+    {"commitmgr.repl.snapshots", "snapshots",
+     "replica-state snapshots installed into replication logs"},
+    {"commitmgr.repl.log_truncated", "records",
+     "change records truncated below a log snapshot"},
+    {"commitmgr.repl.snapshot_installs", "snapshots",
+     "log snapshots installed into follower state (catch-up shortcuts)"},
+    {"commitmgr.repl.records_replayed", "records",
+     "change records replayed by followers catching up"},
+    {"commitmgr.repl.elections", "elections",
+     "leader elections run by commit-manager slots"},
+    {"commitmgr.repl.term", "term",
+     "highest election term reached by any slot"},
     // Shared record buffer (SB/SBVS) stats, summed over processing nodes.
     {"buffer.shared.hits", "reads", "shared-buffer probes served locally"},
     {"buffer.shared.misses", "reads",
@@ -90,6 +121,8 @@ const BuiltinGauge kBuiltinGauges[] = {
      "requests charged an injected latency spike"},
     {"fault.node_kills", "nodes",
      "storage nodes crash-stopped by the fault plan"},
+    {"fault.leader_kills", "kills",
+     "commit-manager leaders crash-stopped by the fault plan"},
 };
 
 }  // namespace

@@ -14,13 +14,15 @@ const char* FaultOpClassName(FaultOpClass op) {
     case FaultOpClass::kAtomicIncrement: return "atomic_increment";
     case FaultOpClass::kCommitMgrStart: return "commitmgr_start";
     case FaultOpClass::kCommitMgrFinish: return "commitmgr_finish";
+    case FaultOpClass::kCommitMgrLease: return "commitmgr_lease";
   }
   return "unknown";
 }
 
 std::string FaultRule::ToString() const {
   static const char* kKindNames[] = {"drop_request", "drop_response",
-                                     "latency_spike", "kill_node"};
+                                     "latency_spike", "kill_node",
+                                     "kill_commit_leader"};
   std::string out = kKindNames[static_cast<uint32_t>(kind)];
   out += "(op=";
   out += FaultOpClassName(op);
@@ -140,6 +142,10 @@ FaultInjector::Decision FaultInjector::Evaluate(
       case FaultRule::Kind::kKillNode:
         decision.kill_node = rule.node;
         ++stats_.node_kills;
+        break;
+      case FaultRule::Kind::kKillCommitLeader:
+        decision.kill_commit_leader = true;
+        ++stats_.leader_kills;
         break;
     }
   }

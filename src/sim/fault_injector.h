@@ -27,6 +27,8 @@ enum class FaultOpClass : uint32_t {
   kCommitMgrStart,
   /// Commit-manager finish notification (setCommitted / setAborted).
   kCommitMgrFinish,
+  /// Commit-manager fast-path tid lease (LeaseFastTids).
+  kCommitMgrLease,
 };
 
 const char* FaultOpClassName(FaultOpClass op);
@@ -51,12 +53,23 @@ const char* FaultOpClassName(FaultOpClass op);
 ///                      the management node must fail over). The triggering
 ///                      request itself then proceeds normally and fails
 ///                      naturally if it routes to the dead node.
+///   * kKillCommitLeader — crash-stops the commit-manager leader the request
+///                      was addressed to (docs/RECOVERY.md). Only honored by
+///                      commit-manager request paths (begin / finish /
+///                      lease); other paths ignore the flag. Alone, the
+///                      leader dies BEFORE the request executes (request
+///                      lost); combined with kDropResponse firing on the
+///                      same request, the request executes first and the
+///                      leader dies holding the response (ambiguous — the
+///                      idempotency-token retry resolves it on the elected
+///                      successor).
 struct FaultRule {
   enum class Kind : uint32_t {
     kDropRequest = 0,
     kDropResponse,
     kLatencySpike,
     kKillNode,
+    kKillCommitLeader,
   };
 
   Kind kind = Kind::kDropRequest;
@@ -102,6 +115,7 @@ struct FaultStats {
   uint64_t dropped_responses = 0;
   uint64_t latency_spikes = 0;
   uint64_t node_kills = 0;
+  uint64_t leader_kills = 0;
 };
 
 /// Deterministic per-request fault injection for the simulated cluster.
@@ -132,6 +146,9 @@ class FaultInjector {
     uint64_t extra_latency_ns = 0;
     /// >= 0: crash-stop this storage node before issuing the request.
     int64_t kill_node = -1;
+    /// Crash-stop the commit-manager leader this request targets (see
+    /// FaultRule::Kind::kKillCommitLeader for before/after semantics).
+    bool kill_commit_leader = false;
   };
 
   /// Evaluates the plan against one request. Each matching armed rule rolls

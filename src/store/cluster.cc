@@ -65,6 +65,7 @@ Result<Cluster::Route> Cluster::RouteForPartition(TableId table,
                         partition_map_.PlacementOf(table, partition));
   Route route;
   route.partition = partition;
+  route.write_frozen = placement.write_frozen;
   route.master = const_cast<StorageNode*>(nodes_[placement.master].get());
   if (!route.master->alive()) {
     return Status::Unavailable("master of partition is down");
@@ -84,6 +85,9 @@ Result<VersionedCell> Cluster::Get(TableId table, std::string_view key) const {
 Result<uint64_t> Cluster::Put(TableId table, std::string_view key,
                               std::string_view value) {
   TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  if (route.write_frozen) {
+    return Status::Unavailable("partition write-frozen for migration");
+  }
   TELL_ASSIGN_OR_RETURN(uint64_t stamp,
                         route.master->Put(table, route.partition, key, value));
   Replicate(table, route.partition, route.replicas, key, value, stamp);
@@ -94,6 +98,9 @@ Result<uint64_t> Cluster::ConditionalPut(TableId table, std::string_view key,
                                          uint64_t expected_stamp,
                                          std::string_view value) {
   TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  if (route.write_frozen) {
+    return Status::Unavailable("partition write-frozen for migration");
+  }
   TELL_ASSIGN_OR_RETURN(uint64_t stamp,
                         route.master->ConditionalPut(table, route.partition,
                                                      key, expected_stamp,
@@ -105,6 +112,9 @@ Result<uint64_t> Cluster::ConditionalPut(TableId table, std::string_view key,
 Status Cluster::ConditionalErase(TableId table, std::string_view key,
                                  uint64_t expected_stamp) {
   TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  if (route.write_frozen) {
+    return Status::Unavailable("partition write-frozen for migration");
+  }
   TELL_RETURN_NOT_OK(route.master->ConditionalErase(table, route.partition,
                                                     key, expected_stamp));
   ReplicateErase(table, route.partition, route.replicas, key);
@@ -113,6 +123,9 @@ Status Cluster::ConditionalErase(TableId table, std::string_view key,
 
 Status Cluster::Erase(TableId table, std::string_view key) {
   TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  if (route.write_frozen) {
+    return Status::Unavailable("partition write-frozen for migration");
+  }
   TELL_RETURN_NOT_OK(route.master->Erase(table, route.partition, key));
   ReplicateErase(table, route.partition, route.replicas, key);
   return Status::OK();
@@ -121,6 +134,9 @@ Status Cluster::Erase(TableId table, std::string_view key) {
 Result<int64_t> Cluster::AtomicIncrement(TableId table, std::string_view key,
                                          int64_t delta) {
   TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  if (route.write_frozen) {
+    return Status::Unavailable("partition write-frozen for migration");
+  }
   TELL_ASSIGN_OR_RETURN(int64_t value,
                         route.master->AtomicIncrement(table, route.partition,
                                                       key, delta));

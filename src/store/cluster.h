@@ -109,6 +109,9 @@ class Cluster {
     uint32_t partition;
     StorageNode* master;
     std::vector<StorageNode*> replicas;
+    /// Migration cut-over window: write ops bounce with Unavailable (the
+    /// client RetryPolicy re-routes them after the map unfreezes).
+    bool write_frozen = false;
   };
   Result<Route> RouteFor(TableId table, std::string_view key) const;
   Result<Route> RouteForPartition(TableId table, uint32_t partition) const;

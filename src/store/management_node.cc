@@ -101,6 +101,131 @@ Status ManagementNode::RestoreReplicationLevel() {
   return Status::OK();
 }
 
+Status ManagementNode::MigratePartition(TableId table, uint32_t partition,
+                                        uint32_t dest_node) {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  PartitionMap& map = cluster_->partition_map();
+  TELL_ASSIGN_OR_RETURN(PartitionPlacement placement,
+                        map.PlacementOf(table, partition));
+  if (placement.master == dest_node) {
+    return Status::InvalidArgument("destination already masters the partition");
+  }
+  if (dest_node >= cluster_->num_nodes()) {
+    return Status::InvalidArgument("no such destination node");
+  }
+  StorageNode* src = cluster_->node(placement.master);
+  StorageNode* dest = cluster_->node(dest_node);
+  if (!src->alive() || !dest->alive()) {
+    return Status::Unavailable("migration needs both endpoints alive");
+  }
+  {
+    std::lock_guard<std::mutex> mlock(migration_mutex_);
+    ++migration_stats_.started;
+  }
+  TELL_LOG(kInfo) << "migrating table " << table << " partition " << partition
+                  << " from node " << placement.master << " to node "
+                  << dest_node;
+
+  // Phase 1 — bulk copy. Erase journaling starts BEFORE the watermark read
+  // and the dump, so nothing disappearing after this point goes unrecorded.
+  TELL_RETURN_NOT_OK(src->BeginMigrationLogging(table, partition));
+  // Watermark before the dump: any write the dump misses carries a stamp
+  // >= `watermark` and is caught by the next round.
+  TELL_ASSIGN_OR_RETURN(uint64_t watermark,
+                        src->PartitionNextStamp(table, partition));
+  TELL_ASSIGN_OR_RETURN(std::vector<KeyCell> cells,
+                        src->DumpPartition(table, partition));
+  Status st = dest->InstallPartition(table, partition, cells);
+  if (!st.ok()) {
+    (void)src->EndMigrationLogging(table, partition);
+    return st;
+  }
+  {
+    std::lock_guard<std::mutex> mlock(migration_mutex_);
+    migration_stats_.cells_copied += cells.size();
+  }
+
+  // Phase 2 — catch-up rounds while writes continue. Each round ships what
+  // changed since the previous watermark; under steady load the delta stops
+  // shrinking, so the round count is bounded and the remainder moves inside
+  // the freeze.
+  for (uint32_t round = 0; round < 4; ++round) {
+    TELL_ASSIGN_OR_RETURN(uint64_t next_watermark,
+                          src->PartitionNextStamp(table, partition));
+    TELL_ASSIGN_OR_RETURN(std::vector<KeyCell> delta,
+                          src->DumpPartitionSince(table, partition, watermark));
+    TELL_ASSIGN_OR_RETURN(std::vector<MigrationOp> erases,
+                          src->ErasesSince(table, partition, watermark));
+    if (delta.empty() && erases.empty()) break;
+    std::vector<MigrationOp> ops;
+    ops.reserve(delta.size() + erases.size());
+    for (KeyCell& cell : delta) {
+      ops.push_back(
+          {std::move(cell.key), std::move(cell.value), cell.stamp, false});
+    }
+    ops.insert(ops.end(), std::make_move_iterator(erases.begin()),
+               std::make_move_iterator(erases.end()));
+    std::sort(ops.begin(), ops.end(),
+              [](const MigrationOp& a, const MigrationOp& b) {
+                return a.stamp < b.stamp;
+              });
+    uint64_t erases_applied = 0;
+    st = dest->InstallMigrationDelta(table, partition, ops, &erases_applied);
+    if (!st.ok()) {
+      (void)src->EndMigrationLogging(table, partition);
+      return st;
+    }
+    {
+      std::lock_guard<std::mutex> mlock(migration_mutex_);
+      ++migration_stats_.delta_rounds;
+      migration_stats_.delta_cells += delta.size();
+      migration_stats_.erases_applied += erases_applied;
+    }
+    watermark = next_watermark;
+  }
+
+  // Phase 3 — cut-over. Freeze routes (new writes bounce and retry), then
+  // seal the source under every stripe lock: in-flight writes that raced
+  // the freeze have finished by the time the seal holds all locks, and the
+  // sealed final delta includes them. After this the source image is final.
+  TELL_RETURN_NOT_OK(map.FreezeWrites(table, partition));
+  auto final_ops = src->SealPartitionAndDump(table, partition, watermark);
+  if (!final_ops.ok()) {
+    (void)map.UnfreezeWrites(table, partition);
+    (void)src->EndMigrationLogging(table, partition);
+    return final_ops.status();
+  }
+  uint64_t erases_applied = 0;
+  st = dest->InstallMigrationDelta(table, partition, *final_ops,
+                                   &erases_applied);
+  if (!st.ok()) {
+    // The source is sealed and the map frozen — this partition cannot
+    // accept writes until an operator intervenes. Surface the error rather
+    // than unfreeze onto a sealed master.
+    return st;
+  }
+  TELL_RETURN_NOT_OK(map.MovePartitionMaster(table, partition, dest_node));
+  TELL_RETURN_NOT_OK(map.UnfreezeWrites(table, partition));
+  {
+    std::lock_guard<std::mutex> mlock(migration_mutex_);
+    ++migration_stats_.delta_rounds;
+    for (const MigrationOp& op : *final_ops) {
+      if (!op.is_erase) ++migration_stats_.delta_cells;
+    }
+    migration_stats_.erases_applied += erases_applied;
+    ++migration_stats_.completed;
+  }
+  TELL_LOG(kInfo) << "migration of table " << table << " partition "
+                  << partition << " complete (" << cells.size()
+                  << " cells bulk-copied)";
+  return Status::OK();
+}
+
+MigrationStats ManagementNode::migration_stats() const {
+  std::lock_guard<std::mutex> lock(migration_mutex_);
+  return migration_stats_;
+}
+
 bool ManagementNode::ReplicationLevelRestored() const {
   const PartitionMap& map = cluster_->partition_map();
   uint32_t target_rf = cluster_->options().replication_factor;

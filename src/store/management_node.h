@@ -10,6 +10,21 @@
 
 namespace tell::store {
 
+/// Running totals of live partition migrations (exported as the
+/// `store.migration.*` gauges by db::TellDb::ExportStats).
+struct MigrationStats {
+  uint64_t started = 0;
+  uint64_t completed = 0;
+  /// Cells moved by the initial bulk copies.
+  uint64_t cells_copied = 0;
+  /// Catch-up delta rounds run (including the sealed final round).
+  uint64_t delta_rounds = 0;
+  /// Put cells shipped by catch-up deltas.
+  uint64_t delta_cells = 0;
+  /// Journaled erases the destination actually applied.
+  uint64_t erases_applied = 0;
+};
+
 /// The management node of the storage layer (paper §4.4.2): detects storage
 /// node failures, fails partitions over to their replicas and restores the
 /// replication level on the surviving nodes.
@@ -37,6 +52,18 @@ class ManagementNode {
   /// on live nodes (test hook).
   bool ReplicationLevelRestored() const;
 
+  /// Moves one partition's master copy to `dest_node` while writes continue
+  /// (live migration; state machine in docs/RECOVERY.md). Bulk copy, then
+  /// stamp-watermarked catch-up delta rounds, then a brief write freeze for
+  /// the sealed final delta and the atomic master re-point. Readers and
+  /// writers follow the partition map to the destination; the source copy
+  /// stays sealed. Runs under the recovery mutex — one topology change at a
+  /// time.
+  Status MigratePartition(TableId table, uint32_t partition,
+                          uint32_t dest_node);
+
+  MigrationStats migration_stats() const;
+
  private:
   Status RecoverNode(uint32_t node_id);
   Status RestoreReplicationLevel();
@@ -44,6 +71,9 @@ class ManagementNode {
   Cluster* const cluster_;
   std::mutex recovery_mutex_;
   std::vector<bool> handled_;  // grown lazily; true once a node was recovered
+
+  mutable std::mutex migration_mutex_;  // guards migration_stats_
+  MigrationStats migration_stats_;
 };
 
 }  // namespace tell::store

@@ -108,6 +108,50 @@ Status PartitionMap::AddReplica(TableId table, uint32_t partition,
   return Status::OK();
 }
 
+Status PartitionMap::FreezeWrites(TableId table, uint32_t partition) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table not mapped");
+  if (partition >= it->second.num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  it->second.placements[partition].write_frozen = true;
+  ++version_;
+  return Status::OK();
+}
+
+Status PartitionMap::UnfreezeWrites(TableId table, uint32_t partition) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table not mapped");
+  if (partition >= it->second.num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  it->second.placements[partition].write_frozen = false;
+  ++version_;
+  return Status::OK();
+}
+
+Status PartitionMap::MovePartitionMaster(TableId table, uint32_t partition,
+                                         uint32_t new_master) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table not mapped");
+  if (partition >= it->second.num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  PartitionPlacement& placement = it->second.placements[partition];
+  if (placement.master == new_master) {
+    return Status::InvalidArgument("node is already the master");
+  }
+  placement.replicas.erase(std::remove(placement.replicas.begin(),
+                                       placement.replicas.end(), new_master),
+                           placement.replicas.end());
+  placement.master = new_master;
+  ++version_;
+  return Status::OK();
+}
+
 std::vector<std::pair<TableId, uint32_t>> PartitionMap::RemoveNode(
     uint32_t node_id) {
   std::unique_lock lock(mutex_);

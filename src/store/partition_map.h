@@ -18,6 +18,10 @@ namespace tell::store {
 struct PartitionPlacement {
   uint32_t master = 0;
   std::vector<uint32_t> replicas;  // backup node ids, excludes master
+  /// Writes are fenced off (Unavailable, clients retry) — the cut-over
+  /// window of a live migration. Reads stay allowed: the data is static
+  /// while frozen.
+  bool write_frozen = false;
 };
 
 /// The lookup service of the storage layer (paper §2.1: "a mechanism is
@@ -59,6 +63,20 @@ class PartitionMap {
 
   /// Adds a backup node to a partition (re-replication after a failure).
   Status AddReplica(TableId table, uint32_t partition, uint32_t node_id);
+
+  /// Fences writes to one partition (live-migration cut-over; see
+  /// docs/RECOVERY.md). Routed writes fail Unavailable until unfrozen and
+  /// retry through the client RetryPolicy.
+  Status FreezeWrites(TableId table, uint32_t partition);
+  Status UnfreezeWrites(TableId table, uint32_t partition);
+
+  /// Re-points a partition's master at `new_master` (live migration
+  /// cut-over). Unlike PromoteReplica, `new_master` need not be a current
+  /// replica — the migration just copied the data onto it — and the OLD
+  /// master is dropped from the placement entirely (its copy stays sealed
+  /// on the source node).
+  Status MovePartitionMaster(TableId table, uint32_t partition,
+                             uint32_t new_master);
 
   /// Removes a (dead) node from every placement it appears in. Returns the
   /// list of partitions that lost their *master* copy and need promotion.

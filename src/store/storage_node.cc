@@ -173,6 +173,9 @@ Result<uint64_t> StorageNode::Put(TableId table, uint32_t partition,
   if (part == nullptr) return Status::NotFound("no such partition");
   Stripe& stripe = part->StripeOf(key);
   auto lock = LockExclusive(stripe);
+  if (part->sealed.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("partition sealed for migration");
+  }
   auto it = stripe.cells.find(key);
   uint64_t stamp = part->next_stamp.fetch_add(1, std::memory_order_relaxed);
   if (it == stripe.cells.end()) {
@@ -206,6 +209,9 @@ Result<uint64_t> StorageNode::ConditionalPut(TableId table, uint32_t partition,
   if (part == nullptr) return Status::NotFound("no such partition");
   Stripe& stripe = part->StripeOf(key);
   auto lock = LockExclusive(stripe);
+  if (part->sealed.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("partition sealed for migration");
+  }
   auto it = stripe.cells.find(key);
   uint64_t current = it == stripe.cells.end() ? kStampAbsent : it->second.stamp;
   if (current != expected_stamp) {
@@ -245,6 +251,9 @@ Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
   if (part == nullptr) return Status::NotFound("no such partition");
   Stripe& stripe = part->StripeOf(key);
   auto lock = LockExclusive(stripe);
+  if (part->sealed.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("partition sealed for migration");
+  }
   auto it = stripe.cells.find(key);
   if (it == stripe.cells.end()) return Status::NotFound();
   if (it->second.stamp != expected_stamp) {
@@ -255,6 +264,7 @@ Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
                              sizeof(VersionedCell),
                          std::memory_order_relaxed);
   stripe.cells.erase(it);
+  JournalEraseLocked(part, key);
   return Status::OK();
 }
 
@@ -266,12 +276,16 @@ Status StorageNode::Erase(TableId table, uint32_t partition,
   if (part == nullptr) return Status::NotFound("no such partition");
   Stripe& stripe = part->StripeOf(key);
   auto lock = LockExclusive(stripe);
+  if (part->sealed.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("partition sealed for migration");
+  }
   auto it = stripe.cells.find(key);
   if (it == stripe.cells.end()) return Status::NotFound();
   memory_used_.fetch_sub(key.size() + it->second.value.size() +
                              sizeof(VersionedCell),
                          std::memory_order_relaxed);
   stripe.cells.erase(it);
+  JournalEraseLocked(part, key);
   return Status::OK();
 }
 
@@ -337,6 +351,9 @@ Result<int64_t> StorageNode::AtomicIncrement(TableId table, uint32_t partition,
   if (part == nullptr) return Status::NotFound("no such partition");
   Stripe& stripe = part->StripeOf(key);
   auto lock = LockExclusive(stripe);
+  if (part->sealed.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("partition sealed for migration");
+  }
   auto it = stripe.cells.find(key);
   int64_t current = 0;
   if (it != stripe.cells.end() && it->second.value.size() == sizeof(int64_t)) {
@@ -377,12 +394,160 @@ Result<std::vector<KeyCell>> StorageNode::DumpPartition(
   return out;
 }
 
+void StorageNode::JournalEraseLocked(Partition* part, std::string_view key) {
+  if (!part->migration_logging.load(std::memory_order_relaxed)) return;
+  // The journal stamp is drawn from the same counter as write stamps, inside
+  // the stripe's exclusive section: a later re-insert of the key necessarily
+  // gets a higher stamp, so the stamp-guarded delta apply orders them.
+  uint64_t stamp = part->next_stamp.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> jlock(part->journal_mutex);
+  part->erase_journal.push_back({std::string(key), "", stamp, true});
+}
+
+Status StorageNode::BeginMigrationLogging(TableId table, uint32_t partition) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  // All stripes exclusive: every erase either completed before this point
+  // (its absence is part of the initial dump) or starts after and sees the
+  // flag.
+  auto locks = LockAllExclusive(*part);
+  std::lock_guard<std::mutex> jlock(part->journal_mutex);
+  part->erase_journal.clear();
+  part->migration_logging.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status StorageNode::EndMigrationLogging(TableId table, uint32_t partition) {
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  auto locks = LockAllExclusive(*part);
+  std::lock_guard<std::mutex> jlock(part->journal_mutex);
+  part->migration_logging.store(false, std::memory_order_relaxed);
+  part->erase_journal.clear();
+  return Status::OK();
+}
+
+Result<uint64_t> StorageNode::PartitionNextStamp(TableId table,
+                                                 uint32_t partition) const {
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  return part->next_stamp.load(std::memory_order_acquire);
+}
+
+Result<std::vector<KeyCell>> StorageNode::DumpPartitionSince(
+    TableId table, uint32_t partition, uint64_t min_stamp) const {
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  auto locks = LockAllShared(*part);
+  std::vector<KeyCell> out;
+  MergeScan(*part, "", "", /*reverse=*/false,
+            [&](const std::string& key, const VersionedCell& cell) {
+              if (cell.stamp >= min_stamp) {
+                out.push_back({key, cell.value, cell.stamp});
+              }
+              return true;
+            });
+  return out;
+}
+
+Result<std::vector<MigrationOp>> StorageNode::ErasesSince(
+    TableId table, uint32_t partition, uint64_t min_stamp) const {
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  std::lock_guard<std::mutex> jlock(part->journal_mutex);
+  std::vector<MigrationOp> out;
+  for (const MigrationOp& op : part->erase_journal) {
+    if (op.stamp >= min_stamp) out.push_back(op);
+  }
+  return out;
+}
+
+Result<std::vector<MigrationOp>> StorageNode::SealPartitionAndDump(
+    TableId table, uint32_t partition, uint64_t min_stamp) {
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  auto locks = LockAllExclusive(*part);
+  // In-flight writes finished before we got every lock; from here on no
+  // write can slip in between the final delta and the seal.
+  part->sealed.store(true, std::memory_order_relaxed);
+  std::vector<MigrationOp> out;
+  MergeScan(*part, "", "", /*reverse=*/false,
+            [&](const std::string& key, const VersionedCell& cell) {
+              if (cell.stamp >= min_stamp) {
+                out.push_back({key, cell.value, cell.stamp, false});
+              }
+              return true;
+            });
+  {
+    std::lock_guard<std::mutex> jlock(part->journal_mutex);
+    for (const MigrationOp& op : part->erase_journal) {
+      if (op.stamp >= min_stamp) out.push_back(op);
+    }
+    part->erase_journal.clear();
+    part->migration_logging.store(false, std::memory_order_relaxed);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MigrationOp& a, const MigrationOp& b) {
+              return a.stamp < b.stamp;
+            });
+  return out;
+}
+
+Status StorageNode::InstallMigrationDelta(TableId table, uint32_t partition,
+                                          const std::vector<MigrationOp>& ops,
+                                          uint64_t* erases_applied) {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  auto locks = LockAllExclusive(*part);
+  uint64_t max_stamp = 0;
+  for (const MigrationOp& op : ops) {
+    Stripe& stripe = part->StripeOf(op.key);
+    auto it = stripe.cells.find(op.key);
+    max_stamp = std::max(max_stamp, op.stamp);
+    // Stamp guard: only apply over strictly older state. Replayed ops from
+    // an overlapping delta round hit equal stamps and no-op.
+    if (op.is_erase) {
+      if (it == stripe.cells.end() || it->second.stamp >= op.stamp) continue;
+      memory_used_.fetch_sub(op.key.size() + it->second.value.size() +
+                                 sizeof(VersionedCell),
+                             std::memory_order_relaxed);
+      stripe.cells.erase(it);
+      if (erases_applied != nullptr) ++*erases_applied;
+    } else {
+      if (it == stripe.cells.end()) {
+        memory_used_.fetch_add(op.key.size() + op.value.size() +
+                                   sizeof(VersionedCell),
+                               std::memory_order_relaxed);
+        stripe.cells.emplace(op.key, VersionedCell{op.value, op.stamp});
+      } else if (it->second.stamp < op.stamp) {
+        int64_t delta = static_cast<int64_t>(op.value.size()) -
+                        static_cast<int64_t>(it->second.value.size());
+        memory_used_.fetch_add(static_cast<uint64_t>(delta),
+                               std::memory_order_relaxed);
+        it->second.value = op.value;
+        it->second.stamp = op.stamp;
+      }
+    }
+  }
+  part->AdvanceStampPast(max_stamp);
+  return Status::OK();
+}
+
 Status StorageNode::InstallPartition(TableId table, uint32_t partition,
                                      const std::vector<KeyCell>& cells) {
   TELL_RETURN_NOT_OK(CheckAlive());
   CreatePartition(table, partition);
   Partition* part = FindPartition(table, partition);
   auto locks = LockAllExclusive(*part);
+  // A reinstall supersedes any migration state left on this copy.
+  part->sealed.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> jlock(part->journal_mutex);
+    part->migration_logging.store(false, std::memory_order_relaxed);
+    part->erase_journal.clear();
+  }
   uint64_t max_stamp = 0;
   for (const KeyCell& cell : cells) {
     Stripe& stripe = part->StripeOf(cell.key);

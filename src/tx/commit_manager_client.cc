@@ -101,8 +101,55 @@ Status CommitManagerClient::Finish(commitmgr::CommitManager* manager,
   // respect to the simulator: server-side application is instant shared
   // memory either way, so eager application with deferred accounting is
   // indistinguishable from a delayed message that cannot be lost.
-  Status st =
-      committed ? manager->SetCommitted(tid) : manager->SetAborted(tid);
+  sim::FaultInjector* injector = client_->options().fault_injector;
+  auto apply = [&](commitmgr::CommitManager* m) -> Status {
+    // Only the synchronous path consults the injector here: batched
+    // finishes are evaluated as part of the next begin's coalesced message,
+    // the same unit the accounting charges.
+    if (!options_.batching && injector != nullptr) {
+      sim::FaultInjector::Decision d = injector->OnRequest(
+          sim::FaultOpClass::kCommitMgrFinish, m->state_table());
+      bool kill_after = d.kill_commit_leader && d.drop_response;
+      if (d.kill_commit_leader && !kill_after) m->Kill();  // dies mid-Finish
+      if (d.extra_latency_ns > 0) {
+        client_->clock()->Advance(d.extra_latency_ns);
+      }
+      if (d.drop_request) {
+        return Status::Unavailable("injected fault: request dropped");
+      }
+      Status st = committed ? m->SetCommitted(tid) : m->SetAborted(tid);
+      if (kill_after) m->Kill();
+      if (d.drop_response) {
+        return Status::Unavailable(
+            "injected fault: response dropped (ambiguous outcome)");
+      }
+      return st;
+    }
+    return committed ? m->SetCommitted(tid) : m->SetAborted(tid);
+  };
+  Status st = apply(manager);
+  // A completion must reach the slot or its tid pins the snapshot base and
+  // the GC horizon. Retry against the SAME slot only — with replication the
+  // probe elects and returns the new leader, which holds the begin via the
+  // change log; Complete() dedup makes re-applying an ambiguous finish safe.
+  // Without replication the slot stays dead, its id cannot come back from
+  // the probe, and the old behavior (error reported, recovery cleans up) is
+  // unchanged.
+  const store::RetryPolicy& retry = client_->options().retry;
+  for (uint32_t attempt = 1;
+       st.IsUnavailable() && attempt < retry.max_attempts; ++attempt) {
+    uint64_t election_ns = 0;
+    commitmgr::CommitManager* next =
+        group_->ManagerFor(manager->manager_id(), &election_ns);
+    if (election_ns > 0) client_->clock()->Advance(election_ns);
+    if (next == nullptr || next->manager_id() != manager->manager_id()) break;
+    manager = next;
+    uint64_t backoff = retry.BackoffNs(attempt, &rng_);
+    client_->clock()->Advance(backoff);
+    client_->metrics()->cm_retries += 1;
+    client_->metrics()->retry_backoff_ns += backoff;
+    st = apply(manager);
+  }
   if (options_.batching) {
     pending_.push_back(manager->manager_id());
     if (pending_.size() >= kMaxDeferredFinishes) FlushPendingAccounting();
@@ -123,7 +170,14 @@ Result<commitmgr::TxnBegin> CommitManagerClient::Begin(uint32_t pn_id) {
   // cost when rescheduled (no-op under the legacy thread-per-worker
   // drivers; see docs/RUNTIME.md).
   exec_hooks::MaybeYield();
-  commitmgr::CommitManager* manager = group_->ManagerFor(pn_id);
+  uint64_t election_ns = 0;
+  commitmgr::CommitManager* manager = group_->ManagerFor(pn_id, &election_ns);
+  if (election_ns > 0) {
+    // This worker's begin found the slot leader dead and triggered the
+    // election: it pays the modelled timeout (docs/RECOVERY.md).
+    client_->clock()->Advance(election_ns);
+    election_ns = 0;
+  }
   if (manager == nullptr) {
     return Status::Unavailable("all commit managers down");
   }
@@ -168,11 +222,17 @@ Result<commitmgr::TxnBegin> CommitManagerClient::Begin(uint32_t pn_id) {
         d.kill_node < static_cast<int64_t>(cluster->num_nodes())) {
       cluster->node(static_cast<uint32_t>(d.kill_node))->Kill();
     }
+    // Leader dies mid-Start: before the request executes (request lost), or
+    // — when the same request also drops its response — after it executed,
+    // leaving an ambiguous begin the token retry resolves on the successor.
+    bool kill_after = d.kill_commit_leader && d.drop_response;
+    if (d.kill_commit_leader && !kill_after) manager->Kill();
     if (d.extra_latency_ns > 0) client_->clock()->Advance(d.extra_latency_ns);
     if (d.drop_request) {
       return Status::Unavailable("injected fault: request dropped");
     }
     Result<commitmgr::TxnBeginDelta> result = manager->StartDelta(request);
+    if (kill_after) manager->Kill();
     if (d.drop_response) {
       return Status::Unavailable(
           "injected fault: response dropped (ambiguous outcome)");
@@ -187,9 +247,14 @@ Result<commitmgr::TxnBegin> CommitManagerClient::Begin(uint32_t pn_id) {
        ++attempt) {
     // Fail-over: PNs "automatically switch to the next one" (§4.4.3) — the
     // round-robin assignment is client-side knowledge, no lookup round trip.
-    // Against the SAME manager, the start token keeps a retried begin from
-    // leaking a second tid.
-    commitmgr::CommitManager* next = group_->ManagerFor(pn_id);
+    // A replicated slot elects a successor here; against the SAME slot, the
+    // start token keeps a retried begin from leaking a second tid (the new
+    // leader replayed the token from the change log).
+    commitmgr::CommitManager* next = group_->ManagerFor(pn_id, &election_ns);
+    if (election_ns > 0) {
+      client_->clock()->Advance(election_ns);
+      election_ns = 0;
+    }
     if (next == nullptr) break;
     if (next != manager) {
       manager = next;

@@ -40,13 +40,47 @@ Result<Tid> FastPathCoordinator::LeaseTid(uint32_t lane, uint32_t worker_id,
     }
     l.leased.clear();
     l.next_leased = 0;
-    commitmgr::CommitManager* manager = managers_->ManagerFor(worker_id);
+    uint64_t election_ns = 0;
+    commitmgr::CommitManager* manager =
+        managers_->ManagerFor(worker_id, &election_ns);
     if (manager == nullptr) {
       return Status::Unavailable("no live commit manager for fast-tid lease");
     }
-    TELL_ASSIGN_OR_RETURN(std::vector<Tid> fresh,
-                          manager->LeaseFastTids(options_.tid_lease_size));
-    l.leased = std::move(fresh);
+    // Lease request, with fault injection. Response loss is modeled as
+    // request loss here (drop_response is treated like drop_request): a
+    // leased-but-unacked batch would orphan tids on the leader until the
+    // next election, and the paper's lease protocol acks synchronously
+    // anyway (docs/RECOVERY.md "Fast-path leases under fail-over").
+    sim::FaultInjector* injector = client->options().fault_injector;
+    auto issue = [&](commitmgr::CommitManager* m) -> Result<std::vector<Tid>> {
+      if (injector != nullptr) {
+        sim::FaultInjector::Decision d = injector->OnRequest(
+            sim::FaultOpClass::kCommitMgrLease, m->state_table());
+        if (d.kill_commit_leader) m->Kill();
+        if (d.extra_latency_ns > 0) client->clock()->Advance(d.extra_latency_ns);
+        if (d.drop_request || d.drop_response || d.kill_commit_leader) {
+          return Status::Unavailable("injected fault: lease lost");
+        }
+      }
+      return m->LeaseFastTids(options_.tid_lease_size);
+    };
+    Result<std::vector<Tid>> fresh = issue(manager);
+    const store::RetryPolicy& retry = client->options().retry;
+    for (uint32_t attempt = 1;
+         !fresh.ok() && fresh.status().IsUnavailable() &&
+         attempt < retry.max_attempts;
+         ++attempt) {
+      manager = managers_->ManagerFor(worker_id, &election_ns);
+      if (election_ns > 0) {
+        client->clock()->Advance(election_ns);
+        election_ns = 0;
+      }
+      if (manager == nullptr) break;
+      fresh = issue(manager);
+    }
+    if (election_ns > 0) client->clock()->Advance(election_ns);
+    if (!fresh.ok()) return fresh.status();
+    l.leased = std::move(fresh).value();
     l.lease_epoch = epoch;
     // One small request, a response carrying the leased range.
     client->ChargeRpc(64, 16 + 8 * options_.tid_lease_size);

@@ -514,5 +514,61 @@ TEST(MetricsDocTest, RuntimeDocExecGaugesMatchRegistry) {
   }
 }
 
+// docs/RECOVERY.md promises the complete list of replication/migration
+// observability: every concrete `commitmgr.repl.*`, `store.migration.*`
+// and `fault.leader_kills` token it mentions must be a registered gauge,
+// and every such registered gauge must be mentioned in the document.
+TEST(MetricsDocTest, RecoveryDocGaugesMatchRegistry) {
+  std::string path = std::string(TELL_SOURCE_DIR) + "/docs/RECOVERY.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+
+  const char* kPrefixes[] = {"commitmgr.repl.", "store.migration.",
+                             "fault.leader_kills"};
+  std::set<std::string> mentioned;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t pos = 0;
+    while ((pos = line.find('`', pos)) != std::string::npos) {
+      size_t start = pos + 1;
+      size_t end = line.find('`', start);
+      if (end == std::string::npos) break;
+      std::string token = line.substr(start, end - start);
+      if (token.find('*') == std::string::npos) {
+        for (const char* prefix : kPrefixes) {
+          if (token.rfind(prefix, 0) == 0) {
+            mentioned.insert(token);
+            break;
+          }
+        }
+      }
+      pos = end + 1;
+    }
+  }
+  ASSERT_FALSE(mentioned.empty()) << "docs/RECOVERY.md no longer names the "
+                                  << "replication/migration gauges";
+
+  std::set<std::string> registered;
+  obs::MetricsRegistry registry;
+  for (const obs::MetricDef& def : registry.metrics()) {
+    for (const char* prefix : kPrefixes) {
+      if (def.name.rfind(prefix, 0) == 0) {
+        registered.insert(def.name);
+        break;
+      }
+    }
+  }
+
+  for (const std::string& name : mentioned) {
+    EXPECT_TRUE(registered.count(name))
+        << "docs/RECOVERY.md mentions " << name
+        << " which is not a registered gauge";
+  }
+  for (const std::string& name : registered) {
+    EXPECT_TRUE(mentioned.count(name))
+        << "gauge " << name << " is missing from docs/RECOVERY.md";
+  }
+}
+
 }  // namespace
 }  // namespace tell

@@ -37,6 +37,12 @@ LOWER_IS_BETTER_HINTS = (
     "_us",
     "requests_per_txn",
     "wall_seconds",
+    # Chaos-recovery fields (bench/chaos_recovery.cc): longer leader
+    # outages and deeper migration throughput dips are regressions.
+    # recovery_time_ms also matches "_ms", but it is named here so the
+    # direction survives a producer-side rename of the unit suffix.
+    "recovery_time",
+    "dip",
 )
 
 # Checked before the lower-is-better hints: a rate is higher-is-better no
@@ -123,12 +129,17 @@ def selftest():
     import os
     import tempfile
 
-    def artifact(tpmc, resp_ms, wall_tps=None, wall_seconds=None):
+    def artifact(tpmc, resp_ms, wall_tps=None, wall_seconds=None,
+                 recovery_time_ms=None, migration_dip_pct=None):
         derived = {"tpmc": tpmc, "resp_ms": resp_ms}
         if wall_tps is not None:
             derived["wall_tps"] = wall_tps
         if wall_seconds is not None:
             derived["wall_seconds"] = wall_seconds
+        if recovery_time_ms is not None:
+            derived["recovery_time_ms"] = recovery_time_ms
+        if migration_dip_pct is not None:
+            derived["migration_dip_pct"] = migration_dip_pct
         return {
             "schema_version": 1,
             "bench": "selftest",
@@ -154,6 +165,15 @@ def selftest():
         # ...and a wall_tps rise (wall_seconds falling with it) is clean.
         (artifact(1000, 1.0, wall_tps=500.0, wall_seconds=2.0),
          artifact(1000, 1.0, wall_tps=800.0, wall_seconds=1.2), 10.0, 0),
+        # Chaos-recovery fields are lower-is-better: a longer leader
+        # outage and a deeper migration dip both flag...
+        (artifact(1000, 1.0, recovery_time_ms=0.4, migration_dip_pct=5.0),
+         artifact(1000, 1.0, recovery_time_ms=0.9, migration_dip_pct=25.0),
+         10.0, 2),
+        # ...and a faster recovery with a shallower dip is clean.
+        (artifact(1000, 1.0, recovery_time_ms=0.9, migration_dip_pct=25.0),
+         artifact(1000, 1.0, recovery_time_ms=0.4, migration_dip_pct=5.0),
+         10.0, 0),
     ]
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:

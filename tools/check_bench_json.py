@@ -143,6 +143,70 @@ def _check_wall_clock(errors, path, derived):
                   "rate cannot come from a non-positive elapsed time")
 
 
+def _check_recovery(errors, path, derived):
+    """Chaos-recovery derived fields (bench/chaos_recovery.cc,
+    docs/RECOVERY.md): recovery_time_ms is the modelled leader outage, so
+    it must be a finite non-negative duration, it needs its kills_injected
+    context, and the two must agree — a positive recovery time with zero
+    kills (or kills with a zero recovery time) means the producer charged
+    elections and fault rules from different runs. migration_dip_pct is a
+    percentage of baseline throughput: finite and at most 100 (the run
+    cannot lose more than all of its throughput; negative is fine — the
+    migrate window may come out faster than baseline noise)."""
+    if not isinstance(derived, dict):
+        return
+
+    def _num(key):
+        value = derived.get(key)
+        if value is None or isinstance(value, bool) or \
+                not isinstance(value, (int, float)):
+            return None  # absent, or type error already reported
+        return value
+
+    recovery = _num("recovery_time_ms")
+    kills = _num("kills_injected")
+    if recovery is not None:
+        if not math.isfinite(recovery):
+            _fail(errors, path,
+                  f"derived['recovery_time_ms'] must be finite, "
+                  f"got {recovery!r}")
+        elif recovery < 0:
+            _fail(errors, path,
+                  f"derived['recovery_time_ms'] must be >= 0, "
+                  f"got {recovery!r}")
+        if kills is None:
+            _fail(errors, path,
+                  "derived['recovery_time_ms'] present without "
+                  "'kills_injected' (the coherence check needs both)")
+    if kills is not None:
+        if not math.isfinite(kills) or kills < 0 or kills != int(kills):
+            _fail(errors, path,
+                  f"derived['kills_injected'] must be a non-negative "
+                  f"integer count, got {kills!r}")
+        elif recovery is not None and math.isfinite(recovery) \
+                and recovery >= 0:
+            if recovery > 0 and kills == 0:
+                _fail(errors, path,
+                      f"derived['recovery_time_ms'] is {recovery!r} but "
+                      "kills_injected is 0: recovery time without an "
+                      "injected kill")
+            if recovery == 0 and kills > 0:
+                _fail(errors, path,
+                      f"derived['kills_injected'] is {kills!r} but "
+                      "recovery_time_ms is 0: an injected leader kill "
+                      "must cost an election")
+    dip = _num("migration_dip_pct")
+    if dip is not None:
+        if not math.isfinite(dip):
+            _fail(errors, path,
+                  f"derived['migration_dip_pct'] must be finite, "
+                  f"got {dip!r}")
+        elif dip > 100.0:
+            _fail(errors, path,
+                  f"derived['migration_dip_pct'] must be <= 100, "
+                  f"got {dip!r} (cannot lose more than all throughput)")
+
+
 EXEC_NODE_KEYS = {"tasks_completed", "steals", "yields", "parks", "unparks",
                   "busy_ns", "queue_peak"}
 
@@ -201,6 +265,7 @@ def _check_run(errors, path, index, run):
             _fail(errors, rpath, f"missing {section!r}")
     _check_str_map(errors, rpath, run.get("derived", {}), (int, float), "derived")
     _check_wall_clock(errors, rpath, run.get("derived", {}))
+    _check_recovery(errors, rpath, run.get("derived", {}))
     _check_str_map(errors, rpath, run.get("counters", {}), int, "counters")
     _check_str_map(errors, rpath, run.get("gauges", {}), int, "gauges")
     hists = run.get("histograms", {})
@@ -290,6 +355,18 @@ def selftest():
             k: 1 for k in EXEC_NODE_KEYS}
     assert validate("good_exec", good_exec) == [], \
         validate("good_exec", good_exec)
+
+    # Coherent chaos-recovery fields: two kills with a positive recovery
+    # time, no kills with zero, and a (possibly negative) bounded dip.
+    good_recovery = copy.deepcopy(good)
+    good_recovery["runs"][0]["derived"].update(
+        recovery_time_ms=0.4, kills_injected=2, elections=2)
+    good_recovery["runs"].append(copy.deepcopy(good["runs"][0]))
+    good_recovery["runs"][1]["label"] = "baseline"
+    good_recovery["runs"][1]["derived"].update(
+        recovery_time_ms=0.0, kills_injected=0, migration_dip_pct=-3.5)
+    assert validate("good_recovery", good_recovery) == [], \
+        validate("good_recovery", good_recovery)
     bad_cases = [
         ("schema_version", lambda d: d.update(schema_version=2)),
         ("missing bench", lambda d: d.pop("bench")),
@@ -336,12 +413,34 @@ def selftest():
         ("exec row missing scheduler counter",
          lambda d: (d["runs"][0]["derived"].update(executor_threads=1.0),
                     d["runs"][0]["nodes"].update(exec0={"steals": 1}))),
+        ("recovery_time_ms without kills_injected",
+         lambda d: d["runs"][0]["derived"].update(recovery_time_ms=0.4)),
+        ("recovery_time_ms negative",
+         lambda d: d["runs"][0]["derived"].update(recovery_time_ms=-0.1,
+                                                  kills_injected=1)),
+        ("recovery_time_ms infinite",
+         lambda d: d["runs"][0]["derived"].update(recovery_time_ms=math.inf,
+                                                  kills_injected=1)),
+        ("recovery time without a kill",
+         lambda d: d["runs"][0]["derived"].update(recovery_time_ms=0.4,
+                                                  kills_injected=0)),
+        ("kill without recovery time",
+         lambda d: d["runs"][0]["derived"].update(recovery_time_ms=0.0,
+                                                  kills_injected=2)),
+        ("kills_injected fractional",
+         lambda d: d["runs"][0]["derived"].update(recovery_time_ms=0.4,
+                                                  kills_injected=1.5)),
+        ("migration_dip_pct above 100",
+         lambda d: d["runs"][0]["derived"].update(migration_dip_pct=120.0)),
+        ("migration_dip_pct NaN",
+         lambda d: d["runs"][0]["derived"].update(
+             migration_dip_pct=math.nan)),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)
         mutate(doc)
         assert validate(name, doc), f"selftest: {name!r} not rejected"
-    print("selftest ok:", 2 + len(bad_cases), "cases")
+    print("selftest ok:", 3 + len(bad_cases), "cases")
     return 0
 
 
