@@ -77,6 +77,21 @@ int main() {
               json.Add("tell_shardable" + suffix, *shard, fixture.db()));
         }
       }
+      // Tell with the RDMA direction on: one-sided READs + the leased
+      // client record cache (DESIGN.md "One-sided reads & client caching")
+      // shave the read share of every transaction's response time.
+      {
+        db::TellDbOptions cached = options;
+        cached.one_sided_reads = true;
+        cached.record_cache.enabled = true;
+        TellFixture fixture(cached, BenchScale());
+        auto standard =
+            fixture.Run(large ? 8 : 2, tpcc::Mix::kWriteIntensive);
+        if (standard.ok()) {
+          Row("standard", "Tell+1sided", size,
+              json.Add("tell_onesided" + suffix, *standard, fixture.db()));
+        }
+      }
     }
     // VoltDB-style.
     {

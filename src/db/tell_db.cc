@@ -23,6 +23,10 @@ store::ClientOptions MakeClientOptions(const TellDbOptions& options,
                       (static_cast<uint64_t>(pn_id) * 0x9E3779B97F4A7C15ULL) ^
                       (static_cast<uint64_t>(worker_id) << 32);
   client.fault_injector = with_faults ? options.fault_injector : nullptr;
+  // The record cache is per-PN and attached by OpenSession; the admin
+  // session stays uncached and two-sided so DDL/recovery/GC accounting is
+  // independent of the read-path configuration.
+  client.one_sided_reads = with_faults && options.one_sided_reads;
   return client;
 }
 
@@ -125,6 +129,10 @@ uint32_t TellDb::AddProcessingNode() {
   std::lock_guard<std::mutex> lock(pns_mutex_);
   auto pn = std::make_unique<ProcessingNode>();
   pn->buffer = MakeBuffer();
+  if (options_.record_cache.enabled) {
+    pn->record_cache =
+        std::make_unique<store::RecordCache>(options_.record_cache);
+  }
   pns_.push_back(std::move(pn));
   return static_cast<uint32_t>(pns_.size() - 1);
 }
@@ -176,9 +184,11 @@ std::unique_ptr<tx::Session> TellDb::OpenSession(uint32_t pn_id,
   std::lock_guard<std::mutex> lock(pns_mutex_);
   TELL_CHECK(pn_id < pns_.size());
   TELL_CHECK(pns_[pn_id]->alive);
+  store::ClientOptions client =
+      MakeClientOptions(options_, pn_id, worker_id, /*with_faults=*/true);
+  client.record_cache = pns_[pn_id]->record_cache.get();
   return std::make_unique<tx::Session>(
-      pn_id, worker_id, cluster_.get(), management_.get(),
-      MakeClientOptions(options_, pn_id, worker_id, /*with_faults=*/true),
+      pn_id, worker_id, cluster_.get(), management_.get(), client,
       commit_managers_.get(), log_.get(), pns_[pn_id]->buffer.get(),
       options_.session, fastpath_.get());
 }
@@ -393,12 +403,27 @@ void TellDb::ExportStats(obs::MetricsRegistry* registry) const {
   registry->SetGauge("store.migration.erases_applied", mig.erases_applied);
 
   tx::BufferStats buf;
+  store::RecordCacheStats cache;
+  uint64_t index_cache_entries = 0;
   {
     std::lock_guard<std::mutex> lock(pns_mutex_);
     for (const std::unique_ptr<ProcessingNode>& pn : pns_) {
       pn->buffer->AccumulateStats(&buf);
+      if (pn->record_cache != nullptr) {
+        store::RecordCacheStats s = pn->record_cache->stats();
+        cache.hits += s.hits;
+        cache.misses += s.misses;
+        cache.evictions += s.evictions;
+        cache.invalidations += s.invalidations;
+        cache.entries += s.entries;
+      }
+      index_cache_entries += pn->registry.IndexCacheStats().entries;
     }
   }
+  registry->SetGauge("store.cache.entries", cache.entries);
+  registry->SetGauge("store.cache.evictions", cache.evictions);
+  registry->SetGauge("store.cache.invalidations", cache.invalidations);
+  registry->SetGauge("index.cache.entries", index_cache_entries);
   registry->SetGauge("buffer.shared.hits", buf.hits);
   registry->SetGauge("buffer.shared.misses", buf.misses);
   registry->SetGauge("buffer.shared.evictions", buf.evictions);
@@ -473,6 +498,22 @@ TellDb::PerNodeStats() const {
                             {"misses", s.misses},
                             {"evictions", s.evictions},
                             {"write_throughs", s.write_throughs},
+                        });
+    }
+    for (size_t i = 0; i < pns_.size(); ++i) {
+      if (pns_[i]->record_cache == nullptr) continue;
+      store::RecordCacheStats s = pns_[i]->record_cache->stats();
+      if (s.hits == 0 && s.misses == 0 && s.evictions == 0 &&
+          s.invalidations == 0 && s.entries == 0) {
+        continue;
+      }
+      rows.emplace_back("pn" + std::to_string(i) + ".cache",
+                        std::vector<std::pair<std::string, uint64_t>>{
+                            {"hits", s.hits},
+                            {"misses", s.misses},
+                            {"evictions", s.evictions},
+                            {"invalidations", s.invalidations},
+                            {"entries", s.entries},
                         });
     }
   }

@@ -53,6 +53,13 @@ struct TellDbOptions {
   bool pipelining = false;
 
   index::BTreeOptions btree;
+  /// Per-PN client record cache under lease epochs (store/record_cache.h;
+  /// DESIGN.md "One-sided reads & client caching"). Off by default.
+  store::RecordCacheOptions record_cache;
+  /// Model reads as one-sided RDMA READs where the NetworkModel supports
+  /// them (see ClientOptions::one_sided_reads). Off by default; a no-op on
+  /// kernel-TCP models either way.
+  bool one_sided_reads = false;
   /// §5.2 operator push-down: full-scan WHERE clauses evaluate on the
   /// storage nodes (the paper's mixed-workload direction, implemented).
   bool operator_pushdown = false;
@@ -208,6 +215,8 @@ class TellDb {
     bool alive = true;
     tx::TableRegistry registry;
     std::unique_ptr<tx::RecordBuffer> buffer;
+    /// Shared record cache of this PN's workers; null when disabled.
+    std::unique_ptr<store::RecordCache> record_cache;
   };
 
   std::unique_ptr<tx::RecordBuffer> MakeBuffer();

@@ -116,24 +116,47 @@ bool NodeCache::Get(uint64_t node_id, std::string* value, uint64_t* stamp) {
     return false;
   }
   ++hits_;
-  *value = it->second.first;
-  *stamp = it->second.second;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  *value = it->second.value;
+  *stamp = it->second.stamp;
   return true;
 }
 
 void NodeCache::Put(uint64_t node_id, std::string value, uint64_t stamp) {
   std::lock_guard<std::mutex> lock(mutex_);
-  nodes_[node_id] = {std::move(value), stamp};
+  auto it = nodes_.find(node_id);
+  if (it != nodes_.end()) {
+    it->second.value = std::move(value);
+    it->second.stamp = stamp;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(node_id);
+  nodes_[node_id] = {std::move(value), stamp, lru_.begin()};
+  while (nodes_.size() > max_entries_) {
+    nodes_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 void NodeCache::Erase(uint64_t node_id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  nodes_.erase(node_id);
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) return;
+  lru_.erase(it->second.lru_it);
+  nodes_.erase(it);
 }
 
 void NodeCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   nodes_.clear();
+  lru_.clear();
+}
+
+size_t NodeCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.size();
 }
 
 // --------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 #define TELL_INDEX_BTREE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -37,9 +38,21 @@ struct BTreeOptions {
 
 /// Per-processing-node cache of inner B+tree nodes. Shared by all workers of
 /// one PN; thread safe. Entries are (node id -> serialized node + stamp).
+///
+/// Bounded: at most `max_entries` nodes are held, evicted least-recently-used
+/// (Get refreshes recency). An evicted inner node is simply re-fetched on the
+/// next descent, so the bound affects cost only, never correctness — and the
+/// LRU order naturally pins the root and upper levels, which every descent
+/// touches. Entry count is exported as the `index.cache.entries` gauge.
 class NodeCache {
  public:
-  NodeCache() = default;
+  /// Default entry bound. At the default fanout (64) this caches the entire
+  /// inner-node set of trees with ~4096*64 leaves — far past what the
+  /// benchmarks build — while capping memory for adversarial workloads.
+  static constexpr size_t kDefaultMaxEntries = 4096;
+
+  explicit NodeCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
   NodeCache(const NodeCache&) = delete;
   NodeCache& operator=(const NodeCache&) = delete;
 
@@ -50,12 +63,24 @@ class NodeCache {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t entries() const;
+  size_t max_entries() const { return max_entries_; }
 
  private:
-  std::mutex mutex_;
-  std::map<uint64_t, std::pair<std::string, uint64_t>> nodes_;
+  struct Entry {
+    std::string value;
+    uint64_t stamp = 0;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Entry> nodes_;
+  std::list<uint64_t> lru_;  // front = most recently used
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 /// Latch-free distributed B+tree (paper §5.3).

@@ -75,6 +75,18 @@ const BuiltinGauge kBuiltinGauges[] = {
      "leader elections run by commit-manager slots"},
     {"commitmgr.repl.term", "term",
      "highest election term reached by any slot"},
+    // Client record cache totals (store/record_cache.h), summed over
+    // processing nodes; per-worker hit/miss counters live in
+    // store.cache.hits / store.cache.misses. All zero with the cache off.
+    {"store.cache.entries", "entries",
+     "entries held by client record caches"},
+    {"store.cache.evictions", "entries",
+     "entries evicted from client record caches (LRU/capacity)"},
+    {"store.cache.invalidations", "entries",
+     "cache entries dropped because their partition's lease epoch moved"},
+    // Per-PN B+tree inner-node caches, summed over processing nodes.
+    {"index.cache.entries", "entries",
+     "inner B+tree nodes held by per-PN node caches"},
     // Shared record buffer (SB/SBVS) stats, summed over processing nodes.
     {"buffer.shared.hits", "reads", "shared-buffer probes served locally"},
     {"buffer.shared.misses", "reads",

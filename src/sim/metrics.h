@@ -121,6 +121,19 @@ struct WorkerMetrics {
   uint64_t fastpath_tid_leases = 0;
   /// Batched fast-commit completion flushes sent to the commit manager.
   uint64_t fastpath_flushes = 0;
+  /// Record reads served from the client record cache (lease epochs valid).
+  uint64_t cache_hits = 0;
+  /// Record reads that missed (or lease-invalidated) the client record cache.
+  uint64_t cache_misses = 0;
+  /// Reads completed as one-sided (RDMA READ-style) fetches: no storage-node
+  /// CPU involved, validated client-side against the partition lease epoch.
+  uint64_t onesided_reads = 0;
+  /// One-sided fetches whose lease-epoch validation failed (concurrent write
+  /// or injected fault); each one fell back to the two-sided path.
+  uint64_t onesided_validation_failures = 0;
+  /// Reads that fell back to the two-sided RPC path after a one-sided
+  /// attempt (validation failure, fault, or unroutable partition).
+  uint64_t onesided_fallbacks = 0;
 
   /// Transaction response time distribution (virtual ns).
   Histogram response_time;
@@ -267,6 +280,22 @@ inline const std::vector<WorkerCounterField>& WorkerCounterFields() {
       {"tx.fastpath.flushes", "messages",
        "batched fast-commit completion flushes sent to the commit manager",
        &WorkerMetrics::fastpath_flushes},
+      {"store.cache.hits", "reads",
+       "record reads served from the client record cache",
+       &WorkerMetrics::cache_hits},
+      {"store.cache.misses", "reads",
+       "record reads that missed or were lease-invalidated in the client "
+       "record cache",
+       &WorkerMetrics::cache_misses},
+      {"store.onesided.reads", "reads",
+       "reads completed as one-sided (RDMA READ-style) fetches",
+       &WorkerMetrics::onesided_reads},
+      {"store.onesided.validation_failures", "reads",
+       "one-sided fetches whose lease-epoch validation failed",
+       &WorkerMetrics::onesided_validation_failures},
+      {"store.onesided.fallbacks", "reads",
+       "reads that fell back to the two-sided path after a one-sided attempt",
+       &WorkerMetrics::onesided_fallbacks},
   };
   return kFields;
 }

@@ -14,11 +14,14 @@ namespace tell::sim {
 /// dies by network latency: InfiniBand RDMA round trips of a few microseconds
 /// give >6x the throughput of 10 Gb Ethernet. We model a storage request as
 ///
-///     cost = base_rtt_ns + (request_bytes + response_bytes) * ns_per_byte
-///            + queue_ns   (congestion term, grows with load factor)
+///     cost = base_rtt_ns + software_overhead_ns
+///            + (request_bytes + response_bytes) * ns_per_byte
 ///
 /// which captures both the latency floor (dominant for small record ops) and
-/// the serialization cost of large transfers (dominant for scans).
+/// the serialization cost of large transfers (dominant for scans). There is
+/// deliberately no congestion/queueing term: load-dependent queueing emerges
+/// from the worker interleaving itself, and a modelled term would
+/// double-count it.
 struct NetworkModel {
   std::string name;
   /// One round trip PN <-> SN (or SN <-> replica), nanoseconds.
@@ -28,6 +31,29 @@ struct NetworkModel {
   /// Fixed per-request software overhead on top of the wire (stack
   /// traversal; ~0 for RDMA, substantial for kernel TCP).
   uint64_t software_overhead_ns = 0;
+  /// Whether the interconnect supports one-sided (RDMA READ) fetches that
+  /// bypass the storage node's CPU entirely. Kernel-TCP models cannot: a
+  /// read there always traverses the remote software stack, so clients fall
+  /// back to the two-sided path.
+  bool one_sided_reads = false;
+  /// Round trip of a one-sided READ, nanoseconds. Cheaper than base_rtt_ns
+  /// because the responder NIC answers from memory without involving its
+  /// host CPU or request dispatch loop.
+  uint64_t one_sided_rtt_ns = 0;
+
+  bool HasOneSidedReads() const { return one_sided_reads; }
+
+  /// Cost of a one-sided READ fetching `response_bytes` after posting a
+  /// `request_bytes` work request. No software_overhead_ns — the whole
+  /// point of the one-sided path is that no remote software runs — and the
+  /// caller must not charge the storage node CpuModel either.
+  uint64_t OneSidedReadCost(uint64_t request_bytes,
+                            uint64_t response_bytes) const {
+    return one_sided_rtt_ns +
+           static_cast<uint64_t>(
+               static_cast<double>(request_bytes + response_bytes) *
+               ns_per_byte);
+  }
 
   /// Cost of one request/response exchange carrying the given payloads.
   uint64_t RequestCost(uint64_t request_bytes, uint64_t response_bytes) const {
@@ -72,6 +98,8 @@ struct NetworkModel {
     m.base_rtt_ns = 5000;        // ~5 us RDMA round trip
     m.ns_per_byte = 0.2;         // 40 Gbit/s ~ 5 GB/s
     m.software_overhead_ns = 0;  // kernel bypass
+    m.one_sided_reads = true;    // RDMA READ, responder CPU bypassed
+    m.one_sided_rtt_ns = 2500;   // wire + NIC share of the round trip
     return m;
   }
 
@@ -94,6 +122,10 @@ struct NetworkModel {
     m.base_rtt_ns = 0;
     m.ns_per_byte = 0.0;
     m.software_overhead_ns = 0;
+    // RDMA-capable at zero cost so semantics tests can exercise the
+    // one-sided validation protocol without caring about timing.
+    m.one_sided_reads = true;
+    m.one_sided_rtt_ns = 0;
     return m;
   }
 };

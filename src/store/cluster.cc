@@ -15,6 +15,7 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   for (uint32_t i = 0; i < options_.num_storage_nodes; ++i) {
     nodes_.push_back(std::make_unique<StorageNode>(
         i, options_.memory_per_node_bytes, options_.stripes_per_partition));
+    nodes_.back()->set_lease_epochs(&lease_epochs_);
   }
 }
 
@@ -80,6 +81,12 @@ Result<Cluster::Route> Cluster::RouteForPartition(TableId table,
 Result<VersionedCell> Cluster::Get(TableId table, std::string_view key) const {
   TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
   return route.master->Get(table, route.partition, key);
+}
+
+Result<VersionedCell> Cluster::OneSidedGet(TableId table,
+                                           std::string_view key) const {
+  TELL_ASSIGN_OR_RETURN(Route route, RouteFor(table, key));
+  return route.master->OneSidedRead(table, route.partition, key);
 }
 
 Result<uint64_t> Cluster::Put(TableId table, std::string_view key,

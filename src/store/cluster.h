@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "store/partition_map.h"
+#include "store/record_cache.h"
 #include "store/storage_node.h"
 
 namespace tell::store {
@@ -58,6 +59,11 @@ class Cluster {
   // --- Record operations (routed to the master copy, replicated) ---------
 
   Result<VersionedCell> Get(TableId table, std::string_view key) const;
+  /// One-sided read of the master copy: routes like Get but reads through
+  /// StorageNode::OneSidedRead, which skips the node's request counters (an
+  /// RDMA READ never touches the server CPU). Clients must validate the
+  /// result against the partition's lease epoch before trusting it.
+  Result<VersionedCell> OneSidedGet(TableId table, std::string_view key) const;
   Result<uint64_t> Put(TableId table, std::string_view key,
                        std::string_view value);
   Result<uint64_t> ConditionalPut(TableId table, std::string_view key,
@@ -91,6 +97,12 @@ class Cluster {
   uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
   PartitionMap& partition_map() { return partition_map_; }
   const PartitionMap& partition_map() const { return partition_map_; }
+
+  /// Per-partition lease epochs for the client record cache. Storage nodes
+  /// bump them on every write; StorageClient samples them around cache
+  /// fills and probes (store/record_cache.h).
+  LeaseEpochTable& lease_epochs() { return lease_epochs_; }
+  const LeaseEpochTable& lease_epochs() const { return lease_epochs_; }
 
   /// Number of storage nodes a request for `key` would touch (always 1;
   /// exposed for the client's batching logic: ops are grouped per master).
@@ -127,6 +139,7 @@ class Cluster {
   const ClusterOptions options_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   PartitionMap partition_map_;
+  LeaseEpochTable lease_epochs_;
 
   mutable std::shared_mutex catalog_mutex_;
   std::map<std::string, TableId> catalog_;

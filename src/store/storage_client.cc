@@ -53,6 +53,114 @@ void StorageClient::ChargeReplication(uint64_t num_writes) {
                    options_.network.software_overhead_ns));
 }
 
+uint64_t StorageClient::LeaseEpochOf(TableId table,
+                                     std::string_view key) const {
+  auto partition = cluster_->partition_map().PartitionFor(table, key);
+  if (!partition.ok()) return 0;
+  return cluster_->lease_epochs().Epoch(table, *partition);
+}
+
+bool StorageClient::CacheProbe(TableId table, std::string_view key,
+                               VersionedCell* out) {
+  if (options_.record_cache == nullptr) return false;
+  // Sampling the epoch *now* and requiring the entry's fill epoch to match
+  // makes the hit byte-identical to a fresh fetch at this instant — the
+  // read's linearization point (store/record_cache.h has the proof).
+  uint64_t epoch = LeaseEpochOf(table, key);
+  if (options_.record_cache->Get(table, key, epoch, out)) {
+    metrics_->cache_hits += 1;
+    return true;
+  }
+  metrics_->cache_misses += 1;
+  return false;
+}
+
+void StorageClient::CacheFill(TableId table, std::string_view key,
+                              const VersionedCell& cell, uint64_t fill_epoch) {
+  if (options_.record_cache == nullptr) return;
+  options_.record_cache->Put(table, key, cell, fill_epoch);
+}
+
+void StorageClient::ChargeOneSidedRead(uint64_t request_bytes,
+                                       uint64_t response_bytes) {
+  clock_->Advance(
+      options_.network.OneSidedReadCost(request_bytes, response_bytes));
+  metrics_->storage_requests += 1;
+  metrics_->bytes_sent += request_bytes;
+  metrics_->bytes_received += response_bytes;
+}
+
+std::optional<Result<VersionedCell>> StorageClient::OneSidedFetch(
+    TableId table, std::string_view key, uint64_t* fill_epoch,
+    uint64_t* response_bytes) {
+  // Seqlock-style validation: sample the partition's lease epoch, fetch the
+  // raw cell, re-sample. An unchanged epoch proves no write raced the fetch
+  // (every write bumps the epoch after mutating, inside its critical
+  // section), so the bytes are exactly what a two-sided Get would return.
+  uint64_t e0 = LeaseEpochOf(table, key);
+  if (options_.fault_injector != nullptr) {
+    sim::FaultInjector::Decision d = options_.fault_injector->OnRequest(
+        sim::FaultOpClass::kOneSidedGet, table);
+    if (d.kill_node >= 0 &&
+        d.kill_node < static_cast<int64_t>(cluster_->num_nodes())) {
+      cluster_->node(static_cast<uint32_t>(d.kill_node))->Kill();
+    }
+    if (d.extra_latency_ns > 0) clock_->Advance(d.extra_latency_ns);
+    if (d.drop_request || d.drop_response) {
+      // A lost READ work request or completion: the client cannot tell what
+      // happened and simply re-issues through the two-sided path.
+      metrics_->onesided_validation_failures += 1;
+      return std::nullopt;
+    }
+  }
+  auto result = cluster_->OneSidedGet(table, key);
+  if (!result.ok() && !result.status().IsNotFound()) {
+    // Unroutable or dead node. The one-sided path has no fail-over story of
+    // its own (there is no server to ask), so hand the op to the two-sided
+    // retry machinery. NotFound is NOT a failure: with a valid epoch it is
+    // the correct answer for an absent key.
+    return std::nullopt;
+  }
+  uint64_t e1 = LeaseEpochOf(table, key);
+  if (e1 != e0) {
+    metrics_->onesided_validation_failures += 1;
+    return std::nullopt;
+  }
+  *fill_epoch = e0;
+  *response_bytes = result.ok() ? result->value.size() + 8 : 8;
+  metrics_->onesided_reads += 1;
+  return result;
+}
+
+Result<VersionedCell> StorageClient::GetImpl(TableId table,
+                                             std::string_view key,
+                                             bool try_one_sided) {
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  VersionedCell cached;
+  if (CacheProbe(table, key, &cached)) return cached;
+  if (try_one_sided) {
+    uint64_t fill_epoch = 0;
+    uint64_t response_bytes = 0;
+    auto fetched = OneSidedFetch(table, key, &fill_epoch, &response_bytes);
+    if (fetched.has_value()) {
+      ChargeOneSidedRead(key.size() + kPerOpHeaderBytes, response_bytes);
+      if (fetched->ok()) CacheFill(table, key, **fetched, fill_epoch);
+      return std::move(*fetched);
+    }
+    metrics_->onesided_fallbacks += 1;
+  }
+  // Two-sided path. The fill epoch is sampled before the fetch (a write
+  // racing the gap only causes a spurious invalidation later, never a stale
+  // hit — see store/record_cache.h).
+  uint64_t fill_epoch = LeaseEpochOf(table, key);
+  auto result = GetWithRetry(table, key);
+  uint64_t response_bytes = result.ok() ? result->value.size() + 8 : 8;
+  ChargeRequest(key.size() + kPerOpHeaderBytes, response_bytes);
+  if (result.ok()) CacheFill(table, key, *result, fill_epoch);
+  return result;
+}
+
 Result<VersionedCell> StorageClient::GetWithRetry(TableId table,
                                                   std::string_view key) {
   return IssueWithRetry(sim::FaultOpClass::kGet, table,
@@ -181,10 +289,52 @@ Future<VersionedCell> StorageClient::AsyncGet(TableId table,
   }
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
+  // A cache hit needs no network at all, so it resolves at enqueue time
+  // (the probe instant is the read's linearization point) instead of
+  // occupying a slot in the flushed message.
+  VersionedCell cached;
+  if (CacheProbe(table, key, &cached)) {
+    Promise<VersionedCell> promise;
+    promise.Set(Result<VersionedCell>(std::move(cached)));
+    return promise.future();
+  }
   PendingOp op;
   op.kind = PendingOp::Kind::kGet;
   op.table = table;
   op.key = std::string(key);
+  op.one_sided = OneSidedEnabled();
+  op.get_state = std::make_shared<internal::FutureState<VersionedCell>>();
+  op.get_state->flusher = this;
+  Future<VersionedCell> future{op.get_state};
+  pending_.push_back(std::move(op));
+  return future;
+}
+
+Future<VersionedCell> StorageClient::AsyncOneSidedGet(TableId table,
+                                                      std::string_view key) {
+  // Forced one-sided read: attempt the RDMA READ protocol whenever the
+  // network model is capable, even if ClientOptions::one_sided_reads is off
+  // (callers that explicitly fetch raw cells, e.g. microbenchmarks and
+  // tests). On a kernel-TCP model this is exactly AsyncGet.
+  const bool capable = options_.network.HasOneSidedReads();
+  if (!options_.pipelining) {
+    Promise<VersionedCell> promise;
+    promise.Set(GetImpl(table, key, capable));
+    return promise.future();
+  }
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  VersionedCell cached;
+  if (CacheProbe(table, key, &cached)) {
+    Promise<VersionedCell> promise;
+    promise.Set(Result<VersionedCell>(std::move(cached)));
+    return promise.future();
+  }
+  PendingOp op;
+  op.kind = PendingOp::Kind::kGet;
+  op.table = table;
+  op.key = std::string(key);
+  op.one_sided = capable;
   op.get_state = std::make_shared<internal::FutureState<VersionedCell>>();
   op.get_state->flusher = this;
   Future<VersionedCell> future{op.get_state};
@@ -389,16 +539,49 @@ void StorageClient::Flush() {
   metrics_->pipeline_flushes += 1;
   metrics_->pipeline_in_flight.Record(ops.size());
 
+  uint64_t slowest_message_ns = 0;
+  uint64_t total_serial_ns = 0;
+
+  // One-sided pre-pass: eligible reads are issued as individual RDMA READs
+  // flying in parallel with the coalesced messages below (each READ is its
+  // own "message" for the slowest-message clock advance). A read that
+  // validates resolves here; one that does not joins its node's two-sided
+  // message like any other get.
+  std::vector<bool> one_sided_done(ops.size(), false);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    PendingOp& op = ops[i];
+    if (op.kind != PendingOp::Kind::kGet || !op.one_sided) continue;
+    uint64_t fill_epoch = 0;
+    uint64_t response_bytes = 0;
+    auto fetched = OneSidedFetch(op.table, op.key, &fill_epoch,
+                                 &response_bytes);
+    if (!fetched.has_value()) {
+      metrics_->onesided_fallbacks += 1;
+      continue;
+    }
+    op.get_result = std::move(*fetched);
+    one_sided_done[i] = true;
+    uint64_t request_bytes = op.key.size() + kPerOpHeaderBytes;
+    uint64_t cost =
+        options_.network.OneSidedReadCost(request_bytes, response_bytes);
+    metrics_->storage_requests += 1;
+    metrics_->bytes_sent += request_bytes;
+    metrics_->bytes_received += response_bytes;
+    if (op.get_result->ok()) {
+      CacheFill(op.table, op.key, **op.get_result, fill_epoch);
+    }
+    slowest_message_ns = std::max(slowest_message_ns, cost);
+    total_serial_ns += cost;
+  }
+
   // One coalesced message per master storage node, issued in parallel
   // (std::map keeps the group order deterministic).
   std::map<uint32_t, std::vector<size_t>> groups;
   for (size_t i = 0; i < ops.size(); ++i) {
+    if (one_sided_done[i]) continue;
     auto master = cluster_->MasterOf(ops[i].table, ops[i].key);
     groups[master.ok() ? *master : 0].push_back(i);
   }
-
-  uint64_t slowest_message_ns = 0;
-  uint64_t total_serial_ns = 0;
   for (const auto& [node, members] : groups) {
     (void)node;
     // Fault injection observes the same unit the accounting charges: one
@@ -436,6 +619,11 @@ void StorageClient::Flush() {
           op.write_result = Result<uint64_t>(lost);
         }
       } else {
+        if (op.kind == PendingOp::Kind::kGet) {
+          // Cache-fill tag: the epoch must be sampled before the fetch
+          // executes (store/record_cache.h).
+          op.fill_epoch = LeaseEpochOf(op.table, op.key);
+        }
         response_bytes = ExecuteRaw(&op);
         if (d.drop_response) {
           // Executed, but the response message was lost: every op in it is
@@ -448,6 +636,8 @@ void StorageClient::Flush() {
             op.write_result = Result<uint64_t>(lost);
           }
           response_bytes = 0;
+        } else if (op.kind == PendingOp::Kind::kGet && op.get_result->ok()) {
+          CacheFill(op.table, op.key, **op.get_result, op.fill_epoch);
         }
       }
       per_op_bytes.emplace_back(request_bytes, response_bytes);
@@ -480,12 +670,7 @@ void StorageClient::Flush() {
 }
 
 Result<VersionedCell> StorageClient::Get(TableId table, std::string_view key) {
-  metrics_->storage_ops += 1;
-  clock_->Advance(options_.cpu.per_op_ns);
-  auto result = GetWithRetry(table, key);
-  uint64_t response_bytes = result.ok() ? result->value.size() + 8 : 8;
-  ChargeRequest(key.size() + kPerOpHeaderBytes, response_bytes);
-  return result;
+  return GetImpl(table, key, OneSidedEnabled());
 }
 
 std::vector<Result<VersionedCell>> StorageClient::BatchGet(
@@ -508,20 +693,71 @@ std::vector<Result<VersionedCell>> StorageClient::BatchGet(
   clock_->Advance(options_.cpu.per_op_ns * ops.size());
 
   if (!options_.batching) {
-    // Ablation mode: one sequential round trip per logical op.
+    // Ablation mode: one sequential round trip per logical op. Cache hits
+    // and one-sided reads still apply — that ablation isolates *batching*.
     for (const auto& op : ops) {
+      VersionedCell cached;
+      if (CacheProbe(op.table, op.key, &cached)) {
+        results.push_back(std::move(cached));
+        continue;
+      }
+      if (OneSidedEnabled()) {
+        uint64_t fill_epoch = 0;
+        uint64_t response_bytes = 0;
+        auto fetched = OneSidedFetch(op.table, op.key, &fill_epoch,
+                                     &response_bytes);
+        if (fetched.has_value()) {
+          ChargeOneSidedRead(op.key.size() + kPerOpHeaderBytes,
+                             response_bytes);
+          if (fetched->ok()) CacheFill(op.table, op.key, **fetched, fill_epoch);
+          results.push_back(std::move(*fetched));
+          continue;
+        }
+        metrics_->onesided_fallbacks += 1;
+      }
+      uint64_t fill_epoch = LeaseEpochOf(op.table, op.key);
       auto result = GetWithRetry(op.table, op.key);
       uint64_t response_bytes = result.ok() ? result->value.size() + 8 : 8;
       ChargeRequest(op.key.size() + kPerOpHeaderBytes, response_bytes);
+      if (result.ok()) CacheFill(op.table, op.key, *result, fill_epoch);
       results.push_back(std::move(result));
     }
     return results;
   }
 
   // Group ops by master storage node; one request per node, in parallel.
+  // Cache hits cost nothing; one-sided reads fly as individual READs next
+  // to the coalesced two-sided requests, so the charged time is the max
+  // over all of them.
   std::map<uint32_t, std::pair<uint64_t, uint64_t>> group_bytes;
   std::map<uint32_t, uint64_t> group_ops;
+  uint64_t max_parallel_ns = 0;
   for (const auto& op : ops) {
+    VersionedCell cached;
+    if (CacheProbe(op.table, op.key, &cached)) {
+      results.push_back(std::move(cached));
+      continue;
+    }
+    if (OneSidedEnabled()) {
+      uint64_t fill_epoch = 0;
+      uint64_t response_bytes = 0;
+      auto fetched = OneSidedFetch(op.table, op.key, &fill_epoch,
+                                   &response_bytes);
+      if (fetched.has_value()) {
+        uint64_t request_bytes = op.key.size() + kPerOpHeaderBytes;
+        metrics_->storage_requests += 1;
+        metrics_->bytes_sent += request_bytes;
+        metrics_->bytes_received += response_bytes;
+        max_parallel_ns = std::max(
+            max_parallel_ns,
+            options_.network.OneSidedReadCost(request_bytes, response_bytes));
+        if (fetched->ok()) CacheFill(op.table, op.key, **fetched, fill_epoch);
+        results.push_back(std::move(*fetched));
+        continue;
+      }
+      metrics_->onesided_fallbacks += 1;
+    }
+    uint64_t fill_epoch = LeaseEpochOf(op.table, op.key);
     auto result = GetWithRetry(op.table, op.key);
     auto master = cluster_->MasterOf(op.table, op.key);
     uint32_t node = master.ok() ? *master : 0;
@@ -529,15 +765,22 @@ std::vector<Result<VersionedCell>> StorageClient::BatchGet(
     req += op.key.size() + kPerOpHeaderBytes;
     resp += result.ok() ? result->value.size() + 8 : 8;
     group_ops[node] += 1;
+    if (result.ok()) CacheFill(op.table, op.key, *result, fill_epoch);
     results.push_back(std::move(result));
   }
-  std::vector<std::pair<uint64_t, uint64_t>> requests;
-  requests.reserve(group_bytes.size());
-  for (const auto& [node, bytes] : group_bytes) requests.push_back(bytes);
+  for (const auto& [node, bytes] : group_bytes) {
+    max_parallel_ns =
+        std::max(max_parallel_ns,
+                 options_.network.RequestCost(
+                     bytes.first + kPerRequestHeaderBytes, bytes.second));
+    metrics_->storage_requests += 1;
+    metrics_->bytes_sent += bytes.first + kPerRequestHeaderBytes;
+    metrics_->bytes_received += bytes.second;
+  }
   for (const auto& [node, count] : group_ops) {
     metrics_->batch_size.Record(count);
   }
-  ChargeParallelRequests(requests);
+  clock_->Advance(max_parallel_ns);
   return results;
 }
 

@@ -70,6 +70,20 @@ struct ClientOptions {
   /// request. Not owned; shared by all clients of a cluster. nullptr = no
   /// faults.
   sim::FaultInjector* fault_injector = nullptr;
+  /// Optional per-PN shared record cache (store/record_cache.h), holding
+  /// versioned cells and B-tree leaves under lease epochs. Not owned;
+  /// shared by every worker client of the processing node. nullptr = no
+  /// caching. A hit skips the network round trip entirely (only the client
+  /// per-op CPU is charged) and is guaranteed byte-identical to a fresh
+  /// fetch by the lease-epoch protocol.
+  RecordCache* record_cache = nullptr;
+  /// Model reads as one-sided RDMA READs when the NetworkModel supports
+  /// them (NetworkModel::HasOneSidedReads): the fetch pays
+  /// OneSidedReadCost — no software overhead, no storage-node request
+  /// dispatch — and is validated client-side against the partition's lease
+  /// epoch (seqlock style). Validation failure falls back to the ordinary
+  /// two-sided path. Ignored on kernel-TCP models.
+  bool one_sided_reads = false;
 };
 
 /// The storage interface of a processing node worker (paper Fig. 3,
@@ -107,8 +121,16 @@ class StorageClient : public PipelineFlusher {
   sim::WorkerMetrics* metrics() { return metrics_; }
   Cluster* cluster() { return cluster_; }
 
-  /// Single-record read (one round trip).
+  /// Single-record read (one round trip; record cache and one-sided path
+  /// applied when configured).
   Result<VersionedCell> Get(TableId table, std::string_view key);
+
+  /// Explicit one-sided read: fetches the versioned cell raw via an RDMA
+  /// READ and validates it client-side against the partition's lease epoch,
+  /// regardless of ClientOptions::one_sided_reads. Falls back to the
+  /// two-sided path when the network model has no one-sided support or the
+  /// validation fails. Same future semantics as AsyncGet.
+  Future<VersionedCell> AsyncOneSidedGet(TableId table, std::string_view key);
 
   /// --- Asynchronous pipeline (ClientOptions::pipelining) -------------------
   ///
@@ -292,6 +314,45 @@ class StorageClient : public PipelineFlusher {
                           []() -> std::optional<R> { return std::nullopt; });
   }
 
+  /// Whether reads may take the one-sided path (client opted in AND the
+  /// network model supports RDMA READs).
+  bool OneSidedEnabled() const {
+    return options_.one_sided_reads && options_.network.HasOneSidedReads();
+  }
+
+  /// Current lease epoch of the partition owning (table, key); 0 when the
+  /// partition cannot be resolved (the fetch will fail the same way).
+  uint64_t LeaseEpochOf(TableId table, std::string_view key) const;
+
+  /// Record-cache probe. On a hit fills `out` (byte-identical to a fresh
+  /// fetch by the lease protocol) and counts a cache hit; no network is
+  /// charged. Counts a miss otherwise. No-op false without a cache.
+  bool CacheProbe(TableId table, std::string_view key, VersionedCell* out);
+
+  /// Installs a fetched cell with the epoch sampled before the fetch.
+  void CacheFill(TableId table, std::string_view key,
+                 const VersionedCell& cell, uint64_t fill_epoch);
+
+  /// One attempt of the one-sided protocol, uncharged: samples the epoch,
+  /// fetches the raw cell bypassing the storage-node request path, and
+  /// re-samples to validate. Returns the result (possibly NotFound) with
+  /// `fill_epoch`/`response_bytes` set, or nullopt when validation failed —
+  /// epoch moved, injected fault, or node down — in which case the caller
+  /// counts the fallback and uses the two-sided path.
+  std::optional<Result<VersionedCell>> OneSidedFetch(TableId table,
+                                                     std::string_view key,
+                                                     uint64_t* fill_epoch,
+                                                     uint64_t* response_bytes);
+
+  /// Charges one one-sided READ: NetworkModel::OneSidedReadCost, no
+  /// per-request framing and no software overhead.
+  void ChargeOneSidedRead(uint64_t request_bytes, uint64_t response_bytes);
+
+  /// Shared body of Get and the immediate (non-pipelined) AsyncOneSidedGet:
+  /// cache probe, optional one-sided attempt, two-sided fallback + fill.
+  Result<VersionedCell> GetImpl(TableId table, std::string_view key,
+                                bool try_one_sided);
+
   /// Retried single-op primitives without cost accounting; the public
   /// methods and the batch paths layer their own request charges on top.
   Result<VersionedCell> GetWithRetry(TableId table, std::string_view key);
@@ -329,6 +390,11 @@ class StorageClient : public PipelineFlusher {
     std::string key;
     std::string value;               // puts only
     uint64_t expected_stamp = 0;     // conditional ops only
+    /// kGet only: attempt the one-sided path for this op at flush time.
+    bool one_sided = false;
+    /// kGet only: lease epoch sampled immediately before the fetch executed
+    /// (the cache-fill tag and the seqlock "before" sample).
+    uint64_t fill_epoch = 0;
     // Exactly one of the two states is set, matching `kind`.
     std::shared_ptr<internal::FutureState<VersionedCell>> get_state;
     std::shared_ptr<internal::FutureState<uint64_t>> write_state;

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "store/record_cache.h"
 
 namespace tell::store {
 
@@ -48,6 +49,14 @@ StorageNode::Partition* StorageNode::FindPartition(TableId table,
   std::shared_lock lock(partitions_mutex_);
   auto it = partitions_.find(PartitionKey(table, partition));
   return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+void StorageNode::BumpLeaseEpoch(TableId table, uint32_t partition) const {
+  // Ordering contract (see LeaseEpochTable): the bump happens after the
+  // cell mutation, inside the same stripe-exclusive critical section, so a
+  // cache probe that still observes the pre-bump epoch is guaranteed the
+  // store has not changed since the probe's fill fetched it.
+  if (lease_epochs_ != nullptr) lease_epochs_->Bump(table, partition);
 }
 
 Status StorageNode::CheckAlive() const {
@@ -164,6 +173,23 @@ Result<VersionedCell> StorageNode::Get(TableId table, uint32_t partition,
   return it->second;
 }
 
+Result<VersionedCell> StorageNode::OneSidedRead(TableId table,
+                                                uint32_t partition,
+                                                std::string_view key) const {
+  // Same lookup as Get, but no stats_.gets: the node's CPU never handles an
+  // RDMA READ, so it must not show up in the store.node.* request gauges.
+  // (The stripe lock stands in for the DMA engine's cache-coherent access;
+  // the *virtual* cost model on the client side charges no server time.)
+  TELL_RETURN_NOT_OK(CheckAlive());
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  const Stripe& stripe = part->StripeOf(key);
+  auto lock = LockShared(stripe);
+  auto it = stripe.cells.find(key);
+  if (it == stripe.cells.end()) return Status::NotFound();
+  return it->second;
+}
+
 Result<uint64_t> StorageNode::Put(TableId table, uint32_t partition,
                                   std::string_view key,
                                   std::string_view value) {
@@ -196,6 +222,7 @@ Result<uint64_t> StorageNode::Put(TableId table, uint32_t partition,
     it->second.value.assign(value);
     it->second.stamp = stamp;
   }
+  BumpLeaseEpoch(table, partition);
   return stamp;
 }
 
@@ -239,6 +266,7 @@ Result<uint64_t> StorageNode::ConditionalPut(TableId table, uint32_t partition,
     it->second.value.assign(value);
     it->second.stamp = stamp;
   }
+  BumpLeaseEpoch(table, partition);
   return stamp;
 }
 
@@ -265,6 +293,7 @@ Status StorageNode::ConditionalErase(TableId table, uint32_t partition,
                          std::memory_order_relaxed);
   stripe.cells.erase(it);
   JournalEraseLocked(part, key);
+  BumpLeaseEpoch(table, partition);
   return Status::OK();
 }
 
@@ -286,6 +315,7 @@ Status StorageNode::Erase(TableId table, uint32_t partition,
                          std::memory_order_relaxed);
   stripe.cells.erase(it);
   JournalEraseLocked(part, key);
+  BumpLeaseEpoch(table, partition);
   return Status::OK();
 }
 
@@ -371,6 +401,7 @@ Result<int64_t> StorageNode::AtomicIncrement(TableId table, uint32_t partition,
     it->second.value = encoded;
     it->second.stamp = stamp;
   }
+  BumpLeaseEpoch(table, partition);
   return updated;
 }
 
@@ -532,6 +563,7 @@ Status StorageNode::InstallMigrationDelta(TableId table, uint32_t partition,
     }
   }
   part->AdvanceStampPast(max_stamp);
+  BumpLeaseEpoch(table, partition);
   return Status::OK();
 }
 
@@ -563,6 +595,7 @@ Status StorageNode::InstallPartition(TableId table, uint32_t partition,
   // Keep the stamp source ahead of every installed stamp so post-fail-over
   // writes remain ABA-safe.
   part->AdvanceStampPast(max_stamp);
+  BumpLeaseEpoch(table, partition);
   return Status::OK();
 }
 
@@ -586,6 +619,7 @@ Status StorageNode::ApplyReplicatedPut(TableId table, uint32_t partition,
     it->second.stamp = stamp;
   }
   part->AdvanceStampPast(stamp);
+  BumpLeaseEpoch(table, partition);
   return Status::OK();
 }
 
@@ -603,6 +637,7 @@ Status StorageNode::ApplyReplicatedErase(TableId table, uint32_t partition,
                            std::memory_order_relaxed);
     stripe.cells.erase(it);
   }
+  BumpLeaseEpoch(table, partition);
   return Status::OK();
 }
 

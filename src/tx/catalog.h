@@ -170,8 +170,28 @@ class TableRegistry {
     return out;
   }
 
+  /// Aggregated inner-node cache statistics over every cache this registry
+  /// owns (feeds the `index.cache.*` gauges).
+  struct CacheStats {
+    uint64_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  CacheStats IndexCacheStats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats stats;
+    for (const auto& cache : caches_) {
+      stats.entries += cache->entries();
+      stats.hits += cache->hits();
+      stats.misses += cache->misses();
+      stats.evictions += cache->evictions();
+    }
+    return stats;
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<TableHandle>, std::less<>> handles_;
   std::vector<std::unique_ptr<index::NodeCache>> caches_;
 };

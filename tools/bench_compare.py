@@ -130,12 +130,15 @@ def selftest():
     import tempfile
 
     def artifact(tpmc, resp_ms, wall_tps=None, wall_seconds=None,
-                 recovery_time_ms=None, migration_dip_pct=None):
+                 recovery_time_ms=None, migration_dip_pct=None,
+                 cache_hit_rate=None):
         derived = {"tpmc": tpmc, "resp_ms": resp_ms}
         if wall_tps is not None:
             derived["wall_tps"] = wall_tps
         if wall_seconds is not None:
             derived["wall_seconds"] = wall_seconds
+        if cache_hit_rate is not None:
+            derived["cache_hit_rate"] = cache_hit_rate
         if recovery_time_ms is not None:
             derived["recovery_time_ms"] = recovery_time_ms
         if migration_dip_pct is not None:
@@ -174,6 +177,13 @@ def selftest():
         (artifact(1000, 1.0, recovery_time_ms=0.9, migration_dip_pct=25.0),
          artifact(1000, 1.0, recovery_time_ms=0.4, migration_dip_pct=5.0),
          10.0, 0),
+        # cache_hit_rate is a rate (higher-is-better): a collapsing client
+        # record cache flags...
+        (artifact(1000, 1.0, cache_hit_rate=0.8),
+         artifact(1000, 1.0, cache_hit_rate=0.4), 10.0, 1),
+        # ...and a cache warming up is clean.
+        (artifact(1000, 1.0, cache_hit_rate=0.4),
+         artifact(1000, 1.0, cache_hit_rate=0.8), 10.0, 0),
     ]
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:

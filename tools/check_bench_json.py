@@ -207,6 +207,61 @@ def _check_recovery(errors, path, derived):
                   f"got {dip!r} (cannot lose more than all throughput)")
 
 
+def _check_cache(errors, path, run):
+    """Client record cache / one-sided read coherence
+    (bench/ablation_client_cache.cc, DESIGN.md "One-sided reads & client
+    caching"): derived cache_hit_rate must be a probability AND must equal
+    hits/(hits+misses) recomputed from the run's own store.cache.* counters
+    — a producer that derives the rate from one run and counters from
+    another (or clamps a >1 ratio) is lying about its cache. A run that
+    declares one_sided_capable = 0 (kernel-TCP network model) must report
+    zero store.onesided.reads: one-sided READs are an RDMA-only mechanism."""
+    derived = run.get("derived")
+    counters = run.get("counters")
+    if not isinstance(derived, dict):
+        return
+    counters = counters if isinstance(counters, dict) else {}
+
+    hit_rate = derived.get("cache_hit_rate")
+    if hit_rate is not None and not isinstance(hit_rate, bool) and \
+            isinstance(hit_rate, (int, float)):
+        if not math.isfinite(hit_rate) or hit_rate < 0 or hit_rate > 1:
+            _fail(errors, path,
+                  f"derived['cache_hit_rate'] must be within [0, 1], "
+                  f"got {hit_rate!r}")
+        else:
+            hits = counters.get("store.cache.hits")
+            misses = counters.get("store.cache.misses")
+            if not isinstance(hits, int) or not isinstance(misses, int):
+                _fail(errors, path,
+                      "derived['cache_hit_rate'] present without the "
+                      "store.cache.hits/store.cache.misses counters it "
+                      "must be computed from")
+            elif hits + misses == 0:
+                _fail(errors, path,
+                      "derived['cache_hit_rate'] present but the run "
+                      "recorded no cache probes (hits + misses == 0)")
+            elif abs(hit_rate - hits / (hits + misses)) > 1e-6:
+                _fail(errors, path,
+                      f"derived['cache_hit_rate'] is {hit_rate!r} but "
+                      f"store.cache.hits/(hits+misses) is "
+                      f"{hits / (hits + misses)!r}")
+
+    capable = derived.get("one_sided_capable")
+    if capable is not None and not isinstance(capable, bool) and \
+            isinstance(capable, (int, float)):
+        if capable not in (0, 1):
+            _fail(errors, path,
+                  f"derived['one_sided_capable'] must be 0 or 1, "
+                  f"got {capable!r}")
+        elif capable == 0:
+            reads = counters.get("store.onesided.reads")
+            if isinstance(reads, int) and reads > 0:
+                _fail(errors, path,
+                      f"run is not one-sided capable (kernel TCP) yet "
+                      f"store.onesided.reads is {reads}")
+
+
 EXEC_NODE_KEYS = {"tasks_completed", "steals", "yields", "parks", "unparks",
                   "busy_ns", "queue_peak"}
 
@@ -266,6 +321,7 @@ def _check_run(errors, path, index, run):
     _check_str_map(errors, rpath, run.get("derived", {}), (int, float), "derived")
     _check_wall_clock(errors, rpath, run.get("derived", {}))
     _check_recovery(errors, rpath, run.get("derived", {}))
+    _check_cache(errors, rpath, run)
     _check_str_map(errors, rpath, run.get("counters", {}), int, "counters")
     _check_str_map(errors, rpath, run.get("gauges", {}), int, "gauges")
     hists = run.get("histograms", {})
@@ -367,6 +423,22 @@ def selftest():
         recovery_time_ms=0.0, kills_injected=0, migration_dip_pct=-3.5)
     assert validate("good_recovery", good_recovery) == [], \
         validate("good_recovery", good_recovery)
+
+    # Coherent client-cache fields: the derived hit rate matches the
+    # counters it came from, and a non-capable (kernel TCP) run reports
+    # zero one-sided reads.
+    good_cache = copy.deepcopy(good)
+    good_cache["runs"][0]["derived"].update(cache_hit_rate=0.75,
+                                            one_sided_capable=1)
+    good_cache["runs"][0]["counters"].update({
+        "store.cache.hits": 3, "store.cache.misses": 1,
+        "store.onesided.reads": 2})
+    good_cache["runs"].append(copy.deepcopy(good["runs"][0]))
+    good_cache["runs"][1]["label"] = "eth"
+    good_cache["runs"][1]["derived"].update(one_sided_capable=0)
+    good_cache["runs"][1]["counters"].update({"store.onesided.reads": 0})
+    assert validate("good_cache", good_cache) == [], \
+        validate("good_cache", good_cache)
     bad_cases = [
         ("schema_version", lambda d: d.update(schema_version=2)),
         ("missing bench", lambda d: d.pop("bench")),
@@ -435,12 +507,35 @@ def selftest():
         ("migration_dip_pct NaN",
          lambda d: d["runs"][0]["derived"].update(
              migration_dip_pct=math.nan)),
+        ("cache_hit_rate above 1",
+         lambda d: (d["runs"][0]["derived"].update(cache_hit_rate=1.2),
+                    d["runs"][0]["counters"].update({
+                        "store.cache.hits": 6,
+                        "store.cache.misses": 1}))),
+        ("cache_hit_rate mismatches counters",
+         lambda d: (d["runs"][0]["derived"].update(cache_hit_rate=0.5),
+                    d["runs"][0]["counters"].update({
+                        "store.cache.hits": 3,
+                        "store.cache.misses": 1}))),
+        ("cache_hit_rate without cache counters",
+         lambda d: d["runs"][0]["derived"].update(cache_hit_rate=0.5)),
+        ("cache_hit_rate with zero probes",
+         lambda d: (d["runs"][0]["derived"].update(cache_hit_rate=0.0),
+                    d["runs"][0]["counters"].update({
+                        "store.cache.hits": 0,
+                        "store.cache.misses": 0}))),
+        ("one-sided reads on a non-capable network",
+         lambda d: (d["runs"][0]["derived"].update(one_sided_capable=0),
+                    d["runs"][0]["counters"].update({
+                        "store.onesided.reads": 4}))),
+        ("one_sided_capable out of range",
+         lambda d: d["runs"][0]["derived"].update(one_sided_capable=2)),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)
         mutate(doc)
         assert validate(name, doc), f"selftest: {name!r} not rejected"
-    print("selftest ok:", 3 + len(bad_cases), "cases")
+    print("selftest ok:", 4 + len(bad_cases), "cases")
     return 0
 
 
