@@ -1,0 +1,255 @@
+// Hybrid OLTP/OLAP suite in the CH-benCHmark style: TPC-C runs at full
+// speed while an analytical session fires aggregate queries over
+// `order_line` — the mixed workload the paper names as the motivation for
+// pushing operators into the storage layer (§5.2). Three runs on identical
+// populations:
+//
+//   tpcc_only          TPC-C alone — the TpmC baseline.
+//   hybrid_pushdown    TPC-C + OLAP with vectorized scan fragments: the
+//                      storage nodes fold matching rows into partial
+//                      aggregate states chunk by chunk, dropping the stripe
+//                      locks between chunks so point operations interleave.
+//   hybrid_nopushdown  same OLAP queries with pushdown off: every row of
+//                      the table crosses the (modelled) network per query.
+//
+// Reported: TpmC and its wall-clock dip vs the baseline, OLAP queries/sec,
+// per-query response bytes for both OLAP modes (the pushdown bytes ratio),
+// and the sql.scan.* counters — rows scanned vs returned, bytes saved,
+// chunk lock releases.
+// Quick mode: set TELL_HYBRID_CHBENCH_QUICK=1 (the ctest round trip).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+using namespace tell;
+using namespace tell::bench;
+
+namespace {
+
+/// CH-benCHmark-flavoured analytical queries over the TPC-C order lines
+/// (quantities are 1..10, amounts are positive for paid lines). All are
+/// full-scan aggregates, so with pushdown on each runs as scan fragments.
+const char* kOlapQueries[] = {
+    // CH Q1-style: per-line-number volume summary of delivered lines.
+    "SELECT ol_number, COUNT(*), SUM(ol_quantity), AVG(ol_amount) "
+    "FROM order_line WHERE ol_delivery_d > 0 GROUP BY ol_number",
+    // Selective revenue aggregate (CH Q6-style).
+    "SELECT SUM(ol_amount) FROM order_line "
+    "WHERE ol_quantity >= 1 AND ol_quantity <= 5 AND ol_amount > 0.01",
+    // Plain table cardinality.
+    "SELECT COUNT(*) FROM order_line",
+};
+constexpr int kNumOlapQueries =
+    static_cast<int>(sizeof(kOlapQueries) / sizeof(kOlapQueries[0]));
+
+struct OlapStats {
+  uint64_t queries = 0;
+  uint64_t bytes_received = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+  uint64_t bytes_saved = 0;
+  uint64_t chunk_lock_releases = 0;
+  uint64_t fragments = 0;
+};
+
+struct RunOutcome {
+  tpcc::DriverResult driver;
+  OlapStats olap;
+  sim::WorkerMetrics merged;  // driver workers + the OLAP session
+  double wall_seconds = 0.0;
+};
+
+enum class Mode { kTpccOnly, kHybridPushdown, kHybridNoPushdown };
+
+RunOutcome RunMode(Mode mode, const tpcc::TpccScale& scale,
+                   uint32_t scan_chunk_cells, uint64_t virtual_ms,
+                   uint32_t workers) {
+  db::TellDbOptions options;
+  options.operator_pushdown = mode == Mode::kHybridPushdown;
+  options.scan_chunk_cells = scan_chunk_cells;
+  TellFixture fixture(options, scale);
+
+  auto olap_session = fixture.db()->OpenSession(0, /*worker_id=*/77);
+  std::atomic<bool> stop{false};
+  OlapStats olap;
+
+  auto run_olap_pass = [&]() -> bool {
+    for (const char* sql : kOlapQueries) {
+      auto result = fixture.db()->AutoCommitSql(olap_session.get(), sql);
+      if (!result.ok()) {
+        std::fprintf(stderr, "olap query failed: %s\n",
+                     result.status().ToString().c_str());
+        return false;
+      }
+      ++olap.queries;
+    }
+    return true;
+  };
+
+  std::thread olap_thread;
+  bool olap_failed = false;
+  if (mode != Mode::kTpccOnly) {
+    // One synchronous pass first so every hybrid run reports at least one
+    // query even if the OLTP window closes immediately.
+    if (!run_olap_pass()) std::exit(1);
+    olap_thread = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!run_olap_pass()) {
+          olap_failed = true;
+          return;
+        }
+      }
+    });
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  auto result = fixture.Run(/*num_pns=*/1, tpcc::Mix::kWriteIntensive,
+                            workers, virtual_ms);
+  stop.store(true);
+  if (olap_thread.joinable()) olap_thread.join();
+  if (!result.ok()) {
+    std::fprintf(stderr, "driver failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (olap_failed) std::exit(1);
+
+  RunOutcome out;
+  out.driver = std::move(*result);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const sim::WorkerMetrics& m = *olap_session->metrics();
+  olap.bytes_received = m.bytes_received;
+  olap.rows_scanned = m.scan_rows_scanned;
+  olap.rows_returned = m.scan_rows_returned;
+  olap.bytes_saved = m.scan_bytes_saved;
+  olap.chunk_lock_releases = m.scan_chunk_lock_releases;
+  olap.fragments = m.scan_fragments;
+  out.olap = olap;
+  out.merged = out.driver.merged;
+  out.merged.Merge(m);  // artifact carries the sql.scan.* counters
+  return out;
+}
+
+const char* ModeLabel(Mode mode) {
+  switch (mode) {
+    case Mode::kTpccOnly: return "tpcc_only";
+    case Mode::kHybridPushdown: return "hybrid_pushdown";
+    case Mode::kHybridNoPushdown: return "hybrid_nopushdown";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Hybrid", "CH-benCHmark-style OLTP/OLAP mix",
+              "mixed workloads motivate pushing operators into the storage "
+              "layer (§5.2): with vectorized scan fragments the analytical "
+              "response is O(groups) instead of O(rows), and chunked scans "
+              "release the stripe locks so TPC-C keeps running");
+
+  const bool quick = std::getenv("TELL_HYBRID_CHBENCH_QUICK") != nullptr;
+  tpcc::TpccScale scale = BenchScale();
+  if (quick) {
+    scale.warehouses = 4;
+    scale.districts_per_warehouse = 2;
+    scale.customers_per_district = 8;
+    scale.items = 50;
+    scale.initial_orders_per_district = 8;
+  }
+  const uint64_t virtual_ms = quick ? 40 : kVirtualMs;
+  const uint32_t workers = quick ? 2 : kWorkersPerPn;
+  const uint32_t scan_chunk_cells = quick ? 16 : 256;
+
+  BenchJson json("hybrid_chbench");
+  json.AddConfig("warehouses", static_cast<uint64_t>(scale.warehouses));
+  json.AddConfig("scan_chunk_cells", static_cast<uint64_t>(scan_chunk_cells));
+  json.AddConfig("olap_query_kinds", static_cast<uint64_t>(kNumOlapQueries));
+
+  std::printf("%-18s %10s %12s %10s %14s %16s\n", "mode", "tpmc", "wall_tps",
+              "olap_qps", "olap B/query", "chunk releases");
+
+  double baseline_wall_tps = 0.0;
+  double bytes_per_query_on = 0.0;
+  double bytes_per_query_off = 0.0;
+  uint64_t releases_on = 0;
+  for (Mode mode : {Mode::kTpccOnly, Mode::kHybridPushdown,
+                    Mode::kHybridNoPushdown}) {
+    RunOutcome out = RunMode(mode, scale, scan_chunk_cells, virtual_ms,
+                             workers);
+    double olap_qps = out.wall_seconds > 0.0
+                          ? static_cast<double>(out.olap.queries) /
+                                out.wall_seconds
+                          : 0.0;
+    double bytes_per_query =
+        out.olap.queries > 0 ? static_cast<double>(out.olap.bytes_received) /
+                                   static_cast<double>(out.olap.queries)
+                             : 0.0;
+    double dip_pct = 0.0;
+    if (mode == Mode::kTpccOnly) {
+      baseline_wall_tps = out.driver.wall_tps;
+    } else if (baseline_wall_tps > 0.0) {
+      dip_pct = (baseline_wall_tps - out.driver.wall_tps) /
+                baseline_wall_tps * 100.0;
+    }
+    if (mode == Mode::kHybridPushdown) {
+      bytes_per_query_on = bytes_per_query;
+      releases_on = out.olap.chunk_lock_releases;
+    }
+    if (mode == Mode::kHybridNoPushdown) bytes_per_query_off = bytes_per_query;
+
+    std::printf("%-18s %10.0f %12.0f %10.1f %14.0f %16llu\n",
+                ModeLabel(mode), out.driver.tpmc, out.driver.wall_tps,
+                olap_qps, bytes_per_query,
+                static_cast<unsigned long long>(
+                    out.olap.chunk_lock_releases));
+
+    auto derived = DerivedOf(out.driver);
+    derived.emplace_back("olap_queries",
+                         static_cast<double>(out.olap.queries));
+    derived.emplace_back("olap_qps", olap_qps);
+    derived.emplace_back("olap_bytes_per_query", bytes_per_query);
+    derived.emplace_back("olap_rows_scanned",
+                         static_cast<double>(out.olap.rows_scanned));
+    derived.emplace_back("olap_rows_returned",
+                         static_cast<double>(out.olap.rows_returned));
+    derived.emplace_back("olap_bytes_saved",
+                         static_cast<double>(out.olap.bytes_saved));
+    derived.emplace_back("olap_chunk_lock_releases",
+                         static_cast<double>(out.olap.chunk_lock_releases));
+    derived.emplace_back("tpmc_dip_pct", dip_pct);
+    json.AddMetrics(ModeLabel(mode), out.merged, std::move(derived));
+  }
+
+  // Shape gates (the acceptance contract of this suite): the vectorized
+  // response is at least 10x smaller per query than shipping the rows, and
+  // the chunked scans really dropped the stripe locks mid-query.
+  double bytes_ratio = bytes_per_query_on > 0.0
+                           ? bytes_per_query_off / bytes_per_query_on
+                           : 0.0;
+  json.AddConfig("olap_bytes_ratio", bytes_ratio);
+  std::printf("\npushdown bytes ratio (off/on per query): %.1fx\n",
+              bytes_ratio);
+  if (bytes_ratio <= 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: pushdown bytes ratio %.1fx <= 10x (on=%.0f B/query, "
+                 "off=%.0f B/query)\n",
+                 bytes_ratio, bytes_per_query_on, bytes_per_query_off);
+    return 1;
+  }
+  if (releases_on == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no chunk lock releases under the hybrid mix\n");
+    return 1;
+  }
+  json.Write();
+  PrintFooter();
+  return 0;
+}

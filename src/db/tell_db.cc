@@ -27,6 +27,7 @@ store::ClientOptions MakeClientOptions(const TellDbOptions& options,
   // session stays uncached and two-sided so DDL/recovery/GC accounting is
   // independent of the read-path configuration.
   client.one_sided_reads = with_faults && options.one_sided_reads;
+  client.scan_chunk_cells = options.scan_chunk_cells;
   return client;
 }
 

@@ -62,7 +62,14 @@ struct TellDbOptions {
   bool one_sided_reads = false;
   /// §5.2 operator push-down: full-scan WHERE clauses evaluate on the
   /// storage nodes (the paper's mixed-workload direction, implemented).
+  /// Also enables the vectorized aggregate path: eligible aggregate queries
+  /// run as storage-side scan fragments (DESIGN.md "Vectorized scans &
+  /// aggregate pushdown").
   bool operator_pushdown = false;
+  /// Batch size (cells) a storage node decodes per stripe-lock acquisition
+  /// during a fragment scan; between chunks the locks drop so OLTP point
+  /// ops are never blocked behind an analytical scan.
+  uint32_t scan_chunk_cells = 1024;
   BufferStrategy buffer_strategy = BufferStrategy::kTransactionOnly;
   uint64_t buffer_unit_size = 10;  // SBVS cache unit size
 

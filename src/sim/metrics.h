@@ -134,6 +134,20 @@ struct WorkerMetrics {
   /// Reads that fell back to the two-sided RPC path after a one-sided
   /// attempt (validation failure, fault, or unroutable partition).
   uint64_t onesided_fallbacks = 0;
+  /// Vectorized scan fragments executed on storage nodes (one per partition
+  /// per analytical query lowered to the pushdown path).
+  uint64_t scan_fragments = 0;
+  /// Cells examined by fragment + pushdown scans on the storage nodes.
+  uint64_t scan_rows_scanned = 0;
+  /// Rows (matching rows, or aggregate groups) shipped back from fragment +
+  /// pushdown scans.
+  uint64_t scan_rows_returned = 0;
+  /// Response bytes avoided by shipping partial-aggregate states instead of
+  /// matching rows (row-shipping baseline minus actual partial-state bytes).
+  uint64_t scan_bytes_saved = 0;
+  /// Times a chunked fragment scan released every stripe lock mid-partition
+  /// (the "never holds a table for a full pass" counter).
+  uint64_t scan_chunk_lock_releases = 0;
 
   /// Transaction response time distribution (virtual ns).
   Histogram response_time;
@@ -296,6 +310,22 @@ inline const std::vector<WorkerCounterField>& WorkerCounterFields() {
       {"store.onesided.fallbacks", "reads",
        "reads that fell back to the two-sided path after a one-sided attempt",
        &WorkerMetrics::onesided_fallbacks},
+      {"sql.scan.fragments", "fragments",
+       "vectorized scan fragments executed on storage nodes",
+       &WorkerMetrics::scan_fragments},
+      {"sql.scan.rows_scanned", "rows",
+       "cells examined by fragment and pushdown scans",
+       &WorkerMetrics::scan_rows_scanned},
+      {"sql.scan.rows_returned", "rows",
+       "rows or aggregate groups shipped back by fragment and pushdown scans",
+       &WorkerMetrics::scan_rows_returned},
+      {"sql.scan.bytes_saved", "bytes",
+       "response bytes avoided by shipping partial-aggregate states instead "
+       "of rows",
+       &WorkerMetrics::scan_bytes_saved},
+      {"sql.scan.chunk_lock_releases", "releases",
+       "stripe-lock releases between chunks of fragment scans",
+       &WorkerMetrics::scan_chunk_lock_releases},
   };
   return kFields;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
@@ -146,7 +147,7 @@ std::string ResultSet::ToString() const {
 
 Result<std::vector<std::pair<uint64_t, Tuple>>> Executor::FetchRows(
     tx::Transaction* txn, tx::TableHandle* handle, const Plan& plan,
-    const Expr* where) {
+    const Expr* where, size_t limit) {
   std::vector<std::pair<uint64_t, Tuple>> rows;
   switch (plan.access.kind) {
     case AccessPath::Kind::kIndexPoint: {
@@ -170,17 +171,21 @@ Result<std::vector<std::pair<uint64_t, Tuple>>> Executor::FetchRows(
     case AccessPath::Kind::kFullScan: {
       if (pushdown_ && where != nullptr) {
         // §5.2: evaluate the WHERE clause on the storage nodes; only
-        // matching records cross the network.
+        // matching records cross the network, and a pushed-down LIMIT lets
+        // every partition stop scanning early.
         TELL_ASSIGN_OR_RETURN(
-            rows, txn->FilteredScan(handle, [where](const Tuple& tuple) {
-              auto pass = EvalExpr(where, tuple);
-              return pass.ok() && ValueIsTruthy(*pass);
-            }));
+            rows, txn->FilteredScan(
+                      handle,
+                      [where](const Tuple& tuple) {
+                        auto pass = EvalExpr(where, tuple);
+                        return pass.ok() && ValueIsTruthy(*pass);
+                      },
+                      limit));
         return rows;
       }
       TELL_ASSIGN_OR_RETURN(
           rows, txn->ScanIndexEncoded(handle, /*index=*/-1, "", "",
-                                      /*limit=*/0));
+                                      where == nullptr ? limit : 0));
       break;
     }
   }
@@ -193,6 +198,30 @@ Result<std::vector<std::pair<uint64_t, Tuple>>> Executor::FetchRows(
   }
   return filtered;
 }
+
+namespace {
+
+// ORDER BY, resolved by the planner: select-star orders by source columns
+// (identical to output columns for star), projections by output position.
+void ApplyOrderByAndLimit(const Plan& plan, ResultSet* result) {
+  if (!plan.order_by.empty()) {
+    std::stable_sort(
+        result->rows.begin(), result->rows.end(),
+        [&](const Tuple& a, const Tuple& b) {
+          for (const Plan::ResolvedOrderBy& key : plan.order_by) {
+            int cmp = schema::CompareValues(a.at(key.index), b.at(key.index));
+            if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+          }
+          return false;
+        });
+  }
+  if (plan.statement.select.limit.has_value() &&
+      result->rows.size() > *plan.statement.select.limit) {
+    result->rows.resize(*plan.statement.select.limit);
+  }
+}
+
+}  // namespace
 
 Result<std::vector<std::pair<uint64_t, Tuple>>> Executor::HashJoin(
     tx::Transaction* txn, tx::TableHandle* left, tx::TableHandle* right,
@@ -238,6 +267,29 @@ Result<ResultSet> Executor::ExecuteSelect(tx::Transaction* txn,
                                           tx::TableRegistry* registry,
                                           const Plan& plan) {
   const SelectStatement& select = plan.statement.select;
+
+  bool has_aggregate = false;
+  for (const SelectItem& item : select.items) {
+    if (item.aggregate != AggregateFunc::kNone) has_aggregate = true;
+  }
+
+  // Vectorized path: eligible aggregates run as storage-side scan
+  // fragments. Buffered dirty writes on the table would be invisible to the
+  // storage nodes, so those queries stay on the row path.
+  if (pushdown_ && plan.fragment.has_value() && plan.join_table == nullptr &&
+      !txn->HasDirtyWrites(handle)) {
+    return ExecuteFragmentSelect(txn, handle, plan);
+  }
+
+  // A LIMIT can stop storage-side scans early only when no executor stage
+  // after the scan (join, grouping, ORDER BY) can change which rows make
+  // the cut.
+  size_t fetch_limit = 0;
+  if (select.limit.has_value() && plan.join_table == nullptr &&
+      !has_aggregate && select.group_by.empty() && plan.order_by.empty()) {
+    fetch_limit = *select.limit;
+  }
+
   std::vector<std::pair<uint64_t, Tuple>> rows;
   if (plan.join_table != nullptr) {
     TELL_ASSIGN_OR_RETURN(tx::TableHandle * right,
@@ -252,17 +304,12 @@ Result<ResultSet> Executor::ExecuteSelect(tx::Transaction* txn,
       rows = std::move(filtered);
     }
   } else {
-    TELL_ASSIGN_OR_RETURN(rows,
-                          FetchRows(txn, handle, plan, select.where.get()));
+    TELL_ASSIGN_OR_RETURN(
+        rows, FetchRows(txn, handle, plan, select.where.get(), fetch_limit));
   }
 
   ResultSet result;
   result.columns = plan.output_columns;
-
-  bool has_aggregate = false;
-  for (const SelectItem& item : select.items) {
-    if (item.aggregate != AggregateFunc::kNone) has_aggregate = true;
-  }
 
   if (has_aggregate || !select.group_by.empty()) {
     // Group rows by the GROUP BY key (single group when absent).
@@ -356,24 +403,68 @@ Result<ResultSet> Executor::ExecuteSelect(tx::Transaction* txn,
     }
   }
 
-  // ORDER BY, resolved by the planner: select-star orders by source
-  // columns (identical to output columns for star), projections by output
-  // position.
-  if (!plan.order_by.empty()) {
-    std::stable_sort(
-        result.rows.begin(), result.rows.end(),
-        [&](const Tuple& a, const Tuple& b) {
-          for (const Plan::ResolvedOrderBy& key : plan.order_by) {
-            int cmp = schema::CompareValues(a.at(key.index), b.at(key.index));
-            if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
-          }
-          return false;
-        });
+  ApplyOrderByAndLimit(plan, &result);
+  return result;
+}
+
+Result<ResultSet> Executor::ExecuteFragmentSelect(tx::Transaction* txn,
+                                                  tx::TableHandle* handle,
+                                                  const Plan& plan) {
+  const SelectStatement& select = plan.statement.select;
+  const ScanFragment& fragment = *plan.fragment;
+  const schema::Schema& schema = handle->meta->schema;
+  const uint64_t descriptor_bytes = fragment.SerializeDescriptor().size();
+  // The visibility closure carries the transaction's snapshot to the
+  // storage nodes; every chunk of every partition is judged under it, so
+  // the fragmented scan sees one consistent snapshot.
+  auto visible = txn->VisibilityClosure();
+  store::FragmentSinkFactory make_sink =
+      [&schema, &fragment, &visible](uint32_t) {
+        return std::unique_ptr<store::FragmentSink>(
+            new AggregateFragmentSink(&schema, &fragment, visible));
+      };
+  TELL_ASSIGN_OR_RETURN(
+      store::FragmentScanOutcome outcome,
+      txn->ExecuteScanFragment(handle, descriptor_bytes, make_sink));
+
+  // Merge the per-partition partial states. map keeps group order identical
+  // to the row path (both key by ValueToString + 0x1F).
+  std::map<std::string, AggregateFragmentSink::GroupState> merged;
+  for (const auto& sink : outcome.sinks) {
+    auto* agg = static_cast<AggregateFragmentSink*>(sink.get());
+    TELL_RETURN_NOT_OK(agg->status());
+    MergeGroupStates(agg->groups(), &merged);
   }
-  if (plan.statement.select.limit.has_value() &&
-      result.rows.size() > *plan.statement.select.limit) {
-    result.rows.resize(*plan.statement.select.limit);
+  if (merged.empty() && fragment.group_by.empty()) {
+    // SELECT COUNT(*) over an empty table still yields one row.
+    AggregateFragmentSink::GroupState empty;
+    empty.first_values.resize(fragment.items.size());
+    empty.folds.resize(fragment.items.size());
+    merged.emplace("", std::move(empty));
   }
+
+  ResultSet result;
+  result.columns = plan.output_columns;
+  for (const auto& [key, state] : merged) {
+    Tuple out(select.items.size());
+    for (size_t i = 0; i < fragment.items.size(); ++i) {
+      const ScanFragment::AggSpec& spec = fragment.items[i];
+      if (spec.func == AggregateFunc::kNone) {
+        // Plain item: the globally first member's value (NULL when the
+        // group is empty), exactly like the row path's members[0].
+        out.Set(i, state.count_star == 0 ? Value(std::monostate{})
+                                         : state.first_values[i]);
+        continue;
+      }
+      if (spec.count_star) {
+        out.Set(i, static_cast<int64_t>(state.count_star));
+        continue;
+      }
+      out.Set(i, state.folds[i].Final(spec.func));
+    }
+    result.rows.push_back(std::move(out));
+  }
+  ApplyOrderByAndLimit(plan, &result);
   return result;
 }
 

@@ -42,14 +42,23 @@ class Executor {
                             const Plan& plan);
 
  private:
+  /// `limit` (0 = none) stops storage-side scans early when the statement's
+  /// LIMIT can be applied before any residual executor work.
   Result<std::vector<std::pair<uint64_t, schema::Tuple>>> FetchRows(
       tx::Transaction* txn, tx::TableHandle* handle, const Plan& plan,
-      const Expr* where);
+      const Expr* where, size_t limit = 0);
 
   Result<ResultSet> ExecuteSelect(tx::Transaction* txn,
                                   tx::TableHandle* handle,
                                   tx::TableRegistry* registry,
                                   const Plan& plan);
+
+  /// Vectorized path for an eligible aggregate query: fans the plan's
+  /// ScanFragment out to every partition and merges the partial group
+  /// states — the response is O(groups), not O(rows).
+  Result<ResultSet> ExecuteFragmentSelect(tx::Transaction* txn,
+                                          tx::TableHandle* handle,
+                                          const Plan& plan);
 
   /// Materializes both sides and hash-joins on the planned equality.
   Result<std::vector<std::pair<uint64_t, schema::Tuple>>> HashJoin(

@@ -353,6 +353,29 @@ Result<Plan> PlanStatement(Statement statement, const tx::Catalog* catalog) {
         }
         plan.order_by.push_back(resolved);
       }
+      // Lower eligible aggregate queries into a storage-side scan fragment
+      // (DESIGN.md "Vectorized scans & aggregate pushdown"): full scan, no
+      // join, and an aggregate and/or GROUP BY select list. ORDER BY and
+      // LIMIT stay PN-side over the O(groups) merged result. The fragment
+      // is computed unconditionally; the executor uses it only when
+      // operator pushdown is enabled.
+      bool has_aggregate = false;
+      for (const SelectItem& item : select.items) {
+        if (item.aggregate != AggregateFunc::kNone) has_aggregate = true;
+      }
+      if (plan.join_table == nullptr && !select.select_star &&
+          plan.access.kind == AccessPath::Kind::kFullScan &&
+          (has_aggregate || !select.group_by.empty())) {
+        ScanFragment fragment;
+        fragment.predicate = select.where.get();
+        for (const SelectItem& item : select.items) {
+          fragment.items.push_back(
+              {item.aggregate, item.count_star, item.expr.get()});
+        }
+        fragment.group_by = plan.group_by_columns;
+        fragment.columns_needed = CollectFragmentColumns(fragment);
+        plan.fragment = std::move(fragment);
+      }
       break;
     }
     case Statement::Kind::kInsert: {

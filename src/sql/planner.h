@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "schema/schema.h"
 #include "sql/ast.h"
+#include "sql/scan_fragment.h"
 #include "tx/catalog.h"
 
 namespace tell::sql {
@@ -64,6 +65,13 @@ struct Plan {
     bool on_source = false;
   };
   std::vector<ResolvedOrderBy> order_by;
+
+  /// Storage-side lowering of an eligible aggregate query (full scan, no
+  /// join, aggregates and/or GROUP BY): the serializable fragment the
+  /// executor fans out to every partition when operator pushdown is on.
+  /// Expr pointers reach into `statement` (heap nodes, stable across Plan
+  /// moves). Ignored by the executor when pushdown is off.
+  std::optional<ScanFragment> fragment;
 };
 
 /// Resolves names against the catalog and picks an index:

@@ -1,0 +1,74 @@
+#ifndef TELL_STORE_FRAGMENT_H_
+#define TELL_STORE_FRAGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tell::store {
+
+/// Per-call statistics of one chunked fragment scan over one partition
+/// (StorageNode::FragmentScan). Aggregated by the caller across partitions
+/// and surfaced as the `sql.scan.*` worker counters.
+struct FragmentScanStats {
+  /// Cells the node examined (every live key of the partition range).
+  uint64_t cells_scanned = 0;
+  /// Times the scan dropped every stripe lock mid-pass and re-acquired for
+  /// the next chunk. Zero means the whole partition fit in one chunk; under
+  /// an OLTP mix this is the "never holds the table for a full pass" proof.
+  uint64_t chunk_lock_releases = 0;
+
+  void Accumulate(const FragmentScanStats& other) {
+    cells_scanned += other.cells_scanned;
+    chunk_lock_releases += other.chunk_lock_releases;
+  }
+};
+
+/// Storage-side consumer of a vectorized scan fragment (DESIGN.md
+/// "Vectorized scans & aggregate pushdown"). The storage layer is
+/// schema-agnostic — tell_store does not link tell_schema — so the node only
+/// streams raw (key, cell) pairs into this interface; the typed work
+/// (visibility, tuple decode, filter, projection, partial-aggregate fold)
+/// lives in the sql-layer implementation (sql/scan_fragment.h).
+///
+/// Absorb() runs on the storage node with NO stripe locks held: the node
+/// copies a chunk of cells out under its locks, releases them, then feeds
+/// the chunk through the sink — so an expensive decode never blocks OLTP
+/// point operations. Snapshot consistency across the lock release comes from
+/// MVCC: the sink judges visibility per version against a fixed snapshot,
+/// and version lists only grow (deletes are tombstone versions).
+class FragmentSink {
+ public:
+  virtual ~FragmentSink() = default;
+
+  /// Feeds one stored cell (raw VersionedRecord bytes). Returns false to
+  /// stop the scan early (limit reached); errors are latched in status().
+  virtual bool Absorb(std::string_view key, std::string_view value) = 0;
+
+  /// Serialized partial state after the scan — the bytes that travel back to
+  /// the processing node, charged as the response payload. Size O(groups).
+  virtual std::string Finish() = 0;
+
+  /// Rows (groups) the partial state carries.
+  virtual uint64_t rows_returned() const = 0;
+  /// Bytes a row-shipping scan would have sent for the same matches
+  /// (key + visible payload + framing per matching row) — the baseline that
+  /// `sql.scan.bytes_saved` is measured against.
+  virtual uint64_t baseline_bytes() const = 0;
+  /// First decode/fold error, if any. The scan stops on error.
+  virtual Status status() const = 0;
+};
+
+/// Builds a fresh sink for one partition's fragment execution. Called per
+/// partition AND per retry attempt, so a replayed fragment (fault injection)
+/// never double-counts into a half-filled sink.
+using FragmentSinkFactory =
+    std::function<std::unique_ptr<FragmentSink>(uint32_t partition)>;
+
+}  // namespace tell::store
+
+#endif  // TELL_STORE_FRAGMENT_H_

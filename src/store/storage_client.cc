@@ -939,22 +939,28 @@ Result<std::vector<KeyCell>> StorageClient::Scan(TableId table,
   return result;
 }
 
+/// Modelled storage-node CPU per examined cell of a pushdown/fragment scan.
+/// Charged on the response latency; a dedicated scan thread would hide most
+/// of it (§5.2).
+constexpr uint64_t kServerScanPerRecordNs = 50;
+
 Result<std::vector<KeyCell>> StorageClient::PushdownScan(
     TableId table, std::string_view start_key, std::string_view end_key,
     size_t limit,
-    const std::function<bool(std::string_view, std::string_view)>& predicate,
-    uint64_t filter_descriptor_bytes) {
+    const std::function<bool(std::string_view, std::string_view, std::string*)>&
+        transform,
+    uint64_t filter_descriptor_bytes, uint64_t* scanned_out) {
   metrics_->storage_ops += 1;
   clock_->Advance(options_.cpu.per_op_ns);
   uint64_t scanned = 0;
   auto result = IssueWithRetry(sim::FaultOpClass::kScan, table, [&] {
     scanned = 0;  // a retried attempt re-examines the range from scratch
-    return cluster_->ScanFiltered(table, start_key, end_key, limit, predicate,
+    return cluster_->ScanFiltered(table, start_key, end_key, limit, transform,
                                   &scanned);
   });
-  // Only the MATCHING cells travel over the network; the examined cells
-  // cost storage-node CPU, modelled as a per-record scan cost added to the
-  // response latency (a dedicated scan thread would hide most of it, §5.2).
+  // Only the MATCHING rows' visible payloads travel over the network (the
+  // transform strips version history and tombstones server-side); the
+  // examined cells cost storage-node CPU.
   uint64_t response_bytes = 16;
   if (result.ok()) {
     for (const auto& cell : *result) {
@@ -969,8 +975,55 @@ Result<std::vector<KeyCell>> StorageClient::PushdownScan(
            kPerOpHeaderBytes,
        response_bytes / std::max<uint64_t>(parts, 1)});
   ChargeParallelRequests(requests);
-  constexpr uint64_t kServerScanPerRecordNs = 50;
   clock_->Advance(scanned * kServerScanPerRecordNs /
+                  std::max<uint64_t>(parts, 1));
+  if (scanned_out != nullptr) *scanned_out += scanned;
+  return result;
+}
+
+Result<FragmentScanOutcome> StorageClient::ExecuteFragmentScan(
+    TableId table, uint64_t descriptor_bytes,
+    const FragmentSinkFactory& make_sink) {
+  metrics_->storage_ops += 1;
+  clock_->Advance(options_.cpu.per_op_ns);
+  auto num_partitions = cluster_->partition_map().NumPartitions(table);
+  if (!num_partitions.ok()) return num_partitions.status();
+  const uint32_t parts = *num_partitions;
+
+  auto result = IssueWithRetry(
+      sim::FaultOpClass::kScan, table, [&]() -> Result<FragmentScanOutcome> {
+        // A retried attempt rebuilds every sink: a replayed fragment must
+        // never fold rows into a half-filled partial state.
+        FragmentScanOutcome out;
+        out.partitions = parts;
+        for (uint32_t p = 0; p < parts; ++p) {
+          std::unique_ptr<FragmentSink> sink = make_sink(p);
+          FragmentScanStats stats;
+          TELL_RETURN_NOT_OK(cluster_->FragmentScan(
+              table, p, options_.scan_chunk_cells, sink.get(), &stats));
+          out.rows_scanned += stats.cells_scanned;
+          out.chunk_lock_releases += stats.chunk_lock_releases;
+          out.sinks.push_back(std::move(sink));
+        }
+        return out;
+      });
+  if (!result.ok()) return result;
+
+  // Each partition answers with its serialized partial state — O(groups)
+  // bytes, not O(rows) — and the fan-out flies in parallel, so the charged
+  // time is the slowest partition's request, not the sum.
+  std::vector<std::pair<uint64_t, uint64_t>> requests;
+  requests.reserve(result->sinks.size());
+  for (const auto& sink : result->sinks) {
+    std::string partial = sink->Finish();
+    result->rows_returned += sink->rows_returned();
+    result->baseline_bytes += sink->baseline_bytes();
+    result->response_bytes += 16 + partial.size();
+    requests.push_back(
+        {descriptor_bytes + kPerOpHeaderBytes, 16 + partial.size()});
+  }
+  ChargeParallelRequests(requests);
+  clock_->Advance(result->rows_scanned * kServerScanPerRecordNs /
                   std::max<uint64_t>(parts, 1));
   return result;
 }

@@ -84,6 +84,26 @@ struct ClientOptions {
   /// epoch (seqlock style). Validation failure falls back to the ordinary
   /// two-sided path. Ignored on kernel-TCP models.
   bool one_sided_reads = false;
+  /// Cells per chunk of a vectorized fragment scan
+  /// (StorageNode::FragmentScan). Between chunks the node drops every stripe
+  /// lock, so smaller chunks mean less OLTP blocking per analytical pass at
+  /// the price of more lock cycling.
+  uint32_t scan_chunk_cells = 1024;
+};
+
+/// Result of one fragment fan-out (ExecuteFragmentScan): the per-partition
+/// sinks (holding typed partial-aggregate states for the caller to merge)
+/// plus the traffic/row accounting behind the sql.scan.* counters.
+struct FragmentScanOutcome {
+  std::vector<std::unique_ptr<FragmentSink>> sinks;  // one per partition
+  uint64_t partitions = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+  /// Partial-state response bytes actually charged (incl. framing).
+  uint64_t response_bytes = 0;
+  /// What a row-shipping scan would have charged for the same matches.
+  uint64_t baseline_bytes = 0;
+  uint64_t chunk_lock_releases = 0;
 };
 
 /// The storage interface of a processing node worker (paper Fig. 3,
@@ -193,15 +213,30 @@ class StorageClient : public PipelineFlusher {
                                     std::string_view end_key, size_t limit,
                                     bool reverse = false);
 
-  /// Push-down scan (§5.2): the predicate executes on the storage nodes and
-  /// only matching cells cross the network, so the charged traffic is the
-  /// result set, not the table. `filter_descriptor_bytes` models the size
-  /// of the serialized predicate shipped with the request.
+  /// Push-down scan (§5.2): the transform executes on the storage nodes and
+  /// only matching rows' visible payloads (not the stored multi-version
+  /// cells) cross the network, so the charged traffic is the live result
+  /// set, not the table. `filter_descriptor_bytes` models the size of the
+  /// serialized predicate shipped with the request; `scanned` (optional)
+  /// reports cells examined server-side.
   Result<std::vector<KeyCell>> PushdownScan(
       TableId table, std::string_view start_key, std::string_view end_key,
       size_t limit,
-      const std::function<bool(std::string_view, std::string_view)>& predicate,
-      uint64_t filter_descriptor_bytes = 64);
+      const std::function<bool(std::string_view, std::string_view,
+                               std::string*)>& transform,
+      uint64_t filter_descriptor_bytes = 64, uint64_t* scanned = nullptr);
+
+  /// Vectorized fragment fan-out (DESIGN.md "Vectorized scans & aggregate
+  /// pushdown"): runs one sink per partition of `table` through the chunked
+  /// FragmentScan path and charges the fan-out as parallel requests — the
+  /// virtual-time cost is the slowest partition's fragment, not the sum, and
+  /// each response is the serialized partial state, O(groups) bytes.
+  /// `descriptor_bytes` is the serialized ScanFragment size shipped with
+  /// every request. The factory builds a fresh sink per partition (and per
+  /// retry attempt, so replays never double-fold).
+  Result<FragmentScanOutcome> ExecuteFragmentScan(
+      TableId table, uint64_t descriptor_bytes,
+      const FragmentSinkFactory& make_sink);
 
   /// Atomic fetch-add on a counter cell (one round trip). NOT idempotent:
   /// a retried ambiguous increment may apply twice. All in-tree uses hand

@@ -350,7 +350,8 @@ Result<std::vector<KeyCell>> StorageNode::Scan(TableId table,
 Result<std::vector<KeyCell>> StorageNode::ScanFiltered(
     TableId table, uint32_t partition, std::string_view start_key,
     std::string_view end_key, size_t limit,
-    const std::function<bool(std::string_view, std::string_view)>& predicate,
+    const std::function<bool(std::string_view, std::string_view, std::string*)>&
+        transform,
     uint64_t* scanned) const {
   TELL_RETURN_NOT_OK(CheckAlive());
   stats_.scans.fetch_add(1, std::memory_order_relaxed);
@@ -360,16 +361,73 @@ Result<std::vector<KeyCell>> StorageNode::ScanFiltered(
   std::vector<KeyCell> out;
   if (limit != 0) out.reserve(limit);
   uint64_t examined = 0;
+  std::string shipped;
   MergeScan(*part, start_key, end_key, /*reverse=*/false,
             [&](const std::string& key, const VersionedCell& cell) {
               ++examined;
-              if (!predicate(key, cell.value)) return true;
-              out.push_back({key, cell.value, cell.stamp});
+              shipped.clear();
+              if (!transform(key, cell.value, &shipped)) return true;
+              out.push_back({key, std::move(shipped), cell.stamp});
               return limit == 0 || out.size() < limit;
             });
   if (scanned != nullptr) *scanned += examined;
   stats_.cells_scanned.fetch_add(examined, std::memory_order_relaxed);
   return out;
+}
+
+Status StorageNode::FragmentScan(TableId table, uint32_t partition,
+                                 size_t chunk_cells, FragmentSink* sink,
+                                 FragmentScanStats* stats) const {
+  TELL_RETURN_NOT_OK(CheckAlive());
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  Partition* part = FindPartition(table, partition);
+  if (part == nullptr) return Status::NotFound("no such partition");
+  if (chunk_cells == 0) chunk_cells = 1;
+
+  // Chunked pass: copy up to chunk_cells raw cells out under the stripe
+  // locks, release the locks, then run the sink's decode/filter/fold over
+  // the copies. The cursor (last key + '\0') restarts the merge just past
+  // the previous chunk; MVCC version lists keep the result
+  // snapshot-consistent across the release (tombstones, not erases, encode
+  // deletes for MVCC tables).
+  std::string cursor;
+  bool more = true;
+  bool keep_going = true;
+  FragmentScanStats local;
+  std::vector<std::pair<std::string, std::string>> batch;
+  batch.reserve(chunk_cells);
+  while (more && keep_going) {
+    batch.clear();
+    {
+      auto locks = LockAllShared(*part);
+      more = false;
+      MergeScan(*part, cursor, "", /*reverse=*/false,
+                [&](const std::string& key, const VersionedCell& cell) {
+                  if (batch.size() == chunk_cells) {
+                    more = true;  // at least one cell past this chunk
+                    return false;
+                  }
+                  batch.emplace_back(key, cell.value);
+                  return true;
+                });
+    }
+    if (more) ++local.chunk_lock_releases;
+    local.cells_scanned += batch.size();
+    for (const auto& [key, value] : batch) {
+      if (!sink->Absorb(key, value)) {
+        keep_going = false;
+        break;
+      }
+    }
+    if (more && !batch.empty()) {
+      cursor = batch.back().first;
+      cursor.push_back('\0');
+    }
+  }
+  stats_.cells_scanned.fetch_add(local.cells_scanned,
+                                 std::memory_order_relaxed);
+  if (stats != nullptr) stats->Accumulate(local);
+  return sink->status();
 }
 
 Result<int64_t> StorageNode::AtomicIncrement(TableId table, uint32_t partition,

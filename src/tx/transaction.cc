@@ -698,10 +698,36 @@ Status Transaction::ValidateReadSet() {
   return Status::OK();
 }
 
+std::function<bool(std::string_view, std::string*)>
+Transaction::VisibilityClosure() const {
+  // Copies of the snapshot and tid: the closure outlives no transaction,
+  // but it does run "on the storage node", conceptually shipped with the
+  // request.
+  SnapshotDescriptor snapshot = snapshot_;
+  Tid tid = tid_;
+  return [snapshot, tid](std::string_view value, std::string* payload) {
+    auto record = schema::VersionedRecord::Deserialize(value);
+    if (!record.ok()) return false;
+    const schema::RecordVersion* visible =
+        record->VisibleVersion(snapshot, tid);
+    if (visible == nullptr || visible->tombstone) return false;
+    payload->assign(visible->payload);
+    return true;
+  };
+}
+
+bool Transaction::HasDirtyWrites(const TableHandle* table) const {
+  for (const auto& [key, state] : buffer_) {
+    if (state.dirty && key.first == table->meta->data_table) return true;
+  }
+  return false;
+}
+
 Result<std::vector<std::pair<uint64_t, schema::Tuple>>>
 Transaction::FilteredScan(
     TableHandle* table,
-    const std::function<bool(const schema::Tuple&)>& predicate) {
+    const std::function<bool(const schema::Tuple&)>& predicate,
+    size_t limit) {
   TELL_CHECK(state_ == TxnState::kRunning);
   obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
   if (fast_) {
@@ -710,26 +736,32 @@ Transaction::FilteredScan(
     return Status::CrossPartition("pushdown scans run on the MVCC path");
   }
   const schema::Schema& schema = table->meta->schema;
+  // Dirty buffered rows overlay the server's result below; they could both
+  // displace and add rows, so a server-side limit would truncate wrongly.
+  const bool has_dirty = HasDirtyWrites(table);
+  if (has_dirty) limit = 0;
   // The closure below executes on the storage nodes: visibility check plus
-  // the pushed-down predicate, so non-matching records never hit the wire.
-  SnapshotDescriptor snapshot = snapshot_;
-  Tid tid = tid_;
-  auto server_side = [&schema, snapshot, tid, &predicate](
-                         std::string_view key, std::string_view value) {
+  // the pushed-down predicate. Matches ship only the visible version's
+  // payload — not the stored multi-version cell — so non-matching records
+  // never hit the wire and matching ones pay for live bytes only.
+  auto visible_payload = VisibilityClosure();
+  auto server_side = [&schema, &visible_payload, &predicate](
+                         std::string_view key, std::string_view value,
+                         std::string* out) {
     if (key.size() != sizeof(uint64_t)) return false;  // meta cells
-    auto record = schema::VersionedRecord::Deserialize(value);
-    if (!record.ok()) return false;
-    const schema::RecordVersion* visible =
-        record->VisibleVersion(snapshot, tid);
-    if (visible == nullptr || visible->tombstone) return false;
-    auto tuple = schema::Tuple::Deserialize(schema, visible->payload);
+    if (!visible_payload(value, out)) return false;
+    auto tuple = schema::Tuple::Deserialize(schema, *out);
     if (!tuple.ok()) return false;
     return predicate(*tuple);
   };
+  uint64_t scanned = 0;
   TELL_ASSIGN_OR_RETURN(
       std::vector<store::KeyCell> cells,
-      client_->PushdownScan(table->meta->data_table, "", "", /*limit=*/0,
-                            server_side));
+      client_->PushdownScan(table->meta->data_table, "", "", limit,
+                            server_side, /*filter_descriptor_bytes=*/64,
+                            &scanned));
+  client_->metrics()->scan_rows_scanned += scanned;
+  client_->metrics()->scan_rows_returned += cells.size();
   std::vector<std::pair<uint64_t, schema::Tuple>> out;
   out.reserve(cells.size());
   for (const store::KeyCell& cell : cells) {
@@ -738,14 +770,10 @@ Transaction::FilteredScan(
     RecordKey record_key{table->meta->data_table, rid};
     auto buffered = buffer_.find(record_key);
     if (buffered != buffer_.end() && buffered->second.dirty) continue;
-    TELL_ASSIGN_OR_RETURN(schema::VersionedRecord record,
-                          schema::VersionedRecord::Deserialize(cell.value));
-    const schema::RecordVersion* visible =
-        record.VisibleVersion(snapshot_, tid_);
-    if (visible == nullptr || visible->tombstone) continue;
+    // The shipped bytes are the visible payload already judged server-side:
+    // one tuple decode, no re-deserialization of version history.
     TELL_ASSIGN_OR_RETURN(schema::Tuple tuple,
-                          schema::Tuple::Deserialize(schema,
-                                                     visible->payload));
+                          schema::Tuple::Deserialize(schema, cell.value));
     client_->ChargeCpu(client_->options().cpu.per_record_ns);
     out.emplace_back(rid, std::move(tuple));
   }
@@ -761,7 +789,37 @@ Transaction::FilteredScan(
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (limit != 0 && out.size() > limit) out.resize(limit);
   return out;
+}
+
+Result<store::FragmentScanOutcome> Transaction::ExecuteScanFragment(
+    TableHandle* table, uint64_t descriptor_bytes,
+    const store::FragmentSinkFactory& make_sink) {
+  TELL_CHECK(state_ == TxnState::kRunning);
+  obs::PhaseScope span(tracer_, sim::TxnPhase::kRead);
+  if (fast_) {
+    fallback_ = true;
+    return Status::CrossPartition("scan fragments run on the MVCC path");
+  }
+  if (HasDirtyWrites(table)) {
+    return Status::InvalidArgument(
+        "scan fragment with buffered dirty writes: use the row path");
+  }
+  TELL_ASSIGN_OR_RETURN(
+      store::FragmentScanOutcome outcome,
+      client_->ExecuteFragmentScan(table->meta->data_table, descriptor_bytes,
+                                   make_sink));
+  sim::WorkerMetrics* metrics = client_->metrics();
+  metrics->scan_fragments += outcome.partitions;
+  metrics->scan_rows_scanned += outcome.rows_scanned;
+  metrics->scan_rows_returned += outcome.rows_returned;
+  metrics->scan_chunk_lock_releases += outcome.chunk_lock_releases;
+  if (outcome.baseline_bytes > outcome.response_bytes) {
+    metrics->scan_bytes_saved +=
+        outcome.baseline_bytes - outcome.response_bytes;
+  }
+  return outcome;
 }
 
 Status Transaction::FinishCommitEmpty() {

@@ -229,11 +229,42 @@ class Transaction {
 
   /// Full-table scan with the predicate pushed down to the storage nodes
   /// (§5.2): only records whose snapshot-visible version satisfies
-  /// `predicate` travel over the network. Own buffered writes are merged in
-  /// afterwards. Designed for the OLAP side of mixed workloads.
+  /// `predicate` travel over the network — and only their visible payloads,
+  /// not the stored version history. Own buffered writes are merged in
+  /// afterwards. `limit` (0 = unlimited) stops each partition's scan early;
+  /// it is ignored while this transaction holds dirty writes on the table,
+  /// because the private overlay could displace server-chosen rows.
+  /// Designed for the OLAP side of mixed workloads.
   Result<std::vector<std::pair<uint64_t, schema::Tuple>>> FilteredScan(
       TableHandle* table,
-      const std::function<bool(const schema::Tuple&)>& predicate);
+      const std::function<bool(const schema::Tuple&)>& predicate,
+      size_t limit = 0);
+
+  /// Snapshot-visibility closure for storage-side scan execution: maps raw
+  /// VersionedRecord bytes to the payload of the version visible under this
+  /// transaction's snapshot (false when none is live). FilteredScan and the
+  /// vectorized fragment path (sql::AggregateFragmentSink) are both built
+  /// on it, so chunked scans judge visibility identically to point reads.
+  std::function<bool(std::string_view cell_value, std::string* payload)>
+  VisibilityClosure() const;
+
+  /// Fans a vectorized scan fragment out to every partition of the table
+  /// (DESIGN.md "Vectorized scans & aggregate pushdown") and returns the
+  /// per-partition sinks with partial-aggregate states plus the traffic
+  /// accounting. `make_sink` builds one sink per partition (and per retry);
+  /// `descriptor_bytes` is the serialized fragment size charged per
+  /// request. Updates the sql.scan.* worker counters. Fails with
+  /// InvalidArgument while the transaction holds dirty writes on the
+  /// table (the caller must fall back to the row-shipping path, which
+  /// overlays the private buffer); falls back to the MVCC path on fast
+  /// transactions like FilteredScan.
+  Result<store::FragmentScanOutcome> ExecuteScanFragment(
+      TableHandle* table, uint64_t descriptor_bytes,
+      const store::FragmentSinkFactory& make_sink);
+
+  /// Whether this transaction has buffered dirty writes on `table` (the
+  /// executor's pushdown paths must then ship rows and overlay them).
+  bool HasDirtyWrites(const TableHandle* table) const;
 
   /// Convenience: LookupPrimary + Read.
   Result<std::optional<schema::Tuple>> ReadByKey(

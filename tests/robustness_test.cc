@@ -42,8 +42,10 @@ TEST_F(FilteredScanStoreTest, PredicateFiltersServerSide) {
       auto cells,
       cluster_->ScanFiltered(
           table_, "", "", 0,
-          [](std::string_view, std::string_view value) {
-            return value == "even";
+          [](std::string_view, std::string_view value, std::string* out) {
+            if (value != "even") return false;
+            out->assign(value);
+            return true;
           },
           &scanned));
   EXPECT_EQ(cells.size(), 50u);
@@ -55,7 +57,9 @@ TEST_F(FilteredScanStoreTest, LimitStopsEarly) {
   ASSERT_OK_AND_ASSIGN(
       auto cells,
       cluster_->ScanFiltered(table_, "", "", 5,
-                             [](std::string_view, std::string_view) {
+                             [](std::string_view, std::string_view value,
+                                std::string* out) {
+                               out->assign(value);
                                return true;
                              }));
   EXPECT_EQ(cells.size(), 5u);
@@ -70,15 +74,20 @@ TEST_F(FilteredScanStoreTest, PushdownChargesOnlyMatchedBytes) {
   uint64_t bytes_before = metrics.bytes_received;
   ASSERT_OK(client
                 .PushdownScan(table_, "", "", 0,
-                              [](std::string_view, std::string_view value) {
-                                return value == "even";
+                              [](std::string_view, std::string_view value,
+                                 std::string* out) {
+                                if (value != "even") return false;
+                                out->assign(value);
+                                return true;
                               })
                 .status());
   uint64_t selective = metrics.bytes_received - bytes_before;
   bytes_before = metrics.bytes_received;
   ASSERT_OK(client
                 .PushdownScan(table_, "", "", 0,
-                              [](std::string_view, std::string_view) {
+                              [](std::string_view, std::string_view value,
+                                 std::string* out) {
+                                out->assign(value);
                                 return true;
                               })
                 .status());

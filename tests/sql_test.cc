@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "db/tell_db.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "tests/test_util.h"
+#include "workload/tpcc/tpcc_loader.h"
+#include "workload/tpcc/tpcc_transactions.h"
 
 namespace tell::sql {
 namespace {
@@ -276,6 +281,268 @@ TEST_F(SqlEndToEndTest, IsNullPredicate) {
   EXPECT_EQ(std::get<std::string>(rs.rows[0].at(0)), "ghost");
   ResultSet rs2 = Exec("SELECT COUNT(*) FROM emp WHERE dept IS NOT NULL");
   EXPECT_EQ(std::get<int64_t>(rs2.rows[0].at(0)), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized aggregate pushdown: on/off parity
+
+/// Runs every query against two identical databases — operator pushdown on
+/// (vectorized scan fragments) and off (row path) — and requires
+/// bit-identical ResultSets: same columns, same row order, exact variant
+/// equality including doubles. Data uses exactly-representable amounts
+/// (multiples of 0.25) so the fragment path's per-partition sum
+/// reassociation cannot hide behind rounding.
+class PushdownParityTest : public ::testing::Test {
+ protected:
+  PushdownParityTest() {
+    with_ = MakeDb(/*pushdown=*/true);
+    without_ = MakeDb(/*pushdown=*/false);
+    with_session_ = with_->OpenSession(0, 0);
+    without_session_ = without_->OpenSession(0, 0);
+  }
+
+  static std::unique_ptr<db::TellDb> MakeDb(bool pushdown) {
+    db::TellDbOptions options;
+    options.network = sim::NetworkModel::Instant();
+    options.operator_pushdown = pushdown;
+    options.scan_chunk_cells = 4;  // several chunks even on a tiny table
+    auto db = std::make_unique<db::TellDb>(options);
+    EXPECT_OK(db->ExecuteDdl(
+        "CREATE TABLE sale (id INT, region VARCHAR(8), qty INT, "
+        "amount DOUBLE, note VARCHAR(8), PRIMARY KEY (id))"));
+    auto session = db->OpenSession(0, 0);
+    const char* regions[] = {"north", "south", "east", "west"};
+    for (int i = 0; i < 48; ++i) {
+      std::string sql = "INSERT INTO sale VALUES (" + std::to_string(i) +
+                        ", '" + regions[i % 4] + "', " +
+                        std::to_string(i % 7) + ", " +
+                        std::to_string(i * 25) + ".25, 'n" +
+                        std::to_string(i % 5) + "')";
+      EXPECT_OK(db->AutoCommitSql(session.get(), sql).status());
+    }
+    // Rows with NULL qty/amount/note: aggregates must skip them.
+    for (int i = 48; i < 52; ++i) {
+      std::string sql = "INSERT INTO sale (id, region) VALUES (" +
+                        std::to_string(i) + ", '" + regions[i % 4] + "')";
+      EXPECT_OK(db->AutoCommitSql(session.get(), sql).status());
+    }
+    return db;
+  }
+
+  void ExpectParity(const std::string& sql) {
+    ASSERT_OK_AND_ASSIGN(ResultSet on,
+                         with_->AutoCommitSql(with_session_.get(), sql));
+    ASSERT_OK_AND_ASSIGN(ResultSet off,
+                         without_->AutoCommitSql(without_session_.get(), sql));
+    EXPECT_EQ(on.columns, off.columns) << sql;
+    ASSERT_EQ(on.rows.size(), off.rows.size()) << sql;
+    for (size_t r = 0; r < on.rows.size(); ++r) {
+      ASSERT_EQ(on.rows[r].size(), off.rows[r].size()) << sql;
+      for (size_t c = 0; c < on.rows[r].size(); ++c) {
+        // Exact variant equality: same alternative, bit-identical value.
+        EXPECT_TRUE(on.rows[r].at(c) == off.rows[r].at(c))
+            << sql << " row " << r << " col " << c << ": pushdown="
+            << schema::ValueToString(on.rows[r].at(c)) << " row-path="
+            << schema::ValueToString(off.rows[r].at(c));
+      }
+    }
+  }
+
+  std::unique_ptr<db::TellDb> with_;
+  std::unique_ptr<db::TellDb> without_;
+  std::unique_ptr<tx::Session> with_session_;
+  std::unique_ptr<tx::Session> without_session_;
+};
+
+TEST_F(PushdownParityTest, PlainAggregatesBitIdentical) {
+  uint64_t fragments = with_session_->metrics()->scan_fragments;
+  ExpectParity("SELECT COUNT(*) FROM sale");
+  ExpectParity("SELECT COUNT(*), SUM(qty), MIN(qty), MAX(qty), AVG(qty) "
+               "FROM sale");
+  ExpectParity("SELECT SUM(amount), AVG(amount) FROM sale");
+  ExpectParity("SELECT COUNT(qty) FROM sale");  // NULLs skipped
+  ExpectParity("SELECT MIN(note), MAX(note) FROM sale");  // string min/max
+  ExpectParity("SELECT SUM(amount) FROM sale WHERE qty >= 3");
+  ExpectParity("SELECT COUNT(*), SUM(qty) FROM sale WHERE qty > 999");
+  // The pushdown database really took the fragment path.
+  EXPECT_GT(with_session_->metrics()->scan_fragments, fragments);
+}
+
+TEST_F(PushdownParityTest, GroupByBitIdentical) {
+  ExpectParity("SELECT region, COUNT(*) FROM sale GROUP BY region");
+  ExpectParity("SELECT region, COUNT(*), SUM(amount), AVG(qty) FROM sale "
+               "GROUP BY region");
+  ExpectParity("SELECT region, MIN(amount), MAX(amount) FROM sale "
+               "WHERE qty > 1 GROUP BY region");
+  ExpectParity("SELECT qty, COUNT(*) FROM sale GROUP BY qty "
+               "ORDER BY qty DESC");
+  ExpectParity("SELECT region, COUNT(*) FROM sale GROUP BY region LIMIT 2");
+  ExpectParity("SELECT region, SUM(qty) FROM sale WHERE amount > 300.0 "
+               "GROUP BY region ORDER BY region");
+}
+
+TEST_F(PushdownParityTest, DirtyWritesFallBackToRowPath) {
+  // A transaction with buffered writes on the table cannot use storage-side
+  // fragments (the nodes can't see its private buffer); results must still
+  // include the uncommitted rows.
+  tx::Transaction txn(with_session_.get());
+  ASSERT_OK(txn.Begin());
+  ASSERT_OK(with_
+                ->ExecuteSql(&txn, 0,
+                             "INSERT INTO sale VALUES (99, 'north', 7, "
+                             "5000.25, 'zz')")
+                .status());
+  uint64_t fragments = with_session_->metrics()->scan_fragments;
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      with_->ExecuteSql(&txn, 0, "SELECT COUNT(*), MAX(amount) FROM sale"));
+  EXPECT_EQ(with_session_->metrics()->scan_fragments, fragments);
+  EXPECT_EQ(std::get<int64_t>(rs.rows[0].at(0)), 53);
+  EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0].at(1)), 5000.25);
+  ASSERT_OK(txn.Abort());
+}
+
+TEST_F(PushdownParityTest, LimitPushedToStorageNodes) {
+  ExpectParity("SELECT id FROM sale WHERE qty >= 0 LIMIT 5");
+  // With LIMIT 1 the merged scan returns exactly one row to the PN.
+  uint64_t returned = with_session_->metrics()->scan_rows_returned;
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       with_->AutoCommitSql(
+                           with_session_.get(),
+                           "SELECT id FROM sale WHERE qty >= 0 LIMIT 1"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(with_session_->metrics()->scan_rows_returned, returned + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot consistency of chunked fragment scans under concurrent writers
+
+TEST(SqlScanConsistencyTest, AggregatesSeeConsistentSnapshotUnderTransfers) {
+  db::TellDbOptions options;
+  options.network = sim::NetworkModel::Instant();
+  options.operator_pushdown = true;
+  options.scan_chunk_cells = 4;  // many lock drops per fragment scan
+  db::TellDb db(options);
+  ASSERT_OK(db.ExecuteDdl(
+      "CREATE TABLE acct (id INT, bal INT, PRIMARY KEY (id))"));
+  auto loader = db.OpenSession(0, 0);
+  constexpr int kAccounts = 64;
+  constexpr int64_t kTotal = kAccounts * 100;
+  for (int i = 0; i < kAccounts; ++i) {
+    ASSERT_OK(db.AutoCommitSql(loader.get(),
+                               "INSERT INTO acct VALUES (" +
+                                   std::to_string(i) + ", 100)")
+                  .status());
+  }
+
+  // Writer: balance-preserving transfers. Any snapshot-consistent reader
+  // must see the invariants below; a scan that mixed chunks from different
+  // snapshots would catch a transfer halfway.
+  std::atomic<bool> stop{false};
+  std::atomic<int> transfers{0};
+  std::thread writer([&] {
+    auto session = db.OpenSession(0, 1);
+    uint64_t x = 0x9E3779B97F4A7C15ULL;
+    while (!stop.load(std::memory_order_relaxed)) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      int from = static_cast<int>((x >> 33) % kAccounts);
+      int to = (from + 1 + static_cast<int>((x >> 20) % (kAccounts - 1))) %
+               kAccounts;
+      tx::Transaction txn(session.get());
+      if (!txn.Begin().ok()) continue;
+      Status st = db.ExecuteSql(&txn, 0,
+                                "UPDATE acct SET bal = bal - 5 WHERE id = " +
+                                    std::to_string(from))
+                      .status();
+      if (st.ok()) {
+        st = db.ExecuteSql(&txn, 0,
+                           "UPDATE acct SET bal = bal + 5 WHERE id = " +
+                               std::to_string(to))
+                 .status();
+      }
+      if (st.ok() && txn.Commit().ok()) {
+        transfers.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        (void)txn.Abort();
+      }
+    }
+  });
+
+  auto reader = db.OpenSession(0, 2);
+  for (int i = 0; i < 50 || transfers.load() < 20; ++i) {
+    ASSERT_LT(i, 5000) << "writer made no progress";
+    ASSERT_OK_AND_ASSIGN(
+        ResultSet rs,
+        db.AutoCommitSql(reader.get(),
+                         "SELECT COUNT(*), SUM(bal), MIN(bal) FROM acct"));
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(std::get<int64_t>(rs.rows[0].at(0)), kAccounts);
+    // SUM over ints folds through exactly-representable doubles.
+    EXPECT_DOUBLE_EQ(std::get<double>(rs.rows[0].at(1)),
+                     static_cast<double>(kTotal));
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(transfers.load(), 0);
+  EXPECT_GT(reader->metrics()->scan_fragments, 0u);
+  EXPECT_GT(reader->metrics()->scan_chunk_lock_releases, 0u);
+}
+
+TEST(SqlScanConsistencyTest, OrderLineAggregatesStayCoherentUnderTpcc) {
+  db::TellDbOptions options;
+  options.network = sim::NetworkModel::Instant();
+  options.operator_pushdown = true;
+  options.scan_chunk_cells = 16;
+  db::TellDb db(options);
+  tpcc::TpccScale scale;
+  scale.warehouses = 2;
+  scale.districts_per_warehouse = 2;
+  scale.customers_per_district = 8;
+  scale.items = 20;
+  scale.initial_orders_per_district = 4;
+  ASSERT_OK(tpcc::CreateTpccTables(&db));
+  ASSERT_OK(tpcc::LoadTpcc(&db, scale));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    auto session = db.OpenSession(0, 1);
+    auto tables = tpcc::OpenTpccTables(&db, 0);
+    ASSERT_OK(tables.status());
+    tpcc::TpccExecutor exec(session.get(), *tables);
+    tpcc::InputGenerator gen(scale, tpcc::Mix::kWriteIntensive, /*seed=*/7,
+                             /*home_warehouse=*/1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto outcome = exec.Execute(gen.Next());
+      ASSERT_OK(outcome.status());
+    }
+  });
+
+  // Order lines are append-only and every quantity is in [1, 10]: any
+  // snapshot gives count monotone non-decreasing and count <= sum <=
+  // 10 * count. A scan mixing chunks from different snapshots could break
+  // monotonicity or the sum bounds.
+  auto reader = db.OpenSession(0, 2);
+  int64_t last_count = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        ResultSet rs,
+        db.AutoCommitSql(reader.get(),
+                         "SELECT COUNT(*), SUM(ol_quantity), "
+                         "MIN(ol_quantity), MAX(ol_quantity) "
+                         "FROM order_line"));
+    ASSERT_EQ(rs.rows.size(), 1u);
+    int64_t count = std::get<int64_t>(rs.rows[0].at(0));
+    double sum = std::get<double>(rs.rows[0].at(1));
+    EXPECT_GE(count, last_count);
+    last_count = count;
+    EXPECT_GE(sum, static_cast<double>(count));
+    EXPECT_LE(sum, 10.0 * static_cast<double>(count));
+    EXPECT_GE(std::get<int64_t>(rs.rows[0].at(2)), 1);
+    EXPECT_LE(std::get<int64_t>(rs.rows[0].at(3)), 10);
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(reader->metrics()->scan_fragments, 0u);
 }
 
 }  // namespace

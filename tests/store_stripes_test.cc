@@ -393,8 +393,11 @@ TEST(StoreStripesTest, ScanFilteredMergeCountsExaminedCellsWithEmptyStripes) {
   ASSERT_OK_AND_ASSIGN(
       std::vector<KeyCell> matches,
       node.ScanFiltered(kTable, kPart, "", "", 0,
-                        [](std::string_view, std::string_view value) {
-                          return value == "match";
+                        [](std::string_view, std::string_view value,
+                           std::string* out) {
+                          if (value != "match") return false;
+                          out->assign(value);
+                          return true;
                         },
                         &scanned));
   ASSERT_EQ(matches.size(), 10u);
@@ -411,8 +414,11 @@ TEST(StoreStripesTest, ScanFilteredMergeCountsExaminedCellsWithEmptyStripes) {
   ASSERT_OK_AND_ASSIGN(
       std::vector<KeyCell> two,
       node.ScanFiltered(kTable, kPart, "", "", 2,
-                        [](std::string_view, std::string_view value) {
-                          return value == "match";
+                        [](std::string_view, std::string_view value,
+                           std::string* out) {
+                          if (value != "match") return false;
+                          out->assign(value);
+                          return true;
                         },
                         &scanned));
   ASSERT_EQ(two.size(), 2u);

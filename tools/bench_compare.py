@@ -55,6 +55,9 @@ HIGHER_IS_BETTER_HINTS = (
     "tpmc",
     "hit_rate",
     "speedup",
+    # OLAP query rate of the hybrid suite (bench/hybrid_chbench.cc): fewer
+    # analytical queries per second is a regression.
+    "_qps",
 )
 
 
@@ -131,7 +134,7 @@ def selftest():
 
     def artifact(tpmc, resp_ms, wall_tps=None, wall_seconds=None,
                  recovery_time_ms=None, migration_dip_pct=None,
-                 cache_hit_rate=None):
+                 cache_hit_rate=None, olap_qps=None):
         derived = {"tpmc": tpmc, "resp_ms": resp_ms}
         if wall_tps is not None:
             derived["wall_tps"] = wall_tps
@@ -139,6 +142,8 @@ def selftest():
             derived["wall_seconds"] = wall_seconds
         if cache_hit_rate is not None:
             derived["cache_hit_rate"] = cache_hit_rate
+        if olap_qps is not None:
+            derived["olap_qps"] = olap_qps
         if recovery_time_ms is not None:
             derived["recovery_time_ms"] = recovery_time_ms
         if migration_dip_pct is not None:
@@ -184,6 +189,13 @@ def selftest():
         # ...and a cache warming up is clean.
         (artifact(1000, 1.0, cache_hit_rate=0.4),
          artifact(1000, 1.0, cache_hit_rate=0.8), 10.0, 0),
+        # olap_qps is a rate (higher-is-better): the hybrid suite's OLAP
+        # throughput collapsing flags...
+        (artifact(1000, 1.0, olap_qps=12.0),
+         artifact(1000, 1.0, olap_qps=6.0), 10.0, 1),
+        # ...and more analytical queries per second is clean.
+        (artifact(1000, 1.0, olap_qps=6.0),
+         artifact(1000, 1.0, olap_qps=12.0), 10.0, 0),
     ]
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:

@@ -207,6 +207,78 @@ def _check_recovery(errors, path, derived):
                   f"got {dip!r} (cannot lose more than all throughput)")
 
 
+def _check_scan(errors, path, derived):
+    """Vectorized-scan derived fields (bench/ablation_pushdown.cc,
+    bench/hybrid_chbench.cc; DESIGN.md "Vectorized scans & aggregate
+    pushdown"): a storage-side scan can never return more rows (or partial
+    aggregate states) than the cells it examined, bytes_saved is a
+    non-negative byte count, and the hybrid suite's OLAP rate must agree
+    with its query count — a positive olap_qps with zero olap_queries (or
+    queries without a rate) means the producer mixed numbers from
+    different runs."""
+    if not isinstance(derived, dict):
+        return
+
+    def _num(key):
+        value = derived.get(key)
+        if value is None or isinstance(value, bool) or \
+                not isinstance(value, (int, float)):
+            return None  # absent, or type error already reported
+        return value
+
+    for scanned_key, returned_key in (
+            ("rows_scanned", "rows_returned"),
+            ("olap_rows_scanned", "olap_rows_returned")):
+        scanned = _num(scanned_key)
+        returned = _num(returned_key)
+        for key, value in ((scanned_key, scanned), (returned_key, returned)):
+            if value is not None and \
+                    (not math.isfinite(value) or value < 0):
+                _fail(errors, path,
+                      f"derived[{key!r}] must be a finite non-negative "
+                      f"count, got {value!r}")
+        if returned is not None and scanned is None:
+            _fail(errors, path,
+                  f"derived[{returned_key!r}] present without "
+                  f"{scanned_key!r} (the coherence check needs both)")
+        elif scanned is not None and returned is not None and \
+                math.isfinite(scanned) and math.isfinite(returned) and \
+                returned > scanned:
+            _fail(errors, path,
+                  f"derived[{returned_key!r}] is {returned!r} but "
+                  f"{scanned_key!r} is {scanned!r}: a scan cannot return "
+                  "more rows than it examined")
+
+    for key in ("bytes_saved", "olap_bytes_saved"):
+        value = _num(key)
+        if value is not None and (not math.isfinite(value) or value < 0):
+            _fail(errors, path,
+                  f"derived[{key!r}] must be a finite non-negative byte "
+                  f"count, got {value!r}")
+
+    queries = _num("olap_queries")
+    qps = _num("olap_qps")
+    if qps is not None:
+        if not math.isfinite(qps) or qps < 0:
+            _fail(errors, path,
+                  f"derived['olap_qps'] must be finite and >= 0, "
+                  f"got {qps!r}")
+        elif queries is None:
+            _fail(errors, path,
+                  "derived['olap_qps'] present without 'olap_queries' "
+                  "(the coherence check needs both)")
+        else:
+            if qps > 0 and queries == 0:
+                _fail(errors, path,
+                      f"derived['olap_qps'] is {qps!r} but olap_queries "
+                      "is 0: a rate without any queries")
+            if queries > 0 and qps == 0:
+                _fail(errors, path,
+                      f"derived['olap_queries'] is {queries!r} but "
+                      "olap_qps is 0: queries ran but the rate says none "
+                      "did")
+
+
 def _check_cache(errors, path, run):
     """Client record cache / one-sided read coherence
     (bench/ablation_client_cache.cc, DESIGN.md "One-sided reads & client
@@ -321,6 +393,7 @@ def _check_run(errors, path, index, run):
     _check_str_map(errors, rpath, run.get("derived", {}), (int, float), "derived")
     _check_wall_clock(errors, rpath, run.get("derived", {}))
     _check_recovery(errors, rpath, run.get("derived", {}))
+    _check_scan(errors, rpath, run.get("derived", {}))
     _check_cache(errors, rpath, run)
     _check_str_map(errors, rpath, run.get("counters", {}), int, "counters")
     _check_str_map(errors, rpath, run.get("gauges", {}), int, "gauges")
@@ -439,6 +512,20 @@ def selftest():
     good_cache["runs"][1]["counters"].update({"store.onesided.reads": 0})
     assert validate("good_cache", good_cache) == [], \
         validate("good_cache", good_cache)
+
+    # Coherent vectorized-scan fields: a hybrid run whose OLAP rate agrees
+    # with its query count and whose storage nodes returned no more rows
+    # than they examined, next to a TPC-C-only run with no OLAP at all.
+    good_scan = copy.deepcopy(good)
+    good_scan["runs"][0]["derived"].update(
+        rows_scanned=8000, rows_returned=2, bytes_saved=900000,
+        olap_queries=30, olap_qps=12.5, olap_rows_scanned=8000,
+        olap_rows_returned=2, olap_bytes_saved=900000)
+    good_scan["runs"].append(copy.deepcopy(good["runs"][0]))
+    good_scan["runs"][1]["label"] = "tpcc_only"
+    good_scan["runs"][1]["derived"].update(olap_queries=0, olap_qps=0.0)
+    assert validate("good_scan", good_scan) == [], \
+        validate("good_scan", good_scan)
     bad_cases = [
         ("schema_version", lambda d: d.update(schema_version=2)),
         ("missing bench", lambda d: d.pop("bench")),
@@ -530,12 +617,36 @@ def selftest():
                         "store.onesided.reads": 4}))),
         ("one_sided_capable out of range",
          lambda d: d["runs"][0]["derived"].update(one_sided_capable=2)),
+        ("rows_returned exceeds rows_scanned",
+         lambda d: d["runs"][0]["derived"].update(rows_scanned=10,
+                                                  rows_returned=11)),
+        ("rows_returned without rows_scanned",
+         lambda d: d["runs"][0]["derived"].update(rows_returned=5)),
+        ("olap rows_returned exceeds rows_scanned",
+         lambda d: d["runs"][0]["derived"].update(olap_rows_scanned=10,
+                                                  olap_rows_returned=11)),
+        ("rows_scanned negative",
+         lambda d: d["runs"][0]["derived"].update(rows_scanned=-1,
+                                                  rows_returned=0)),
+        ("bytes_saved negative",
+         lambda d: d["runs"][0]["derived"].update(bytes_saved=-64)),
+        ("olap_qps positive with zero queries",
+         lambda d: d["runs"][0]["derived"].update(olap_queries=0,
+                                                  olap_qps=4.0)),
+        ("olap queries with zero qps",
+         lambda d: d["runs"][0]["derived"].update(olap_queries=30,
+                                                  olap_qps=0.0)),
+        ("olap_qps without olap_queries",
+         lambda d: d["runs"][0]["derived"].update(olap_qps=4.0)),
+        ("olap_qps infinite",
+         lambda d: d["runs"][0]["derived"].update(olap_queries=30,
+                                                  olap_qps=math.inf)),
     ]
     for name, mutate in bad_cases:
         doc = copy.deepcopy(good)
         mutate(doc)
         assert validate(name, doc), f"selftest: {name!r} not rejected"
-    print("selftest ok:", 4 + len(bad_cases), "cases")
+    print("selftest ok:", 5 + len(bad_cases), "cases")
     return 0
 
 
